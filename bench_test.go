@@ -1,0 +1,404 @@
+// Benchmarks regenerating every table and figure of the evaluation (see
+// DESIGN.md's per-experiment index and EXPERIMENTS.md for recorded
+// results). Each BenchmarkE* corresponds to one experiment; cmd/xqbench
+// prints the same series as formatted tables.
+package xqp_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"xqp"
+	"xqp/internal/ast"
+	"xqp/internal/core"
+	"xqp/internal/exec"
+	"xqp/internal/experiments"
+	"xqp/internal/parser"
+	"xqp/internal/pattern"
+	"xqp/internal/storage"
+	"xqp/internal/value"
+	"xqp/internal/xmark"
+	"xqp/internal/xmldoc"
+)
+
+// BenchmarkT1Operators exercises each Table 1 operator (σs σv ⋈s ⋈v πs τ γ).
+func BenchmarkT1Operators(b *testing.B) {
+	st := xmark.StoreBib(10)
+	toSeq := func(refs []storage.NodeRef) value.Sequence {
+		out := make(value.Sequence, len(refs))
+		for i, r := range refs {
+			out[i] = value.Node{Store: st, Ref: r}
+		}
+		return out
+	}
+	books := toSeq(st.ElementRefs("book"))
+	prices := toSeq(st.ElementRefs("price"))
+	lasts := toSeq(st.ElementRefs("last"))
+
+	b.Run("σs-select-tag", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.SelectTag(books, "book")
+		}
+	})
+	b.Run("σv-select-value", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.SelectValue(prices, value.CmpLt, value.Int(60))
+		}
+	})
+	b.Run("⋈s-structural-join", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.StructuralJoin(books, lasts, pattern.RelDescendant); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("⋈v-value-join", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.ValueJoin(prices, prices, value.CmpEq); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("πs-navigate", func(b *testing.B) {
+		test := ast.NodeTest{Kind: ast.TestName, Name: "author"}
+		for i := 0; i < b.N; i++ {
+			if _, err := core.NavigateStep(books, ast.AxisChild, test); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("τ-tree-pattern-match", func(b *testing.B) {
+		g := experiments.MustGraph("//book[price]/author/last")
+		for i := 0; i < b.N; i++ {
+			if _, err := core.TPM(st, g, []storage.NodeRef{st.Root()}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("γ-construct", func(b *testing.B) {
+		schema := &core.SchemaTree{Root: &core.SchemaNode{
+			Kind: core.SchemaElement, Name: "out",
+			Children: []*core.SchemaNode{{Kind: core.SchemaPlaceholder, Expr: &core.ConstOp{Seq: books[:5]}}},
+		}}
+		for i := 0; i < b.N; i++ {
+			if _, err := core.BuildTree(schema, func(op core.Op) (value.Sequence, error) {
+				return op.(*core.ConstOp).Seq, nil
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE1StorageSize loads the auction corpus into the succinct store
+// and reports bytes/node for each representation.
+func BenchmarkE1StorageSize(b *testing.B) {
+	for _, scale := range []int{1, 4} {
+		b.Run(fmt.Sprintf("scale-%d", scale), func(b *testing.B) {
+			doc := xmark.Auction(scale)
+			var st *storage.Store
+			for i := 0; i < b.N; i++ {
+				st = storage.FromDoc(doc)
+			}
+			structure, tags, content := st.SizeBytes()
+			n := float64(st.NodeCount())
+			b.ReportMetric(float64(structure+tags+content)/n, "succinctB/node")
+			b.ReportMetric(float64(doc.SizeBytes())/n, "domB/node")
+			b.ReportMetric(float64(st.NodeCount()*16+content+st.Vocab.SizeBytes())/n, "intervalB/node")
+		})
+	}
+}
+
+// BenchmarkE2Scaling regenerates the document-size sweep per strategy.
+func BenchmarkE2Scaling(b *testing.B) {
+	for _, scale := range []int{1, 4, 16} {
+		st := xmark.StoreAuction(scale)
+		g := experiments.MustGraph("/site/regions/*/item/name")
+		b.Run(fmt.Sprintf("scale-%d/nok", scale), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				experiments.MatchNoK(st, g)
+			}
+		})
+		b.Run(fmt.Sprintf("scale-%d/twigstack", scale), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				experiments.MatchTwig(st, g)
+			}
+		})
+		b.Run(fmt.Sprintf("scale-%d/pathstack", scale), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				experiments.MatchPathStack(st, g)
+			}
+		})
+		b.Run(fmt.Sprintf("scale-%d/naive", scale), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				experiments.MatchNaive(st, g)
+			}
+		})
+	}
+}
+
+// BenchmarkE3PathLength regenerates the path-length sweep.
+func BenchmarkE3PathLength(b *testing.B) {
+	st := xmark.StoreDeep(400, 9)
+	for _, k := range []int{2, 4, 7} {
+		g := experiments.MustGraph("/doc" + strings.Repeat("/section", k))
+		b.Run(fmt.Sprintf("steps-%d/nok", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				experiments.MatchNoK(st, g)
+			}
+		})
+		b.Run(fmt.Sprintf("steps-%d/pathstack", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				experiments.MatchPathStack(st, g)
+			}
+		})
+		b.Run(fmt.Sprintf("steps-%d/binaryjoin", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				experiments.MatchBinaryJoin(st, g)
+			}
+		})
+	}
+}
+
+// BenchmarkE4Selectivity regenerates the selectivity crossover points.
+func BenchmarkE4Selectivity(b *testing.B) {
+	st := xmark.StoreAuction(6)
+	for _, q := range []string{"//profile/interest", "//listitem/text", "/site/*/*"} {
+		g := experiments.MustGraph(q)
+		name := strings.NewReplacer("/", "_", "*", "any").Replace(q)
+		b.Run(name+"/nok", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				experiments.MatchNoK(st, g)
+			}
+		})
+		b.Run(name+"/twigstack", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				experiments.MatchTwig(st, g)
+			}
+		})
+	}
+}
+
+// BenchmarkE5Twig regenerates the branching-factor sweep.
+func BenchmarkE5Twig(b *testing.B) {
+	st := xmark.StoreAuction(6)
+	preds := []string{"[location]", "[quantity]", "[payment]", "[incategory]"}
+	for _, k := range []int{0, 2, 4} {
+		g := experiments.MustGraph("//item" + strings.Join(preds[:k], "") + "/name")
+		b.Run(fmt.Sprintf("branches-%d/nok", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				experiments.MatchNoK(st, g)
+			}
+		})
+		b.Run(fmt.Sprintf("branches-%d/twigstack", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				experiments.MatchTwig(st, g)
+			}
+		})
+	}
+}
+
+// BenchmarkE6Exponential regenerates the pipelined blow-up family.
+func BenchmarkE6Exponential(b *testing.B) {
+	st := storage.MustLoad(`<r><a><b/><b/><b/></a></r>`)
+	for _, n := range []int{2, 5, 8} {
+		src := "/r/a" + strings.Repeat("/b/..", n) + "/b"
+		plan, err := core.Translate(parser.MustParse(src))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("n-%d/pipelined", n), func(b *testing.B) {
+			e := exec.New(st, exec.Options{NoStepDedup: true})
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Eval(plan, exec.Root()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("n-%d/algebraic", n), func(b *testing.B) {
+			e := exec.New(st, exec.Options{})
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Eval(plan, exec.Root()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE7RewriteAblation regenerates the rewrite ablation.
+func BenchmarkE7RewriteAblation(b *testing.B) {
+	db := xqp.FromStore(xmark.StoreBib(50))
+	src := `for $b in /bib/book
+	        where $b/price < 60
+	        return <result>{$b/title}{$b/author}</result>`
+	for _, v := range []struct {
+		name string
+		opts xqp.Options
+	}{
+		{"none", xqp.Options{DisableRewrites: true}},
+		{"all", xqp.Options{}},
+	} {
+		q, err := xqp.Compile(src, v.opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Run(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE8Streaming regenerates the load-throughput comparison.
+func BenchmarkE8Streaming(b *testing.B) {
+	doc := xmark.Auction(8)
+	xml := doc.XMLString(doc.Root())
+	b.Run("stream", func(b *testing.B) {
+		b.SetBytes(int64(len(xml)))
+		for i := 0; i < b.N; i++ {
+			if _, err := storage.LoadString(xml); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("dom-then-store", func(b *testing.B) {
+		b.SetBytes(int64(len(xml)))
+		for i := 0; i < b.N; i++ {
+			d, err := xmldoc.ParseString(xml)
+			if err != nil {
+				b.Fatal(err)
+			}
+			storage.FromDoc(d)
+		}
+	})
+}
+
+// BenchmarkE9PageTouches regenerates the I/O proxy measurements.
+func BenchmarkE9PageTouches(b *testing.B) {
+	st := xmark.StoreAuction(6)
+	acct := storage.NewAccountant()
+	st.SetAccountant(acct)
+	st.SetPageSize(4096)
+	defer st.SetAccountant(nil)
+	for _, q := range []string{"//profile/interest", "/site/*/*"} {
+		g := experiments.MustGraph(q)
+		name := strings.NewReplacer("/", "_", "*", "any").Replace(q)
+		b.Run(name+"/nok", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				acct.Reset()
+				experiments.MatchNoK(st, g)
+			}
+			b.ReportMetric(float64(acct.Pages()), "pages")
+		})
+		b.Run(name+"/twigstack", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				acct.Reset()
+				experiments.MatchTwig(st, g)
+			}
+			b.ReportMetric(float64(acct.Pages()), "pages")
+		})
+	}
+}
+
+// BenchmarkE10UseCases regenerates the end-to-end use-case timings.
+func BenchmarkE10UseCases(b *testing.B) {
+	db := xqp.FromStore(xmark.StoreBib(20))
+	queries := map[string]string{
+		"Q1-filter-construct": `for $b in /bib/book
+			where $b/publisher = "Publisher 1" and $b/@year > 1990
+			return <book year="{$b/@year}">{$b/title}</book>`,
+		"Q5-cheap-books": `/bib/book[price < 60]/title`,
+		"Q6-fig1": `<results>{
+			for $b in doc("bib.xml")/bib/book
+			let $t := $b/title
+			let $a := $b/author
+			return <result>{$t}{$a}</result>
+		}</results>`,
+	}
+	for name, src := range queries {
+		q, err := xqp.Compile(src, xqp.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Run(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE11UpdateLocality regenerates the update-locality measurement.
+func BenchmarkE11UpdateLocality(b *testing.B) {
+	frag := xmldoc.MustParse(`<book year="2004"><title>fresh</title><price>10.00</price></book>`)
+	for _, scale := range []int{1, 16} {
+		st := xmark.StoreBib(scale)
+		first := st.FirstChild(st.DocumentElement())
+		b.Run(fmt.Sprintf("scale-%d", scale), func(b *testing.B) {
+			var stats storage.UpdateStats
+			for i := 0; i < b.N; i++ {
+				var err error
+				_, stats, err = st.InsertChild(first, frag)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(stats.SuccinctDirtyBytes), "succinct-dirty-B")
+			b.ReportMetric(float64(stats.IntervalDirtyBytes), "interval-dirty-B")
+		})
+	}
+}
+
+// BenchmarkE12ContentIndex regenerates the index-vs-scan comparison.
+func BenchmarkE12ContentIndex(b *testing.B) {
+	st := xmark.StoreBib(200)
+	sym := st.Vocab.Lookup("last")
+	idx := storage.BuildContentIndex(st, sym)
+	probe := st.StringValue(st.TagRefs(sym)[0])
+	b.Run("scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			n := 0
+			for _, r := range st.TagRefs(sym) {
+				if st.StringValue(r) == probe {
+					n++
+				}
+			}
+		}
+	})
+	b.Run("index", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			idx.Eq(probe)
+		}
+	})
+}
+
+// BenchmarkE13Hybrid regenerates the hybrid-strategy comparison.
+func BenchmarkE13Hybrid(b *testing.B) {
+	st := xmark.StoreAuction(6)
+	for _, q := range []string{"//item//text", "//open_auction[bidder]//increase"} {
+		g := experiments.MustGraph(q)
+		name := strings.NewReplacer("/", "_", "[", "(", "]", ")").Replace(q)
+		b.Run(name+"/nok", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				experiments.MatchNoK(st, g)
+			}
+		})
+		b.Run(name+"/twigstack", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				experiments.MatchTwig(st, g)
+			}
+		})
+		b.Run(name+"/hybrid", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				experiments.MatchHybrid(st, g)
+			}
+		})
+	}
+}

@@ -1,0 +1,74 @@
+// Command xmlgen generates the synthetic corpora used by the experiments
+// (bibliography, XMark-style auction site, deep chains, wide lists,
+// text-heavy articles) and writes them as XML to stdout or a file.
+//
+// Usage:
+//
+//	xmlgen -kind auction -scale 4 > site.xml
+//	xmlgen -kind bib -scale 10 -o bib.xml
+//	xmlgen -kind deep -chains 100 -depth 30
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"xqp/internal/xmark"
+	"xqp/internal/xmldoc"
+)
+
+func main() {
+	kind := flag.String("kind", "bib", "corpus kind: bib|auction|deep|wide|text")
+	scale := flag.Int("scale", 1, "scale factor (bib/auction)")
+	chains := flag.Int("chains", 100, "number of chains (deep)")
+	depth := flag.Int("depth", 20, "chain depth (deep)")
+	n := flag.Int("n", 1000, "entry/paragraph count (wide/text)")
+	wordsPer := flag.Int("words", 40, "words per paragraph (text)")
+	out := flag.String("o", "", "output file (default: stdout)")
+	stats := flag.Bool("stats", false, "print element counts to stderr")
+	flag.Parse()
+
+	var doc *xmldoc.Document
+	switch *kind {
+	case "bib":
+		doc = xmark.Bib(*scale)
+	case "auction":
+		doc = xmark.Auction(*scale)
+	case "deep":
+		doc = xmark.Deep(*chains, *depth)
+	case "wide":
+		doc = xmark.Wide(*n)
+	case "text":
+		doc = xmark.TextHeavy(*n, *wordsPer)
+	default:
+		fmt.Fprintf(os.Stderr, "xmlgen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xmlgen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	if err := doc.WriteXML(bw, doc.Root()); err != nil {
+		fmt.Fprintln(os.Stderr, "xmlgen:", err)
+		os.Exit(1)
+	}
+	bw.WriteByte('\n')
+	if err := bw.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "xmlgen:", err)
+		os.Exit(1)
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "%s: %d nodes, %d elements\n", doc.URI, len(doc.Nodes), doc.ElementCount())
+	}
+}

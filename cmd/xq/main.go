@@ -1,0 +1,95 @@
+// Command xq runs an XQuery-subset query against an XML document.
+//
+// Usage:
+//
+//	xq -doc bib.xml 'for $b in /bib/book return $b/title'
+//	xq -doc bib.xml -explain '/bib/book[price < 50]'
+//	xq -doc site.xml -strategy twigstack '//item/name'
+//	echo '<a><b/></a>' | xq '/a/b'
+//
+// Flags select the physical pattern-matching strategy, disable the
+// logical rewrites, and print the optimized plan or execution metrics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xqp"
+)
+
+func main() {
+	doc := flag.String("doc", "", "XML document file (default: stdin)")
+	strategy := flag.String("strategy", "auto", "pattern matching strategy: auto|nok|twigstack|pathstack|naive|hybrid")
+	explain := flag.Bool("explain", false, "print the optimized logical plan instead of running")
+	noRewrite := flag.Bool("no-rewrites", false, "disable logical optimization")
+	costBased := flag.Bool("cost", false, "use the synopsis-driven cost model for strategy choice")
+	metrics := flag.Bool("metrics", false, "print physical operator counters after the result")
+	indent := flag.Bool("indent", false, "pretty-print node results with indentation")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: xq [flags] <query>")
+		flag.Usage()
+		os.Exit(2)
+	}
+	query := flag.Arg(0)
+
+	var db *xqp.Database
+	var err error
+	if *doc != "" {
+		db, err = xqp.OpenFile(*doc)
+	} else {
+		db, err = xqp.Open(os.Stdin)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := xqp.Options{DisableRewrites: *noRewrite, CostBased: *costBased}
+	switch *strategy {
+	case "auto":
+		opts.Strategy = xqp.Auto
+	case "nok":
+		opts.Strategy = xqp.NoK
+	case "twigstack":
+		opts.Strategy = xqp.TwigStack
+	case "pathstack":
+		opts.Strategy = xqp.PathStack
+	case "naive":
+		opts.Strategy = xqp.Naive
+	case "hybrid":
+		opts.Strategy = xqp.Hybrid
+	default:
+		fatal(fmt.Errorf("unknown strategy %q", *strategy))
+	}
+
+	q, err := xqp.Compile(query, opts)
+	if err != nil {
+		fatal(err)
+	}
+	if *explain {
+		fmt.Print(q.Explain())
+		return
+	}
+	res, err := db.Run(q)
+	if err != nil {
+		fatal(err)
+	}
+	if *indent {
+		fmt.Println(res.PrettyXML())
+	} else {
+		fmt.Println(res.XML())
+	}
+	if *metrics {
+		m := res.Metrics
+		fmt.Fprintf(os.Stderr, "items=%d τ=%d πs=%d joins=%d γ=%d env-bindings=%d preds=%d\n",
+			res.Len(), m.TPMCalls, m.StepCalls, m.JoinCalls, m.CtorCalls, m.EnvLeaves, m.PredEvals)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xq:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,72 @@
+// Command xqbench runs the reproduction experiments and prints each
+// table/figure series (see DESIGN.md's per-experiment index and
+// EXPERIMENTS.md for the recorded results).
+//
+// Usage:
+//
+//	xqbench                  # run every experiment at default scales
+//	xqbench -run E2,E4       # run selected experiments
+//	xqbench -list            # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"xqp/internal/experiments"
+)
+
+var registry = []struct {
+	id   string
+	desc string
+	run  func() *experiments.Table
+}{
+	{"T1", "Table 1 operator latencies", experiments.T1Operators},
+	{"E1", "storage size", func() *experiments.Table { return experiments.E1StorageSize([]int{1, 2, 4, 8}) }},
+	{"E2", "path query vs document size", func() *experiments.Table { return experiments.E2Scaling([]int{1, 2, 4, 8, 16}) }},
+	{"E3", "latency vs path length", func() *experiments.Table { return experiments.E3PathLength(7) }},
+	{"E4", "selectivity crossover + cost model", experiments.E4Selectivity},
+	{"E5", "twig branching", experiments.E5Twig},
+	{"E6", "pipelined exponential blow-up", func() *experiments.Table { return experiments.E6Exponential(10) }},
+	{"E7", "rewrite ablation", func() *experiments.Table { return experiments.E7RewriteAblation(100) }},
+	{"E8", "streaming load throughput", func() *experiments.Table { return experiments.E8Streaming(8) }},
+	{"E9", "page touches (I/O proxy)", func() *experiments.Table { return experiments.E9PageTouches(6) }},
+	{"E10", "use-case queries end to end", func() *experiments.Table { return experiments.E10UseCases(30) }},
+	{"E11", "update locality", func() *experiments.Table { return experiments.E11UpdateLocality([]int{1, 4, 16, 64}) }},
+	{"E12", "content index vs scan", func() *experiments.Table { return experiments.E12ContentIndex(200) }},
+	{"E13", "hybrid NoK-fragment strategy", experiments.E13HybridStrategy},
+}
+
+func main() {
+	runFlag := flag.String("run", "", "comma-separated experiment ids (default: all)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range registry {
+			fmt.Printf("%-4s %s\n", e.id, e.desc)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	if *runFlag != "" {
+		for _, id := range strings.Split(*runFlag, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+	ran := 0
+	for _, e := range registry {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		fmt.Println(e.run().Format())
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "xqbench: no experiment matches %q (use -list)\n", *runFlag)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,78 @@
+// Bibliography: the XQuery Use Cases "XMP" scenario on a generated
+// bibliography corpus — filtering, restructuring, inverting, grouping.
+//
+//	go run ./examples/bibliography
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"xqp"
+	"xqp/internal/xmark"
+)
+
+func main() {
+	// A deterministic synthetic bibliography of 100 books.
+	db := xqp.FromStore(xmark.StoreBib(10))
+
+	run := func(title, src string) *xqp.Result {
+		res, err := db.Query(src)
+		if err != nil {
+			log.Fatalf("%s: %v", title, err)
+		}
+		fmt.Printf("--- %s: %d item(s)\n", title, res.Len())
+		return res
+	}
+
+	// Q1: books by one publisher after a given year, restructured.
+	res := run("Q1 recent books from Publisher 1", `
+	  for $b in /bib/book
+	  where $b/publisher = "Publisher 1" and $b/@year > 1995
+	  order by $b/title
+	  return <book year="{$b/@year}">{$b/title}</book>`)
+	fmt.Println(indent(res.XML()))
+
+	// Q2: title/author pairs, flattened.
+	res = run("Q2 title-author pairs (first 3)", `
+	  for $b in /bib/book, $a in $b/author
+	  return <pair>{$b/title/text()} / {$a/last/text()}</pair>`)
+	for _, s := range res.Strings()[:3] {
+		fmt.Println("  ", s)
+	}
+
+	// Q3: invert the hierarchy — authors with their books.
+	res = run("Q3 books per author (first 3 authors)", `
+	  for $l in distinct-values(/bib/book/author/last)
+	  order by $l
+	  return <author name="{$l}" books="{count(/bib/book[author/last = $l])}"/>`)
+	for _, s := range strings.SplitAfter(res.XML(), "/>")[:3] {
+		if s != "" {
+			fmt.Println("  ", s)
+		}
+	}
+
+	// Q4: aggregates per shelf.
+	res = run("Q4 price stats", `
+	  <stats>
+	    <count>{count(/bib/book)}</count>
+	    <avg>{round(avg(/bib/book/price))}</avg>
+	    <max>{max(/bib/book/price)}</max>
+	    <cheap>{count(/bib/book[price < 40])}</cheap>
+	  </stats>`)
+	fmt.Println(indent(res.XML()))
+
+	// Q5: existential and universal conditions.
+	res = run("Q5 multi-author books", `
+	  count(/bib/book[count(author) >= 2])`)
+	fmt.Println("   multi-author books:", res.Strings()[0])
+
+	res = run("Q5b every book priced?", `
+	  every $b in /bib/book satisfies $b/price`)
+	fmt.Println("   every book priced:", res.Strings()[0])
+}
+
+func indent(xml string) string {
+	return "   " + strings.ReplaceAll(xml, "><", ">\n   <")
+}

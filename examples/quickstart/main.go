@@ -1,0 +1,79 @@
+// Quickstart: load a document, run queries, inspect plans.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xqp"
+)
+
+const doc = `<bib>
+  <book year="1994">
+    <title>TCP/IP Illustrated</title>
+    <author><last>Stevens</last><first>W.</first></author>
+    <price>65.95</price>
+  </book>
+  <book year="2000">
+    <title>Data on the Web</title>
+    <author><last>Abiteboul</last><first>Serge</first></author>
+    <author><last>Buneman</last><first>Peter</first></author>
+    <price>39.95</price>
+  </book>
+</bib>`
+
+func main() {
+	db, err := xqp.OpenString(doc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A path query.
+	res, err := db.Query(`/bib/book[price < 50]/title`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("cheap titles:", res.XML())
+
+	// A FLWOR query with construction (the paper's Fig. 1 shape).
+	res, err = db.Query(`<results>{
+	  for $b in /bib/book
+	  let $t := $b/title
+	  let $a := $b/author
+	  return <result>{$t}{$a}</result>
+	}</results>`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nfig-1 result:")
+	fmt.Println(res.XML())
+
+	// Aggregates and conditionals.
+	res, err = db.Query(`if (avg(/bib/book/price) > 50) then "pricey" else "cheap"`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nshelf verdict:", res.Strings()[0])
+
+	// The optimized logical plan: note the τ (tree pattern matching)
+	// operator produced by path fusion, with the predicate pushed into
+	// the pattern.
+	plan, err := db.Explain(`for $b in /bib/book where $b/price < 50 return $b/title`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\noptimized plan:")
+	fmt.Print(plan)
+
+	// Choose the physical strategy explicitly.
+	for _, s := range []xqp.Strategy{xqp.NoK, xqp.TwigStack, xqp.Naive} {
+		r, err := db.QueryWith(`//author/last`, xqp.Options{Strategy: s})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%-10v -> %v", s, r.Strings())
+	}
+	fmt.Println()
+}

@@ -1,0 +1,3 @@
+module xqp
+
+go 1.22

@@ -1,0 +1,395 @@
+package bp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xqp/internal/bitvec"
+)
+
+// randomTreeParens generates a balanced parenthesis string for a random tree
+// with n nodes (n >= 1), as bits (true = open).
+func randomTreeParens(r *rand.Rand, n int) []bool {
+	var out []bool
+	open := 0 // currently open parens
+	used := 0 // nodes emitted
+	for used < n || open > 0 {
+		if used < n && (open == 0 || r.Intn(2) == 0) {
+			out = append(out, true)
+			open++
+			used++
+		} else {
+			out = append(out, false)
+			open--
+		}
+	}
+	return out
+}
+
+// naiveFindClose matches parens by counting.
+func naiveFindClose(bits []bool, i int) int {
+	depth := 0
+	for j := i; j < len(bits); j++ {
+		if bits[j] {
+			depth++
+		} else {
+			depth--
+		}
+		if depth == 0 {
+			return j
+		}
+	}
+	return -1
+}
+
+func naiveFindOpen(bits []bool, j int) int {
+	depth := 0
+	for i := j; i >= 0; i-- {
+		if bits[i] {
+			depth++
+		} else {
+			depth--
+		}
+		if depth == 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+func naiveEnclose(bits []bool, i int) int {
+	depth := 0
+	for p := i - 1; p >= 0; p-- {
+		if bits[p] {
+			depth++
+		} else {
+			depth--
+		}
+		if depth == 1 {
+			return p
+		}
+	}
+	return -1
+}
+
+func seqFromBits(bits []bool) *Sequence {
+	b := bitvec.NewBuilder(len(bits))
+	for _, bit := range bits {
+		b.Append(bit)
+	}
+	return New(b.Build())
+}
+
+func TestTinyTree(t *testing.T) {
+	// ((()())()) : root with children {a(with 2 leaf kids)... } let's check:
+	// pos: 0:( 1:( 2:( 3:) 4:( 5:) 6:) 7:( 8:) 9:)
+	bits := []bool{true, true, true, false, true, false, false, true, false, false}
+	s := seqFromBits(bits)
+	if s.NodeCount() != 5 {
+		t.Fatalf("NodeCount = %d, want 5", s.NodeCount())
+	}
+	if got := s.FindClose(0); got != 9 {
+		t.Errorf("FindClose(0) = %d, want 9", got)
+	}
+	if got := s.FindClose(1); got != 6 {
+		t.Errorf("FindClose(1) = %d, want 6", got)
+	}
+	if got := s.FindOpen(6); got != 1 {
+		t.Errorf("FindOpen(6) = %d, want 1", got)
+	}
+	if got := s.Enclose(2); got != 1 {
+		t.Errorf("Enclose(2) = %d, want 1", got)
+	}
+	if got := s.Enclose(0); got != -1 {
+		t.Errorf("Enclose(0) = %d, want -1", got)
+	}
+	if got := s.FirstChild(0); got != 1 {
+		t.Errorf("FirstChild(0) = %d, want 1", got)
+	}
+	if got := s.NextSibling(1); got != 7 {
+		t.Errorf("NextSibling(1) = %d, want 7", got)
+	}
+	if got := s.NextSibling(7); got != -1 {
+		t.Errorf("NextSibling(7) = %d, want -1", got)
+	}
+	if got := s.PrevSibling(7); got != 1 {
+		t.Errorf("PrevSibling(7) = %d, want 1", got)
+	}
+	if got := s.LastChild(0); got != 7 {
+		t.Errorf("LastChild(0) = %d, want 7", got)
+	}
+	if got := s.LastChild(1); got != 4 {
+		t.Errorf("LastChild(1) = %d, want 4", got)
+	}
+	if !s.IsLeaf(2) || s.IsLeaf(1) {
+		t.Errorf("IsLeaf wrong for 2 or 1")
+	}
+	if got := s.SubtreeSize(0); got != 5 {
+		t.Errorf("SubtreeSize(0) = %d, want 5", got)
+	}
+	if got := s.SubtreeSize(1); got != 3 {
+		t.Errorf("SubtreeSize(1) = %d, want 3", got)
+	}
+	if !s.IsAncestor(0, 4) || s.IsAncestor(1, 7) || s.IsAncestor(2, 2) {
+		t.Errorf("IsAncestor wrong")
+	}
+	if got := s.Depth(2); got != 2 {
+		t.Errorf("Depth(2) = %d, want 2", got)
+	}
+	if got := s.PreorderRank(7); got != 5 {
+		t.Errorf("PreorderRank(7) = %d, want 5", got)
+	}
+	if got := s.PreorderSelect(5); got != 7 {
+		t.Errorf("PreorderSelect(5) = %d, want 7", got)
+	}
+}
+
+func TestSingleNode(t *testing.T) {
+	s := seqFromBits([]bool{true, false})
+	if s.FindClose(0) != 1 || s.FindOpen(1) != 0 || s.Enclose(0) != -1 {
+		t.Fatal("single-node tree navigation wrong")
+	}
+	if !s.IsLeaf(0) || s.SubtreeSize(0) != 1 || s.Depth(0) != 0 {
+		t.Fatal("single-node tree properties wrong")
+	}
+}
+
+func TestDeepChain(t *testing.T) {
+	// A chain of depth 5000 stresses cross-block fwd/bwd searches.
+	n := 5000
+	bits := make([]bool, 0, 2*n)
+	for i := 0; i < n; i++ {
+		bits = append(bits, true)
+	}
+	for i := 0; i < n; i++ {
+		bits = append(bits, false)
+	}
+	s := seqFromBits(bits)
+	for i := 0; i < n; i += 97 {
+		if got, want := s.FindClose(i), 2*n-1-i; got != want {
+			t.Fatalf("FindClose(%d) = %d, want %d", i, got, want)
+		}
+		if got, want := s.FindOpen(2*n-1-i), i; got != want {
+			t.Fatalf("FindOpen(%d) = %d, want %d", 2*n-1-i, got, want)
+		}
+		if i > 0 {
+			if got, want := s.Enclose(i), i-1; got != want {
+				t.Fatalf("Enclose(%d) = %d, want %d", i, got, want)
+			}
+		}
+		if got := s.Depth(i); got != i {
+			t.Fatalf("Depth(%d) = %d", i, got)
+		}
+	}
+}
+
+func TestWideTree(t *testing.T) {
+	// Root with 10000 leaf children stresses NextSibling/PrevSibling chains.
+	n := 10000
+	bits := []bool{true}
+	for i := 0; i < n; i++ {
+		bits = append(bits, true, false)
+	}
+	bits = append(bits, false)
+	s := seqFromBits(bits)
+	c := s.FirstChild(0)
+	count := 0
+	prev := -1
+	for c != -1 {
+		count++
+		if s.Parent(c) != 0 {
+			t.Fatalf("Parent(%d) != 0", c)
+		}
+		if got := s.PrevSibling(c); got != prev {
+			t.Fatalf("PrevSibling(%d) = %d, want %d", c, got, prev)
+		}
+		prev = c
+		c = s.NextSibling(c)
+	}
+	if count != n {
+		t.Fatalf("child count = %d, want %d", count, n)
+	}
+}
+
+func TestAgainstNaiveRandomTrees(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for _, n := range []int{1, 2, 3, 10, 100, 700, 2500} {
+		for trial := 0; trial < 4; trial++ {
+			bits := randomTreeParens(r, n)
+			s := seqFromBits(bits)
+			if s.NodeCount() != n {
+				t.Fatalf("NodeCount = %d, want %d", s.NodeCount(), n)
+			}
+			for i, b := range bits {
+				if b {
+					if got, want := s.FindClose(i), naiveFindClose(bits, i); got != want {
+						t.Fatalf("n=%d FindClose(%d) = %d, want %d", n, i, got, want)
+					}
+					if got, want := s.Enclose(i), naiveEnclose(bits, i); got != want {
+						t.Fatalf("n=%d Enclose(%d) = %d, want %d", n, i, got, want)
+					}
+				} else {
+					if got, want := s.FindOpen(i), naiveFindOpen(bits, i); got != want {
+						t.Fatalf("n=%d FindOpen(%d) = %d, want %d", n, i, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Property: FindOpen(FindClose(i)) == i and Parent/FirstChild invert.
+func TestMatchingInverseProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw)%1200 + 1
+		r := rand.New(rand.NewSource(seed))
+		bits := randomTreeParens(r, n)
+		s := seqFromBits(bits)
+		for i, b := range bits {
+			if !b {
+				continue
+			}
+			c := s.FindClose(i)
+			if c < 0 || s.FindOpen(c) != i {
+				return false
+			}
+			if fc := s.FirstChild(i); fc != -1 && s.Parent(fc) != i {
+				return false
+			}
+			if ns := s.NextSibling(i); ns != -1 && s.PrevSibling(ns) != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: sum of child subtree sizes + 1 == subtree size.
+func TestSubtreeSizeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(1500) + 1
+		bits := randomTreeParens(r, n)
+		s := seqFromBits(bits)
+		for i, b := range bits {
+			if !b {
+				continue
+			}
+			total := 1
+			for c := s.FirstChild(i); c != -1; c = s.NextSibling(c) {
+				total += s.SubtreeSize(c)
+			}
+			if total != s.SubtreeSize(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkFindClose(b *testing.B) {
+	r := rand.New(rand.NewSource(5))
+	bits := randomTreeParens(r, 1<<18)
+	s := seqFromBits(bits)
+	opens := make([]int, 0, 1<<18)
+	for i, bit := range bits {
+		if bit {
+			opens = append(opens, i)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.FindClose(opens[i%len(opens)])
+	}
+}
+
+func BenchmarkParent(b *testing.B) {
+	r := rand.New(rand.NewSource(5))
+	bits := randomTreeParens(r, 1<<18)
+	s := seqFromBits(bits)
+	opens := make([]int, 0, 1<<18)
+	for i, bit := range bits {
+		if bit {
+			opens = append(opens, i)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Parent(opens[i%len(opens)])
+	}
+}
+
+// TestBlockBoundaryNavigation stresses fwd/bwd searches whose answers lie
+// exactly on 512-bit block boundaries, the trickiest paths in the
+// range-min-max tree code.
+func TestBlockBoundaryNavigation(t *testing.T) {
+	// Build a tree whose parentheses land on exact block edges: a root
+	// holding chains of 255 nodes (510 parens) plus separators.
+	var bits []bool
+	bits = append(bits, true) // root
+	for c := 0; c < 40; c++ {
+		for i := 0; i < 255; i++ {
+			bits = append(bits, true)
+		}
+		for i := 0; i < 255; i++ {
+			bits = append(bits, false)
+		}
+	}
+	bits = append(bits, false)
+	s := seqFromBits(bits)
+	if got := s.FindClose(0); got != len(bits)-1 {
+		t.Fatalf("FindClose(root) = %d, want %d", got, len(bits)-1)
+	}
+	// Chain heads sit at positions 1, 511, 1021, ...
+	for c := 0; c < 40; c++ {
+		head := 1 + c*510
+		if got, want := s.FindClose(head), head+509; got != want {
+			t.Fatalf("chain %d: FindClose(%d) = %d, want %d", c, head, got, want)
+		}
+		if got := s.Enclose(head); got != 0 {
+			t.Fatalf("chain %d: Enclose(%d) = %d, want 0", c, head, got)
+		}
+		if got, want := s.FindOpen(head+509), head; got != want {
+			t.Fatalf("chain %d: FindOpen = %d, want %d", got, want, head)
+		}
+		// Deepest node of the chain.
+		deep := head + 254
+		if got := s.Depth(deep); got != 255 {
+			t.Fatalf("chain %d: Depth(deep) = %d", c, got)
+		}
+		if got, want := s.Enclose(deep), deep-1; got != want {
+			t.Fatalf("chain %d: Enclose(deep) = %d, want %d", c, got, want)
+		}
+	}
+}
+
+// TestBwdSearchAcrossManyBlocks forces Enclose to skip whole blocks
+// backwards (target excess far below every intervening block's range).
+func TestBwdSearchAcrossManyBlocks(t *testing.T) {
+	// Root, then one shallow child holding a long run of deep siblings:
+	// Enclose from the last sibling must skip many blocks to the child.
+	var bits []bool
+	bits = append(bits, true, true) // root, child
+	for i := 0; i < 3000; i++ {
+		bits = append(bits, true, false) // grandchild leaves
+	}
+	bits = append(bits, false, false)
+	s := seqFromBits(bits)
+	last := 2 + 2999*2
+	if !s.IsOpen(last) {
+		t.Fatal("setup wrong")
+	}
+	if got := s.Enclose(last); got != 1 {
+		t.Fatalf("Enclose(last leaf) = %d, want 1", got)
+	}
+	if got := s.Parent(1); got != 0 {
+		t.Fatalf("Parent(child) = %d", got)
+	}
+}

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"xqp/internal/value"
+)
+
+// Env is the paper's Definition 3: a layered, balanced tree of variable
+// bindings built by the for/let clauses of a FLWOR expression. Each layer
+// is associated with one variable; a for-layer fans out one child per item
+// of the bound sequence (one-to-many), a let-layer adds exactly one child
+// holding the whole sequence (one-to-one). A root-to-leaf path is one
+// total variable binding; the return expression is evaluated once per
+// path (Example 1's "13 possible value assignments").
+type Env struct {
+	// Outer resolves variables of enclosing scopes; may be nil.
+	Outer  func(name string) (value.Sequence, bool)
+	layers []Layer
+	root   *EnvNode
+	leaves []*EnvNode
+}
+
+// Layer describes one Env layer.
+type Layer struct {
+	Var    string
+	PosVar string
+	Kind   BindKind
+}
+
+// EnvNode is one binding node; nodes chain upward to form a total binding.
+type EnvNode struct {
+	parent *EnvNode
+	layer  int
+	val    value.Sequence
+	pos    int // 1-based position within the for-sequence
+	kids   int // child count (for String/statistics)
+}
+
+// NewEnv returns an empty environment.
+func NewEnv(outer func(string) (value.Sequence, bool)) *Env {
+	root := &EnvNode{layer: -1}
+	return &Env{Outer: outer, root: root, leaves: []*EnvNode{root}}
+}
+
+// Binding is a total (partial, during construction) variable binding: a
+// leaf of the Env tree.
+type Binding struct {
+	env  *Env
+	node *EnvNode
+}
+
+// Lookup resolves a variable in this binding, falling back to the
+// enclosing scope.
+func (b Binding) Lookup(name string) (value.Sequence, bool) {
+	for n := b.node; n != nil && n.layer >= 0; n = n.parent {
+		l := b.env.layers[n.layer]
+		if l.Var == name {
+			return n.val, true
+		}
+		if l.PosVar != "" && l.PosVar == name {
+			return value.Singleton(value.Int(int64(n.pos))), true
+		}
+	}
+	if b.env.Outer != nil {
+		return b.env.Outer(name)
+	}
+	return nil, false
+}
+
+// ExtendFor adds a for-layer: eval is called once per current leaf (with
+// that leaf's partial binding) and each item of the result becomes a new
+// child. Leaves whose sequence is empty are pruned (no total binding).
+func (e *Env) ExtendFor(varName, posVar string, eval func(Binding) (value.Sequence, error)) error {
+	layer := len(e.layers)
+	e.layers = append(e.layers, Layer{Var: varName, PosVar: posVar, Kind: BindFor})
+	var next []*EnvNode
+	for _, leaf := range e.leaves {
+		seq, err := eval(Binding{e, leaf})
+		if err != nil {
+			return err
+		}
+		leaf.kids = len(seq)
+		for i, item := range seq {
+			next = append(next, &EnvNode{
+				parent: leaf,
+				layer:  layer,
+				val:    value.Singleton(item),
+				pos:    i + 1,
+			})
+		}
+	}
+	e.leaves = next
+	return nil
+}
+
+// ExtendLet adds a let-layer: each leaf gets exactly one child holding the
+// whole sequence.
+func (e *Env) ExtendLet(varName string, eval func(Binding) (value.Sequence, error)) error {
+	layer := len(e.layers)
+	e.layers = append(e.layers, Layer{Var: varName, Kind: BindLet})
+	var next []*EnvNode
+	for _, leaf := range e.leaves {
+		seq, err := eval(Binding{e, leaf})
+		if err != nil {
+			return err
+		}
+		leaf.kids = 1
+		next = append(next, &EnvNode{parent: leaf, layer: layer, val: seq, pos: 1})
+	}
+	e.leaves = next
+	return nil
+}
+
+// Filter drops total bindings for which pred is false (the where clause,
+// a boolean-formula layer in the paper's terms).
+func (e *Env) Filter(pred func(Binding) (bool, error)) error {
+	var kept []*EnvNode
+	for _, leaf := range e.leaves {
+		ok, err := pred(Binding{e, leaf})
+		if err != nil {
+			return err
+		}
+		if ok {
+			kept = append(kept, leaf)
+		}
+	}
+	e.leaves = kept
+	return nil
+}
+
+// SortBy reorders the total bindings by the given keys. Keys are
+// evaluated per binding; the sort is stable, preserving binding order for
+// equal keys.
+func (e *Env) SortBy(keys []func(Binding) (value.Sequence, error), descending []bool, emptyLeast []bool) error {
+	type rec struct {
+		leaf *EnvNode
+		keys []value.Sequence
+	}
+	recs := make([]rec, len(e.leaves))
+	for i, leaf := range e.leaves {
+		recs[i].leaf = leaf
+		recs[i].keys = make([]value.Sequence, len(keys))
+		for k, f := range keys {
+			v, err := f(Binding{e, leaf})
+			if err != nil {
+				return err
+			}
+			recs[i].keys[k] = value.Atomize(v)
+		}
+	}
+	var sortErr error
+	sort.SliceStable(recs, func(i, j int) bool {
+		for k := range keys {
+			c, err := compareKeys(recs[i].keys[k], recs[j].keys[k], emptyLeast[k])
+			if err != nil && sortErr == nil {
+				sortErr = err
+			}
+			if c == 0 {
+				continue
+			}
+			if descending[k] {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	for i := range recs {
+		e.leaves[i] = recs[i].leaf
+	}
+	return sortErr
+}
+
+// compareKeys orders two order-by key values (-1, 0, +1). Empty sequences
+// order least or greatest per the spec flag; numeric pairs compare
+// numerically, otherwise string comparison applies.
+func compareKeys(a, b value.Sequence, emptyLeast bool) (int, error) {
+	if len(a) == 0 || len(b) == 0 {
+		switch {
+		case len(a) == 0 && len(b) == 0:
+			return 0, nil
+		case len(a) == 0:
+			if emptyLeast {
+				return -1, nil
+			}
+			return 1, nil
+		default:
+			if emptyLeast {
+				return 1, nil
+			}
+			return -1, nil
+		}
+	}
+	if len(a) > 1 || len(b) > 1 {
+		return 0, &value.TypeError{Msg: "order-by key is not a singleton"}
+	}
+	x, y := a[0], b[0]
+	if value.IsNumeric(x) || value.IsNumeric(y) {
+		fx, fy := value.NumberOf(x), value.NumberOf(y)
+		switch {
+		case fx < fy:
+			return -1, nil
+		case fx > fy:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	}
+	return strings.Compare(x.String(), y.String()), nil
+}
+
+// Paths returns the current total bindings in order.
+func (e *Env) Paths() []Binding {
+	out := make([]Binding, len(e.leaves))
+	for i, leaf := range e.leaves {
+		out[i] = Binding{e, leaf}
+	}
+	return out
+}
+
+// Size reports the number of total bindings (leaves).
+func (e *Env) Size() int { return len(e.leaves) }
+
+// Depth reports the number of layers.
+func (e *Env) Depth() int { return len(e.layers) }
+
+// String renders the environment layer by layer (cf. the paper's Fig. 2).
+func (e *Env) String() string {
+	var b strings.Builder
+	for i, l := range e.layers {
+		kw := "for"
+		if l.Kind == BindLet {
+			kw = "let"
+		}
+		fmt.Fprintf(&b, "layer %d: %s $%s", i, kw, l.Var)
+		if l.PosVar != "" {
+			fmt.Fprintf(&b, " at $%s", l.PosVar)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "total bindings: %d\n", len(e.leaves))
+	return b.String()
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SchemaTree is the paper's Definition 2: the labeled tree extracted from
+// constructor expressions that specifies the schema of the output
+// document. Constructor nodes carry element names; placeholder leaves
+// carry the (algebraic) expression whose value replaces them; if-nodes
+// guard their subtree with a boolean expression.
+type SchemaTree struct {
+	Root *SchemaNode
+}
+
+// SchemaNodeKind classifies schema-tree nodes.
+type SchemaNodeKind uint8
+
+const (
+	// SchemaElement is a constructor node labeled with an element name.
+	// Attribute children precede content children.
+	SchemaElement SchemaNodeKind = iota
+	// SchemaAttribute is an attribute; its value is the concatenation of
+	// Parts (literal or placeholder).
+	SchemaAttribute
+	// SchemaText is a literal text leaf (Text field).
+	SchemaText
+	// SchemaPlaceholder is a leaf labeled with an expression whose value
+	// (nodes or atomics) replaces it.
+	SchemaPlaceholder
+	// SchemaIf is a node whose children are emitted only when Expr's
+	// effective boolean value holds (the paper's if-node).
+	SchemaIf
+)
+
+// SchemaPart is one fragment of an attribute value template.
+type SchemaPart struct {
+	Lit  string
+	Expr Op // non-nil for placeholder parts
+}
+
+// SchemaNode is one node of a SchemaTree.
+type SchemaNode struct {
+	Kind     SchemaNodeKind
+	Name     string       // element/attribute name
+	Text     string       // literal text (SchemaText)
+	Expr     Op           // placeholder or if condition
+	Parts    []SchemaPart // attribute value template (SchemaAttribute)
+	Children []*SchemaNode
+}
+
+// Summary renders a short one-line description for plan explain output.
+func (t *SchemaTree) Summary() string {
+	if t == nil || t.Root == nil {
+		return "<empty>"
+	}
+	var b strings.Builder
+	var walk func(n *SchemaNode)
+	walk = func(n *SchemaNode) {
+		switch n.Kind {
+		case SchemaElement:
+			fmt.Fprintf(&b, "<%s", n.Name)
+			rest := n.Children
+			for len(rest) > 0 && rest[0].Kind == SchemaAttribute {
+				fmt.Fprintf(&b, " @%s", rest[0].Name)
+				rest = rest[1:]
+			}
+			b.WriteString(">")
+			for _, c := range rest {
+				walk(c)
+			}
+			fmt.Fprintf(&b, "</%s>", n.Name)
+		case SchemaAttribute:
+			fmt.Fprintf(&b, "@%s", n.Name)
+		case SchemaText:
+			b.WriteString("#text")
+		case SchemaPlaceholder:
+			b.WriteString("{·}")
+		case SchemaIf:
+			b.WriteString("if{·}")
+		}
+	}
+	walk(t.Root)
+	return b.String()
+}
+
+// placeholderOps collects the sub-plans referenced by the schema tree, in
+// document order, so plan walks see them as children of the γ operator.
+func (t *SchemaTree) placeholderOps() []Op {
+	if t == nil || t.Root == nil {
+		return nil
+	}
+	var out []Op
+	var walk func(n *SchemaNode)
+	walk = func(n *SchemaNode) {
+		for i := range n.Parts {
+			if n.Parts[i].Expr != nil {
+				out = append(out, n.Parts[i].Expr)
+			}
+		}
+		if n.Expr != nil {
+			out = append(out, n.Expr)
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(t.Root)
+	return out
+}
+
+// PlaceholderCount reports the number of placeholder expressions.
+func (t *SchemaTree) PlaceholderCount() int { return len(t.placeholderOps()) }

@@ -1,0 +1,159 @@
+// Package cost implements the cost model the paper's Section 2 calls for:
+// given a pattern graph and a document synopsis, estimate the cost of each
+// physical τ implementation and choose the cheapest.
+//
+// The model captures the two regimes the experiments (E4) exhibit:
+//
+//   - the NoK navigational matcher scans the context subtrees once, so its
+//     cost is proportional to the document size (plus a small per-vertex
+//     factor for the bitmask work);
+//   - the join-based matchers scan only the per-vertex tag streams, so
+//     their cost is proportional to the sum of the matching tag counts
+//     (plus merge overhead per structural join and the intermediate
+//     solutions the merge phase materializes).
+//
+// Highly selective patterns (rare tags) therefore favour joins; patterns
+// that touch a large fraction of the document (common tags, wildcards,
+// local structure) favour a single NoK scan.
+package cost
+
+import (
+	"fmt"
+
+	"xqp/internal/exec"
+	"xqp/internal/pattern"
+	"xqp/internal/stats"
+	"xqp/internal/storage"
+)
+
+// Tunable per-unit weights, calibrated roughly on the bundled benchmarks;
+// only their ratios matter to the choice.
+const (
+	// nokPerNode is the cost of visiting one document node in the NoK
+	// upward pass.
+	nokPerNode = 1.0
+	// nokPerVertex scales the per-node test work with the pattern size.
+	nokPerVertex = 0.12
+	// joinPerElem is the cost of one stream element passing through the
+	// stack machinery.
+	joinPerElem = 2.5
+	// joinPerSolution is the cost of materializing one intermediate path
+	// solution in the merge phase.
+	joinPerSolution = 1.5
+	// joinSetup is the fixed cost per structural join (stream open,
+	// stack setup).
+	joinSetup = 64.0
+)
+
+// Estimate holds the modeled costs for one pattern.
+type Estimate struct {
+	NoK         float64
+	Join        float64
+	Hybrid      float64
+	OutputCard  float64
+	StreamTotal float64
+}
+
+// Model estimates physical costs from a synopsis.
+type Model struct {
+	st  *storage.Store
+	syn *stats.Synopsis
+}
+
+// NewModel builds a model for a store (constructing its synopsis).
+func NewModel(st *storage.Store) *Model {
+	return &Model{st: st, syn: stats.Build(st)}
+}
+
+// NewModelWith reuses an existing synopsis.
+func NewModelWith(st *storage.Store, syn *stats.Synopsis) *Model {
+	return &Model{st: st, syn: syn}
+}
+
+// Synopsis exposes the underlying synopsis.
+func (m *Model) Synopsis() *stats.Synopsis { return m.syn }
+
+// Estimate computes the cost estimate for a pattern on this document.
+func (m *Model) Estimate(g *pattern.Graph) Estimate {
+	var streams float64
+	for v := 1; v < g.VertexCount(); v++ {
+		streams += m.syn.EstimateVertexMatches(m.st, &g.Vertices[v])
+	}
+	out := m.syn.EstimatePattern(m.st, g)
+	joins := float64(g.VertexCount() - 1)
+	e := Estimate{
+		OutputCard:  out,
+		StreamTotal: streams,
+	}
+	part := g.Partition()
+	links := float64(part.JoinCount())
+	if links == 0 {
+		// Child-only pattern: the NoK matcher navigates top-down over
+		// matching paths only. The nodes visited are roughly the matches
+		// at every prefix of the pattern times the average fan-out.
+		var prefixSum float64
+		probe := g.Clone()
+		for v := 1; v < probe.VertexCount(); v++ {
+			probe.Output = pattern.VertexID(v)
+			prefixSum += m.syn.EstimatePattern(m.st, probe)
+		}
+		const fanout = 4
+		e.NoK = joinSetup + nokPerNode*fanout*(prefixSum+1)
+	} else {
+		// Descendant edges force the two global passes.
+		e.NoK = nokPerNode*float64(m.syn.NodeCount()) +
+			nokPerVertex*float64(g.VertexCount())*float64(m.syn.NodeCount())
+	}
+	e.Join = joinSetup*joins + joinPerElem*streams + joinPerSolution*out*joins
+	// Hybrid: one tag-index probe per non-anchor fragment root, a local
+	// navigation per candidate (bounded by the fragment size), and one
+	// structural join per descendant link.
+	if links == 0 {
+		e.Hybrid = e.NoK // degenerates to the same top-down evaluation
+	} else {
+		var fragCandidates float64
+		for fi := 1; fi < part.FragmentCount(); fi++ {
+			root := part.Fragments[fi].Root
+			cands := m.syn.EstimateVertexMatches(m.st, &g.Vertices[root])
+			fragCandidates += cands * float64(len(part.Fragments[fi].Vertices))
+		}
+		e.Hybrid = joinSetup*links + joinPerElem*fragCandidates*2 + joinPerSolution*out*links
+	}
+	return e
+}
+
+// Choose picks the cheapest strategy for the pattern.
+func (m *Model) Choose(g *pattern.Graph) exec.Strategy {
+	e := m.Estimate(g)
+	switch {
+	case e.Join <= e.NoK && e.Join <= e.Hybrid:
+		if g.IsPath() {
+			return exec.StrategyPathStack
+		}
+		return exec.StrategyTwigStack
+	case e.Hybrid < e.NoK:
+		return exec.StrategyHybrid
+	default:
+		return exec.StrategyNoK
+	}
+}
+
+// Chooser adapts the model to the executor's per-τ callback. Synopses are
+// cached per store.
+func Chooser() func(st *storage.Store, g *pattern.Graph) exec.Strategy {
+	models := map[*storage.Store]*Model{}
+	return func(st *storage.Store, g *pattern.Graph) exec.Strategy {
+		m, ok := models[st]
+		if !ok {
+			m = NewModel(st)
+			models[st] = m
+		}
+		return m.Choose(g)
+	}
+}
+
+// String renders an estimate.
+func (e Estimate) String() string {
+	return fmt.Sprintf("Estimate{nok=%.0f, join=%.0f, card=%.1f, streams=%.0f}",
+		e.NoK, e.Join, e.OutputCard, e.StreamTotal)
+}

@@ -1,0 +1,89 @@
+package cost
+
+import (
+	"testing"
+
+	"xqp/internal/ast"
+	"xqp/internal/exec"
+	"xqp/internal/parser"
+	"xqp/internal/pattern"
+	"xqp/internal/stats"
+	"xqp/internal/xmark"
+)
+
+func graphOf(t testing.TB, src string) *pattern.Graph {
+	t.Helper()
+	e, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := pattern.FromPath(e.(*ast.PathExpr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestEstimatesPositive(t *testing.T) {
+	st := xmark.StoreAuction(2)
+	m := NewModel(st)
+	e := m.Estimate(graphOf(t, "//item/description"))
+	if e.NoK <= 0 || e.Join <= 0 || e.OutputCard <= 0 || e.StreamTotal <= 0 {
+		t.Fatalf("degenerate estimate: %s", e)
+	}
+	if e.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestSelectivityDrivesChoice(t *testing.T) {
+	st := xmark.StoreAuction(4)
+	m := NewModel(st)
+	// A very selective pattern (rare tags): joins scan tiny streams and
+	// must beat a full-document NoK scan.
+	selective := graphOf(t, "//profile/interest")
+	if got := m.Choose(selective); got == exec.StrategyNoK {
+		e := m.Estimate(selective)
+		t.Fatalf("selective pattern chose NoK: %s", e)
+	}
+	// A pattern touching a huge fraction of the document (wildcards)
+	// must prefer the single NoK scan.
+	broad := graphOf(t, "/site/*/*/*")
+	if got := m.Choose(broad); got != exec.StrategyNoK {
+		e := m.Estimate(broad)
+		t.Fatalf("broad pattern chose %v: %s", got, e)
+	}
+}
+
+func TestChoosePathVsTwig(t *testing.T) {
+	st := xmark.StoreAuction(4)
+	m := NewModel(st)
+	p := graphOf(t, "//profile/interest")
+	if got := m.Choose(p); got != exec.StrategyPathStack {
+		t.Fatalf("path pattern chose %v", got)
+	}
+	tw := graphOf(t, "//person[profile]/homepage")
+	if got := m.Choose(tw); got == exec.StrategyPathStack {
+		t.Fatalf("branching pattern chose PathStack")
+	}
+}
+
+func TestChooserCachesSynopses(t *testing.T) {
+	ch := Chooser()
+	st := xmark.StoreBib(1)
+	g := graphOf(t, "/bib/book")
+	s1 := ch(st, g)
+	s2 := ch(st, g)
+	if s1 != s2 {
+		t.Fatal("chooser not deterministic")
+	}
+}
+
+func TestNewModelWith(t *testing.T) {
+	st := xmark.StoreBib(1)
+	syn := stats.Build(st)
+	m := NewModelWith(st, syn)
+	if m.Synopsis() != syn {
+		t.Fatal("synopsis not reused")
+	}
+}

@@ -1,0 +1,608 @@
+// Package exec is the physical execution engine: it evaluates logical
+// plans (package core) against succinct document stores, choosing among
+// the physical implementations of τ — the NoK navigational matcher, the
+// holistic TwigStack/PathStack joins, or naive navigation — and
+// implementing the remaining operators (Env-based FLWOR evaluation, γ
+// construction, πs step navigation, comparisons, built-in functions).
+package exec
+
+import (
+	"fmt"
+
+	"xqp/internal/ast"
+	"xqp/internal/core"
+	"xqp/internal/join"
+	"xqp/internal/naive"
+	"xqp/internal/nok"
+	"xqp/internal/pattern"
+	"xqp/internal/storage"
+	"xqp/internal/value"
+)
+
+// Strategy selects the physical τ implementation.
+type Strategy uint8
+
+const (
+	// StrategyAuto lets the engine choose (NoK for local patterns,
+	// TwigStack when the pattern is descendant-heavy; see package cost).
+	StrategyAuto Strategy = iota
+	// StrategyNoK forces the navigational NoK matcher.
+	StrategyNoK
+	// StrategyTwigStack forces the holistic twig join.
+	StrategyTwigStack
+	// StrategyPathStack forces PathStack (non-branching patterns only;
+	// branching patterns fall back to TwigStack).
+	StrategyPathStack
+	// StrategyNaive forces naive recursive navigation.
+	StrategyNaive
+	// StrategyHybrid partitions the pattern into NoK fragments evaluated
+	// navigationally over tag-index candidates, glued by structural
+	// joins (the paper's Section 4.2 proposal).
+	StrategyHybrid
+)
+
+func (s Strategy) String() string {
+	return [...]string{"auto", "nok", "twigstack", "pathstack", "naive", "hybrid"}[s]
+}
+
+// Options configures an Engine.
+type Options struct {
+	Strategy Strategy
+	// NoStepDedup disables document-order deduplication between path
+	// steps, reproducing the worst-case exponential behaviour of purely
+	// pipelined evaluation (experiment E6). Never enable in production.
+	NoStepDedup bool
+	// Chooser, when non-nil and Strategy is StrategyAuto, picks the
+	// strategy per τ invocation (wired to the cost model).
+	Chooser func(st *storage.Store, g *pattern.Graph) Strategy
+}
+
+// Metrics counts physical operator invocations for the experiments.
+type Metrics struct {
+	TPMCalls  int64 // τ evaluations
+	StepCalls int64 // πs single-step navigations
+	JoinCalls int64 // structural-join invocations (inside Twig/PathStack)
+	CtorCalls int64 // γ evaluations
+	EnvLeaves int64 // total FLWOR bindings enumerated
+	PredEvals int64 // predicate evaluations
+}
+
+// Engine evaluates plans against a catalog of documents.
+type Engine struct {
+	opts    Options
+	def     *storage.Store
+	catalog map[string]*storage.Store
+	// Metrics accumulates counters; reset freely between measurements.
+	Metrics Metrics
+	// predPlans caches predicate AST translations.
+	predPlans map[ast.Expr]core.Op
+}
+
+// New returns an Engine whose default document is def (may be nil if all
+// queries use doc("uri")).
+func New(def *storage.Store, opts Options) *Engine {
+	e := &Engine{opts: opts, def: def, catalog: map[string]*storage.Store{}, predPlans: map[ast.Expr]core.Op{}}
+	if def != nil && def.URI != "" {
+		e.catalog[def.URI] = def
+	}
+	return e
+}
+
+// AddDocument registers a document under a URI for doc().
+func (e *Engine) AddDocument(uri string, st *storage.Store) {
+	e.catalog[uri] = st
+}
+
+// Context carries the dynamic context: the context item, its position and
+// the context size (for position()/last()), and the variable scope.
+type Context struct {
+	Item   value.Item
+	Pos    int
+	Size   int
+	Lookup func(name string) (value.Sequence, bool)
+}
+
+// Root returns the empty top-level context.
+func Root() *Context { return &Context{Pos: 1, Size: 1} }
+
+// WithVars returns a context with additional variable bindings.
+func (c *Context) WithVars(vars map[string]value.Sequence) *Context {
+	outer := c.Lookup
+	nc := *c
+	nc.Lookup = func(name string) (value.Sequence, bool) {
+		if v, ok := vars[name]; ok {
+			return v, true
+		}
+		if outer != nil {
+			return outer(name)
+		}
+		return nil, false
+	}
+	return &nc
+}
+
+// Eval evaluates a plan in the given context.
+func (e *Engine) Eval(op core.Op, ctx *Context) (value.Sequence, error) {
+	switch o := op.(type) {
+	case *core.ConstOp:
+		return o.Seq, nil
+	case *core.VarOp:
+		if ctx.Lookup != nil {
+			if v, ok := ctx.Lookup(o.Name); ok {
+				return v, nil
+			}
+		}
+		return nil, fmt.Errorf("exec: unbound variable $%s", o.Name)
+	case *core.ContextOp:
+		if ctx.Item == nil {
+			return nil, fmt.Errorf("exec: context item is undefined")
+		}
+		return value.Singleton(ctx.Item), nil
+	case *core.DocOp:
+		st, err := e.resolveDoc(o.URI)
+		if err != nil {
+			return nil, err
+		}
+		return value.Singleton(value.Node{Store: st, Ref: st.Root()}), nil
+	case *core.SeqOp:
+		var out value.Sequence
+		for _, c := range o.Items {
+			v, err := e.Eval(c, ctx)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v...)
+		}
+		return out, nil
+	case *core.NegOp:
+		v, err := e.Eval(o.X, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return value.Arith(value.OpSub, value.Singleton(value.Int(0)), v)
+	case *core.ArithOp:
+		l, err := e.Eval(o.L, ctx)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.Eval(o.R, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return value.Arith(o.Op, l, r)
+	case *core.CompareOp:
+		l, err := e.Eval(o.L, ctx)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.Eval(o.R, ctx)
+		if err != nil {
+			return nil, err
+		}
+		ok, err := value.CompareGeneral(o.Op, l, r)
+		if err != nil {
+			return nil, err
+		}
+		return value.Singleton(value.Bool(ok)), nil
+	case *core.LogicOp:
+		l, err := e.Eval(o.L, ctx)
+		if err != nil {
+			return nil, err
+		}
+		lb, err := value.EBV(l)
+		if err != nil {
+			return nil, err
+		}
+		if o.Kind == core.LogicAnd && !lb {
+			return value.Singleton(value.Bool(false)), nil
+		}
+		if o.Kind == core.LogicOr && lb {
+			return value.Singleton(value.Bool(true)), nil
+		}
+		r, err := e.Eval(o.R, ctx)
+		if err != nil {
+			return nil, err
+		}
+		rb, err := value.EBV(r)
+		if err != nil {
+			return nil, err
+		}
+		return value.Singleton(value.Bool(rb)), nil
+	case *core.UnionOp:
+		l, err := e.Eval(o.L, ctx)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.Eval(o.R, ctx)
+		if err != nil {
+			return nil, err
+		}
+		switch o.Kind {
+		case core.SetIntersect:
+			return value.Intersect(l, r)
+		case core.SetExcept:
+			return value.Except(l, r)
+		default:
+			return value.Union(l, r)
+		}
+	case *core.RangeOp:
+		return e.evalRange(o, ctx)
+	case *core.IfOp:
+		c, err := e.Eval(o.Cond, ctx)
+		if err != nil {
+			return nil, err
+		}
+		b, err := value.EBV(c)
+		if err != nil {
+			return nil, err
+		}
+		if b {
+			return e.Eval(o.Then, ctx)
+		}
+		return e.Eval(o.Else, ctx)
+	case *core.FnOp:
+		return e.evalFn(o, ctx)
+	case *core.QuantOp:
+		return e.evalQuant(o, ctx)
+	case *core.FLWOROp:
+		return e.evalFLWOR(o, ctx)
+	case *core.PathOp:
+		return e.evalPath(o, ctx)
+	case *core.TPMOp:
+		return e.evalTPM(o, ctx)
+	case *core.ConstructOp:
+		return e.evalConstruct(o, ctx)
+	}
+	return nil, fmt.Errorf("exec: unknown operator %T", op)
+}
+
+func (e *Engine) resolveDoc(uri string) (*storage.Store, error) {
+	if uri == "" {
+		if e.def == nil {
+			return nil, fmt.Errorf("exec: no default document")
+		}
+		return e.def, nil
+	}
+	if st, ok := e.catalog[uri]; ok {
+		return st, nil
+	}
+	if e.def != nil {
+		// Unregistered URI while only the default document is known:
+		// tolerate, as the use-case queries name files like "bib.xml".
+		onlyDefault := true
+		for _, st := range e.catalog {
+			if st != e.def {
+				onlyDefault = false
+				break
+			}
+		}
+		if onlyDefault {
+			return e.def, nil
+		}
+	}
+	return nil, fmt.Errorf("exec: unknown document %q", uri)
+}
+
+func (e *Engine) evalRange(o *core.RangeOp, ctx *Context) (value.Sequence, error) {
+	l, err := e.Eval(o.L, ctx)
+	if err != nil {
+		return nil, err
+	}
+	r, err := e.Eval(o.R, ctx)
+	if err != nil {
+		return nil, err
+	}
+	if len(l) == 0 || len(r) == 0 {
+		return nil, nil
+	}
+	if len(l) > 1 || len(r) > 1 {
+		return nil, &value.TypeError{Msg: "range over non-singleton"}
+	}
+	lo := int64(value.NumberOf(value.Atomize(l)[0]))
+	hi := int64(value.NumberOf(value.Atomize(r)[0]))
+	var out value.Sequence
+	for i := lo; i <= hi; i++ {
+		out = append(out, value.Int(i))
+	}
+	return out, nil
+}
+
+func (e *Engine) evalQuant(o *core.QuantOp, ctx *Context) (value.Sequence, error) {
+	var rec func(i int, ctx *Context) (bool, error)
+	rec = func(i int, ctx *Context) (bool, error) {
+		if i == len(o.Bindings) {
+			s, err := e.Eval(o.Satisfies, ctx)
+			if err != nil {
+				return false, err
+			}
+			return value.EBV(s)
+		}
+		b := o.Bindings[i]
+		seq, err := e.Eval(b.Expr, ctx)
+		if err != nil {
+			return false, err
+		}
+		for _, it := range seq {
+			sub := ctx.WithVars(map[string]value.Sequence{b.Var: value.Singleton(it)})
+			ok, err := rec(i+1, sub)
+			if err != nil {
+				return false, err
+			}
+			if ok && !o.Every {
+				return true, nil
+			}
+			if !ok && o.Every {
+				return false, nil
+			}
+		}
+		return o.Every, nil
+	}
+	ok, err := rec(0, ctx)
+	if err != nil {
+		return nil, err
+	}
+	return value.Singleton(value.Bool(ok)), nil
+}
+
+// evalFLWOR builds the Env (Definition 3) layer by layer and evaluates
+// the return expression once per total binding.
+func (e *Engine) evalFLWOR(o *core.FLWOROp, ctx *Context) (value.Sequence, error) {
+	env := core.NewEnv(ctx.Lookup)
+	bindCtx := func(b core.Binding) *Context {
+		nc := *ctx
+		nc.Lookup = b.Lookup
+		return &nc
+	}
+	for _, c := range o.Clauses {
+		c := c
+		eval := func(b core.Binding) (value.Sequence, error) {
+			return e.Eval(c.Expr, bindCtx(b))
+		}
+		var err error
+		if c.Kind == core.BindFor {
+			err = env.ExtendFor(c.Var, c.PosVar, eval)
+		} else {
+			err = env.ExtendLet(c.Var, eval)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if o.Where != nil {
+		err := env.Filter(func(b core.Binding) (bool, error) {
+			v, err := e.Eval(o.Where, bindCtx(b))
+			if err != nil {
+				return false, err
+			}
+			return value.EBV(v)
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(o.OrderBy) > 0 {
+		keys := make([]func(core.Binding) (value.Sequence, error), len(o.OrderBy))
+		desc := make([]bool, len(o.OrderBy))
+		least := make([]bool, len(o.OrderBy))
+		for i, k := range o.OrderBy {
+			k := k
+			keys[i] = func(b core.Binding) (value.Sequence, error) {
+				return e.Eval(k.Key, bindCtx(b))
+			}
+			desc[i] = k.Descending
+			least[i] = k.EmptyLeast
+		}
+		if err := env.SortBy(keys, desc, least); err != nil {
+			return nil, err
+		}
+	}
+	var out value.Sequence
+	for _, b := range env.Paths() {
+		e.Metrics.EnvLeaves++
+		v, err := e.Eval(o.Return, bindCtx(b))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v...)
+	}
+	return out, nil
+}
+
+// evalTPM dispatches the τ operator to the configured physical matcher.
+func (e *Engine) evalTPM(o *core.TPMOp, ctx *Context) (value.Sequence, error) {
+	e.Metrics.TPMCalls++
+	input, err := e.Eval(o.Input, ctx)
+	if err != nil {
+		return nil, err
+	}
+	// Group context nodes per store.
+	perStore := map[*storage.Store][]storage.NodeRef{}
+	var stores []*storage.Store
+	for _, it := range input {
+		n, ok := it.(value.Node)
+		if !ok {
+			return nil, &value.TypeError{Msg: fmt.Sprintf("tree pattern matching over %s item", value.ItemKind(it))}
+		}
+		if _, seen := perStore[n.Store]; !seen {
+			stores = append(stores, n.Store)
+		}
+		perStore[n.Store] = append(perStore[n.Store], n.Ref)
+	}
+	var out value.Sequence
+	for _, st := range stores {
+		refs, err := e.matchStore(st, o.Graph, perStore[st])
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range refs {
+			out = append(out, value.Node{Store: st, Ref: r})
+		}
+	}
+	return out, nil
+}
+
+func (e *Engine) matchStore(st *storage.Store, g *pattern.Graph, contexts []storage.NodeRef) ([]storage.NodeRef, error) {
+	strat := e.opts.Strategy
+	if strat == StrategyAuto {
+		if e.opts.Chooser != nil {
+			strat = e.opts.Chooser(st, g)
+		} else {
+			strat = StrategyNoK
+		}
+	}
+	// The join-based matchers only support root-anchored patterns; fall
+	// back to NoK otherwise.
+	rootAnchored := len(contexts) == 1 && contexts[0] == st.Root()
+	switch {
+	case strat == StrategyNaive:
+		return naive.MatchOutput(st, g, contexts), nil
+	case strat == StrategyHybrid:
+		e.Metrics.JoinCalls += int64(g.Partition().JoinCount())
+		return nok.MatchHybrid(st, g, contexts)
+	case strat == StrategyTwigStack && rootAnchored:
+		e.Metrics.JoinCalls += int64(g.VertexCount() - 1)
+		return join.TwigStack(st, g).Refs(), nil
+	case strat == StrategyPathStack && rootAnchored:
+		if g.IsPath() {
+			e.Metrics.JoinCalls += int64(g.VertexCount() - 1)
+			return join.PathStack(st, g).Refs(), nil
+		}
+		e.Metrics.JoinCalls += int64(g.VertexCount() - 1)
+		return join.TwigStack(st, g).Refs(), nil
+	default:
+		return nok.MatchOutput(st, g, contexts)
+	}
+}
+
+// evalPath evaluates a πs-chain step by step: the unfused fallback for
+// paths the pattern builder cannot express, and the ablation baseline.
+func (e *Engine) evalPath(o *core.PathOp, ctx *Context) (value.Sequence, error) {
+	cur, err := e.Eval(o.Input, ctx)
+	if err != nil {
+		return nil, err
+	}
+	for _, st := range o.Path.Steps {
+		cur, err = e.evalStep(cur, st, ctx)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return cur, nil
+}
+
+// evalStep applies one location step (axis, test, predicates) to every
+// context node, respecting positional predicate semantics.
+func (e *Engine) evalStep(input value.Sequence, st ast.Step, ctx *Context) (value.Sequence, error) {
+	e.Metrics.StepCalls++
+	if st.Axis == ast.AxisSelf && st.Test.Kind == ast.TestNode {
+		// A bare filter step (E[pred] / .[pred]): predicates apply
+		// positionally over the whole input sequence, which may contain
+		// atomic items.
+		cands := input
+		var err error
+		for _, p := range st.Preds {
+			cands, err = e.filterPredicate(cands, p, ctx)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return cands, nil
+	}
+	var out value.Sequence
+	for _, it := range input {
+		n, ok := it.(value.Node)
+		if !ok {
+			return nil, &value.TypeError{Msg: fmt.Sprintf("path step over %s item", value.ItemKind(it))}
+		}
+		cands, err := core.NavigateStep(value.Singleton(n), st.Axis, st.Test)
+		if err != nil {
+			return nil, err
+		}
+		if st.Axis.Reverse() {
+			// Positional predicates count in axis order (reverse axes
+			// count backwards from the context node).
+			reverse(cands)
+		}
+		for _, p := range st.Preds {
+			cands, err = e.filterPredicate(cands, p, ctx)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if st.Axis.Reverse() {
+			reverse(cands)
+		}
+		out = append(out, cands...)
+	}
+	if e.opts.NoStepDedup {
+		return out, nil
+	}
+	if len(out) > 0 {
+		return value.DocOrder(out)
+	}
+	return out, nil
+}
+
+func reverse(s value.Sequence) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+// filterPredicate applies one predicate over a candidate list with
+// position()/last() semantics; numeric predicate values select by
+// position.
+func (e *Engine) filterPredicate(cands value.Sequence, pred ast.Expr, ctx *Context) (value.Sequence, error) {
+	plan, ok := e.predPlans[pred]
+	if !ok {
+		var err error
+		plan, err = core.Translate(pred)
+		if err != nil {
+			return nil, err
+		}
+		e.predPlans[pred] = plan
+	}
+	var out value.Sequence
+	for i, it := range cands {
+		e.Metrics.PredEvals++
+		sub := *ctx
+		sub.Item = it
+		sub.Pos = i + 1
+		sub.Size = len(cands)
+		v, err := e.Eval(plan, &sub)
+		if err != nil {
+			return nil, err
+		}
+		keep := false
+		if len(v) == 1 && value.IsNumeric(v[0]) {
+			keep = int(value.NumberOf(v[0])) == i+1
+		} else {
+			keep, err = value.EBV(v)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if keep {
+			out = append(out, it)
+		}
+	}
+	return out, nil
+}
+
+// evalConstruct runs the γ operator: build the new tree and return its
+// top-level nodes as items backed by a fresh store.
+func (e *Engine) evalConstruct(o *core.ConstructOp, ctx *Context) (value.Sequence, error) {
+	e.Metrics.CtorCalls++
+	doc, err := core.BuildTree(o.Schema, func(op core.Op) (value.Sequence, error) {
+		return e.Eval(op, ctx)
+	})
+	if err != nil {
+		return nil, err
+	}
+	st := storage.FromDoc(doc)
+	var out value.Sequence
+	for c := st.FirstChild(st.Root()); c != storage.NilRef; c = st.NextSibling(c) {
+		out = append(out, value.Node{Store: st, Ref: c})
+	}
+	return out, nil
+}

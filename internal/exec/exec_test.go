@@ -1,0 +1,420 @@
+package exec
+
+import (
+	"math"
+	"testing"
+
+	"xqp/internal/core"
+	"xqp/internal/parser"
+	"xqp/internal/pattern"
+	"xqp/internal/rewrite"
+	"xqp/internal/storage"
+	"xqp/internal/value"
+)
+
+const bibXML = `<bib>
+  <book year="1994"><title>T1</title><author><last>Stevens</last></author><price>65.95</price></book>
+  <book year="2000"><title>T2</title><author><last>Abiteboul</last></author><author><last>Buneman</last></author><price>39.95</price></book>
+</bib>`
+
+func engine(t testing.TB, opts Options) *Engine {
+	t.Helper()
+	st := storage.MustLoad(bibXML)
+	st.URI = "bib.xml"
+	return New(st, opts)
+}
+
+func run(t testing.TB, e *Engine, src string) value.Sequence {
+	t.Helper()
+	ex, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	plan, err := core.Translate(ex)
+	if err != nil {
+		t.Fatalf("translate %q: %v", src, err)
+	}
+	plan, _ = rewrite.Rewrite(plan, rewrite.All())
+	seq, err := e.Eval(plan, Root())
+	if err != nil {
+		t.Fatalf("eval %q: %v", src, err)
+	}
+	return seq
+}
+
+func runErr(t testing.TB, e *Engine, src string) error {
+	t.Helper()
+	ex, err := parser.Parse(src)
+	if err != nil {
+		return err
+	}
+	plan, err := core.Translate(ex)
+	if err != nil {
+		return err
+	}
+	_, err = e.Eval(plan, Root())
+	return err
+}
+
+func TestMetricsCount(t *testing.T) {
+	e := engine(t, Options{})
+	run(t, e, `for $b in /bib/book where $b/price < 50 return $b/title`)
+	if e.Metrics.TPMCalls == 0 {
+		t.Error("no τ calls recorded")
+	}
+	if e.Metrics.EnvLeaves == 0 {
+		t.Error("no env leaves recorded")
+	}
+}
+
+func TestStrategyFallbacks(t *testing.T) {
+	// Join strategies fall back to NoK for non-root contexts; results
+	// must stay correct.
+	for _, s := range []Strategy{StrategyTwigStack, StrategyPathStack, StrategyNaive, StrategyNoK} {
+		e := engine(t, Options{Strategy: s})
+		got := run(t, e, `for $b in /bib/book return $b/author/last`)
+		if len(got) != 3 {
+			t.Errorf("strategy %v: %d results, want 3", s, len(got))
+		}
+	}
+}
+
+func TestChooserInvoked(t *testing.T) {
+	st := storage.MustLoad(bibXML)
+	called := 0
+	e := New(st, Options{Strategy: StrategyAuto, Chooser: func(s *storage.Store, g *pattern.Graph) Strategy {
+		called++
+		return StrategyNoK
+	}})
+	ex, _ := parser.Parse(`/bib/book`)
+	plan, _ := core.Translate(ex)
+	plan, _ = rewrite.Rewrite(plan, rewrite.All())
+	if _, err := e.Eval(plan, Root()); err != nil {
+		t.Fatal(err)
+	}
+	if called != 1 {
+		t.Fatalf("chooser called %d times, want 1", called)
+	}
+}
+
+func TestDocResolution(t *testing.T) {
+	e := engine(t, Options{})
+	// Registered URI.
+	seq := run(t, e, `doc("bib.xml")/bib/book`)
+	if len(seq) != 2 {
+		t.Fatalf("doc(bib.xml) books = %d", len(seq))
+	}
+	// Unregistered URI tolerated with a single default doc.
+	seq = run(t, e, `doc("whatever.xml")/bib/book`)
+	if len(seq) != 2 {
+		t.Fatalf("fallback books = %d", len(seq))
+	}
+	// Second document.
+	other := storage.MustLoad(`<x><y/></x>`)
+	e.AddDocument("other.xml", other)
+	seq = run(t, e, `doc("other.xml")/x/y`)
+	if len(seq) != 1 {
+		t.Fatalf("other.xml = %d", len(seq))
+	}
+	if err := runErr(t, e, `doc("missing.xml")/a`); err == nil {
+		t.Error("missing doc resolved")
+	}
+}
+
+func TestNoDefaultDocError(t *testing.T) {
+	e := New(nil, Options{})
+	if err := runErr(t, e, `/a`); err == nil {
+		t.Error("rooted path without default doc succeeded")
+	}
+}
+
+func TestContextUndefined(t *testing.T) {
+	e := engine(t, Options{})
+	if err := runErr(t, e, `.`); err == nil {
+		t.Error("context item without binding succeeded")
+	}
+}
+
+func TestBuiltinEdgeCases(t *testing.T) {
+	e := engine(t, Options{})
+	cases := []struct {
+		src, want string
+	}{
+		{`substring("hello", 0)`, "hello"},
+		{`substring("hello", 4)`, "lo"},
+		{`substring("hello", 2, 100)`, "ello"},
+		{`substring("hello", -1, 3)`, "h"},
+		{`floor(3.7)`, "3"},
+		{`ceiling(3.2)`, "4"},
+		{`round(2.5)`, "3"},
+		{`round(-2.5)`, "-2"},
+		{`abs(-4)`, "4"},
+		{`sum(())`, "0"},
+		{`count(())`, "0"},
+		{`string-join((), "-")`, ""},
+		{`boolean(/bib/book)`, "true"},
+		{`boolean(/bib/nothing)`, "false"},
+		{`not(())`, "true"},
+		{`min(("b", "a", "c"))`, "a"},
+		{`max(("b", "a", "c"))`, "c"},
+		{`reverse((1,2,3))`, "3"},
+		{`subsequence((1,2,3,4), 2, 2)`, "2"},
+		{`exactly-one(5)`, "5"},
+		{`lower-case("AbC")`, "abc"},
+		{`ends-with("hello", "lo")`, "true"},
+		{`local-name(/bib/book[1]/@year)`, "year"},
+	}
+	for _, c := range cases {
+		got := run(t, e, c.src)
+		if len(got) == 0 || got[0].String() != c.want {
+			t.Errorf("%s = %v, want %s", c.src, got, c.want)
+		}
+	}
+	if got := run(t, e, `avg(())`); len(got) != 0 {
+		t.Errorf("avg(()) = %v, want ()", got)
+	}
+	if got := run(t, e, `number("zz")`); !math.IsNaN(float64(got[0].(value.Dbl))) {
+		t.Errorf("number(zz) = %v", got)
+	}
+	if err := runErr(t, e, `exactly-one(())`); err == nil {
+		t.Error("exactly-one(()) succeeded")
+	}
+	if err := runErr(t, e, `zero-or-one((1,2))`); err == nil {
+		t.Error("zero-or-one((1,2)) succeeded")
+	}
+	if err := runErr(t, e, `count()`); err == nil {
+		t.Error("count() with no args succeeded")
+	}
+}
+
+func TestRootFunction(t *testing.T) {
+	e := engine(t, Options{})
+	got := run(t, e, `count(root(/bib/book[1])/bib)`)
+	if got[0] != value.Int(1) {
+		t.Fatalf("root() = %v", got)
+	}
+}
+
+func TestPositionLastInPredicates(t *testing.T) {
+	e := engine(t, Options{})
+	got := run(t, e, `/bib/book[position() = last()]/title`)
+	if len(got) != 1 || got[0].String() != "T2" {
+		t.Fatalf("last book = %v", got)
+	}
+	got = run(t, e, `/bib/book/author[last()]/last`)
+	if len(got) != 2 || got[1].String() != "Buneman" {
+		t.Fatalf("last authors = %v", got)
+	}
+}
+
+func TestReverseAxisPositional(t *testing.T) {
+	e := engine(t, Options{})
+	// preceding-sibling::*[1] is the nearest preceding sibling.
+	got := run(t, e, `/bib/book[2]/price/preceding-sibling::*[1]`)
+	if len(got) != 1 {
+		t.Fatalf("results = %v", got)
+	}
+	n := got[0].(value.Node)
+	if n.Store.Name(n.Ref) != "author" {
+		t.Fatalf("nearest preceding sibling = %s", n.Store.Name(n.Ref))
+	}
+}
+
+func TestNoStepDedupBlowup(t *testing.T) {
+	// a/b/.. without dedup duplicates the parent per child; with dedup
+	// the result is a single node per parent (this is the E6 mechanism).
+	st := storage.MustLoad(`<r><a><b/><b/><b/></a></r>`)
+	eDedup := New(st, Options{})
+	eBlow := New(st, Options{NoStepDedup: true})
+	src := `/r/a/b/../b/../b`
+	d := runOn(t, eDedup, src)
+	bl := runOn(t, eBlow, src)
+	if len(d) != 3 {
+		t.Fatalf("dedup result = %d, want 3", len(d))
+	}
+	if len(bl) != 27 {
+		t.Fatalf("pipelined result = %d, want 27 (3^3 duplicates)", len(bl))
+	}
+}
+
+func runOn(t testing.TB, e *Engine, src string) value.Sequence {
+	t.Helper()
+	ex, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := core.Translate(ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No rewrites: keep the raw πs-chain.
+	seq, err := e.Eval(plan, Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seq
+}
+
+func TestVariablesInContext(t *testing.T) {
+	e := engine(t, Options{})
+	ex, _ := parser.Parse(`$x + 1`)
+	plan, _ := core.Translate(ex)
+	ctx := Root().WithVars(map[string]value.Sequence{"x": value.Singleton(value.Int(41))})
+	got, err := e.Eval(plan, ctx)
+	if err != nil || got[0] != value.Int(42) {
+		t.Fatalf("$x+1 = %v (%v)", got, err)
+	}
+}
+
+func TestTypeErrors(t *testing.T) {
+	e := engine(t, Options{})
+	for _, src := range []string{
+		`(1,2) + 3`,
+		`/bib/book/title/(1)`, // parse error actually; skip via runErr
+		`sum(/bib) + (1,2)`,
+	} {
+		if err := runErr(t, e, src); err == nil {
+			t.Errorf("%s succeeded, want error", src)
+		}
+	}
+}
+
+func TestTextConstructorFn(t *testing.T) {
+	e := engine(t, Options{})
+	got := run(t, e, `<r>{text { ("a", "b") }}</r>`)
+	n := got[0].(value.Node)
+	if s := n.Store.XMLString(n.Ref); s != "<r>a b</r>" {
+		t.Fatalf("text ctor = %s", s)
+	}
+}
+
+func TestStrategyStringer(t *testing.T) {
+	if StrategyNoK.String() != "nok" || StrategyAuto.String() != "auto" {
+		t.Fatal("Strategy.String wrong")
+	}
+}
+
+func TestDeepFLWORNesting(t *testing.T) {
+	e := engine(t, Options{})
+	got := run(t, e, `for $b in /bib/book
+	                  return for $a in $b/author
+	                         return concat($a/last, ":", $b/@year)`)
+	if len(got) != 3 {
+		t.Fatalf("nested = %v", got)
+	}
+	if got[0].String() != "Stevens:1994" {
+		t.Fatalf("first = %v", got[0])
+	}
+}
+
+func TestWhereOverOuterVariable(t *testing.T) {
+	e := engine(t, Options{})
+	got := run(t, e, `for $y in (1994, 2000)
+	                  for $b in /bib/book
+	                  where $b/@year = $y
+	                  return $b/title/text()`)
+	if len(got) != 2 {
+		t.Fatalf("join results = %v", got)
+	}
+}
+
+func BenchmarkFLWOREval(b *testing.B) {
+	e := engine(b, Options{})
+	ex, _ := parser.Parse(`for $b in /bib/book where $b/price < 50 return $b/title`)
+	plan, _ := core.Translate(ex)
+	plan, _ = rewrite.Rewrite(plan, rewrite.All())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Eval(plan, Root()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestMoreBuiltins(t *testing.T) {
+	e := engine(t, Options{})
+	cases := []struct{ src, want string }{
+		{`matches("banana", "an+a")`, "true"},
+		{`replace("2004-01-02", "-", "/")`, "2004/01/02"},
+		{`count(tokenize("a b c", " "))`, "3"},
+		{`index-of(("a","b","a"), "a")[2]`, "3"},
+		{`count(insert-before((1,2), 99, (8,9)))`, "4"},
+		{`count(remove((1,2,3), 99))`, "3"},
+		{`deep-equal(/bib/book[1], /bib/book[1])`, "true"},
+		{`deep-equal(/bib/book[1], /bib/book[2])`, "false"},
+		{`string()`, ""},
+		{`concat("x")`, "x"},
+		{`string-join(("a"), "+")`, "a"},
+		{`substring-before("abc", "z")`, ""},
+		{`substring-after("abc", "z")`, ""},
+		{`name(5)`, ""},
+		{`sum((1.5, 2.5))`, "4"},
+		{`min((3, 1.5))`, "1.5"},
+		{`max(/bib/book/@year)`, "2000"},
+		{`avg((2, 4))`, "3"},
+		{`boolean("x")`, "true"},
+		{`number(true())`, "1"},
+		{`floor(-1.5)`, "-2"},
+		{`data(/bib/book[1]/@year)`, "1994"},
+	}
+	for _, c := range cases {
+		got := run(t, e, c.src)
+		s := ""
+		if len(got) > 0 {
+			s = got[0].String()
+		}
+		if s != c.want {
+			t.Errorf("%s = %q, want %q", c.src, s, c.want)
+		}
+	}
+	if err := runErr(t, e, `matches("x")`); err == nil {
+		t.Error("matches arity not checked")
+	}
+	if err := runErr(t, e, `root(5)`); err == nil {
+		t.Error("root over atomic did not error")
+	}
+	if err := runErr(t, e, `string((1,2))`); err == nil {
+		t.Error("string over pair did not error")
+	}
+}
+
+func TestQuantifierMultipleBindings(t *testing.T) {
+	e := engine(t, Options{})
+	got := run(t, e, `some $x in (1,2), $y in (2,3) satisfies $x = $y`)
+	if got[0] != value.Bool(true) {
+		t.Fatal("some multi-binding failed")
+	}
+	got = run(t, e, `every $x in (1,2), $y in (2,3) satisfies $x < $y`)
+	if got[0] != value.Bool(false) {
+		t.Fatal("every multi-binding failed: (2,2) violates <")
+	}
+}
+
+func TestRangeEdgeCases(t *testing.T) {
+	e := engine(t, Options{})
+	if got := run(t, e, `count(5 to 3)`); got[0] != value.Int(0) {
+		t.Fatalf("empty range = %v", got)
+	}
+	if got := run(t, e, `count(() to 3)`); got[0] != value.Int(0) {
+		t.Fatalf("() to 3 = %v", got)
+	}
+	if err := runErr(t, e, `(1,2) to 3`); err == nil {
+		t.Error("range over pair did not error")
+	}
+}
+
+func TestHybridStrategyEndToEnd(t *testing.T) {
+	e := engine(t, Options{Strategy: StrategyHybrid})
+	got := run(t, e, `//book//last`)
+	if len(got) != 3 {
+		t.Fatalf("hybrid //book//last = %d", len(got))
+	}
+}
+
+func TestMetricsJoinCallsHybrid(t *testing.T) {
+	e := engine(t, Options{Strategy: StrategyHybrid})
+	run(t, e, `//book//last`)
+	if e.Metrics.JoinCalls == 0 {
+		t.Error("hybrid did not record join calls")
+	}
+}

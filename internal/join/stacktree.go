@@ -1,0 +1,102 @@
+package join
+
+import (
+	"sort"
+
+	"xqp/internal/pattern"
+)
+
+// Pair is one structural-join result: an ancestor (or parent) and a
+// descendant (or child).
+type Pair struct {
+	Anc, Desc Elem
+}
+
+// StackTree performs the Stack-Tree-Desc binary structural join of
+// Al-Khalifa et al. (ICDE 2002): it returns all (a, d) pairs with a from
+// ancs, d from descs, and d a descendant (rel == RelDescendant) or child
+// (rel == RelChild) of a. Both inputs must be in document order; the
+// output is ordered by descendant.
+//
+// The algorithm is a single merge pass with a stack of nested ancestors:
+// time O(|ancs| + |descs| + |output|).
+func StackTree(ancs, descs Stream, rel pattern.Rel) []Pair {
+	var out []Pair
+	var stack []Elem
+	a, d := NewCursor(ancs), NewCursor(descs)
+	for !d.EOF() && (!a.EOF() || len(stack) > 0) {
+		if !a.EOF() && a.Head().Start < d.Head().Start {
+			next := a.Head()
+			for len(stack) > 0 && stack[len(stack)-1].End < next.Start {
+				stack = stack[:len(stack)-1]
+			}
+			stack = append(stack, next)
+			a.Advance()
+			continue
+		}
+		dd := d.Head()
+		for len(stack) > 0 && stack[len(stack)-1].End < dd.Start {
+			stack = stack[:len(stack)-1]
+		}
+		for _, anc := range stack {
+			if !anc.Contains(dd) {
+				continue
+			}
+			if rel == pattern.RelChild && anc.Level+1 != dd.Level {
+				continue
+			}
+			out = append(out, Pair{Anc: anc, Desc: dd})
+		}
+		d.Advance()
+	}
+	return out
+}
+
+// StackTreeDescendants returns the distinct descendants produced by the
+// structural join, in document order (the common projection when chaining
+// joins along a path).
+func StackTreeDescendants(ancs, descs Stream, rel pattern.Rel) Stream {
+	pairs := StackTree(ancs, descs, rel)
+	out := make(Stream, 0, len(pairs))
+	for _, p := range pairs {
+		out = append(out, p.Desc)
+	}
+	// Output is ordered by descendant already; dedup adjacent (one
+	// descendant may pair with several stacked ancestors).
+	return dedupSorted(out)
+}
+
+// StackTreeAncestors returns the distinct ancestors that have at least one
+// descendant in descs, in document order (used for existence predicates).
+func StackTreeAncestors(ancs, descs Stream, rel pattern.Rel) Stream {
+	pairs := StackTree(ancs, descs, rel)
+	seen := make(map[int32]bool, len(pairs))
+	out := make(Stream, 0, len(pairs))
+	for _, p := range pairs {
+		if !seen[p.Anc.Start] {
+			seen[p.Anc.Start] = true
+			out = append(out, p.Anc)
+		}
+	}
+	sortStream(out)
+	return out
+}
+
+func sortStream(s Stream) {
+	sort.Slice(s, func(i, j int) bool { return s[i].Start < s[j].Start })
+}
+
+// PathJoin evaluates a pure path pattern (no branching) by chaining binary
+// structural joins bottom-up along the path — the paper's "join-based
+// approach" strawman for path expressions. It returns the matches of the
+// output vertex in document order.
+func PathJoin(streams []Stream, rels []pattern.Rel) Stream {
+	if len(streams) == 0 {
+		return nil
+	}
+	cur := streams[0]
+	for i := 1; i < len(streams); i++ {
+		cur = StackTreeDescendants(cur, streams[i], rels[i-1])
+	}
+	return cur
+}

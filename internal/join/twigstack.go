@@ -1,0 +1,284 @@
+package join
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"xqp/internal/pattern"
+	"xqp/internal/storage"
+)
+
+const maxStart = int32(1<<31 - 1)
+
+// TwigStack evaluates a (possibly branching) pattern graph with the
+// holistic twig join of Bruno et al. (SIGMOD 2002): phase one produces
+// root-to-leaf path solutions using chained stacks coordinated by getNext;
+// phase two merge-joins the per-leaf solution sets on their shared prefix
+// vertices. Parent-child edges are filtered during enumeration (TwigStack
+// is optimal for ancestor-descendant-only twigs and correct for mixed
+// ones).
+//
+// It returns the distinct matches of the pattern's output vertex in
+// document order.
+func TwigStack(st *storage.Store, g *pattern.Graph) Stream {
+	t := newTwig(st, g)
+	t.run()
+	return t.merge()
+}
+
+type twig struct {
+	g      *pattern.Graph
+	curs   []*Cursor
+	stacks [][]stackEntry
+	parent []pattern.VertexID
+	rel    []pattern.Rel
+	// path[v] is the root-to-v vertex chain for each leaf vertex.
+	leaves []pattern.VertexID
+	paths  map[pattern.VertexID][]pattern.VertexID
+	// sols[leaf] accumulates path solutions, one Elem per path vertex.
+	sols map[pattern.VertexID][][]Elem
+}
+
+func newTwig(st *storage.Store, g *pattern.Graph) *twig {
+	n := g.VertexCount()
+	t := &twig{
+		g:      g,
+		curs:   make([]*Cursor, n),
+		stacks: make([][]stackEntry, n),
+		parent: make([]pattern.VertexID, n),
+		rel:    make([]pattern.Rel, n),
+		paths:  map[pattern.VertexID][]pattern.VertexID{},
+		sols:   map[pattern.VertexID][][]Elem{},
+	}
+	t.curs[0] = NewCursor(RootStream(st))
+	t.parent[0] = -1
+	for v := 1; v < n; v++ {
+		p, rel := g.Parent(pattern.VertexID(v))
+		t.parent[v] = p
+		t.rel[v] = rel
+		t.curs[v] = NewCursor(VertexStream(st, g.Vertices[v]))
+	}
+	for v := 0; v < n; v++ {
+		if len(g.Children[v]) == 0 {
+			vid := pattern.VertexID(v)
+			t.leaves = append(t.leaves, vid)
+			var chain []pattern.VertexID
+			for u := vid; u >= 0; u = t.parent[u] {
+				chain = append([]pattern.VertexID{u}, chain...)
+			}
+			t.paths[vid] = chain
+		}
+	}
+	return t
+}
+
+func (t *twig) isLeaf(q pattern.VertexID) bool { return len(t.g.Children[q]) == 0 }
+
+// end reports whether every leaf stream is exhausted.
+func (t *twig) end() bool {
+	for _, l := range t.leaves {
+		if !t.curs[l].EOF() {
+			return false
+		}
+	}
+	return true
+}
+
+// getNext implements the TwigStack coordination: it returns the query
+// vertex whose current stream element should be processed next, with the
+// guarantee that for ancestor-descendant twigs the element participates in
+// a solution. Exhausted subtrees contribute +inf and are skipped.
+func (t *twig) getNext(q pattern.VertexID) pattern.VertexID {
+	kids := t.g.Children[q]
+	if len(kids) == 0 {
+		return q
+	}
+	var nmin pattern.VertexID = -1
+	minL, maxL := maxStart, int32(-1)
+	for _, e := range kids {
+		ni := t.getNext(e.To)
+		if ni != e.To && !t.curs[ni].EOF() {
+			return ni
+		}
+		var l int32 = maxStart
+		if ni == e.To {
+			l = t.curs[e.To].NextStart()
+		}
+		if l < minL {
+			minL, nmin = l, e.To
+		}
+		if l > maxL {
+			maxL = l
+		}
+	}
+	for !t.curs[q].EOF() && t.curs[q].NextEnd() < maxL {
+		t.curs[q].Advance()
+	}
+	if t.curs[q].NextStart() < minL {
+		return q
+	}
+	if nmin < 0 {
+		// All child subtrees exhausted; report the first child leafward.
+		return kids[0].To
+	}
+	return nmin
+}
+
+func (t *twig) run() {
+	for !t.end() {
+		q := t.getNext(0)
+		if t.curs[q].EOF() {
+			// Exhausted subtree reported; nothing further can match it.
+			return
+		}
+		e := t.curs[q].Head()
+		par := t.parent[q]
+		if par >= 0 {
+			cleanStack(&t.stacks[par], e.Start)
+		}
+		if par < 0 || len(t.stacks[par]) > 0 {
+			cleanStack(&t.stacks[q], e.Start)
+			pp := -1
+			if par >= 0 {
+				pp = len(t.stacks[par]) - 1
+			}
+			t.stacks[q] = append(t.stacks[q], stackEntry{elem: e, parent: pp})
+			t.curs[q].Advance()
+			if t.isLeaf(q) {
+				t.emit(q)
+				t.stacks[q] = t.stacks[q][:len(t.stacks[q])-1]
+			}
+		} else {
+			t.curs[q].Advance()
+		}
+	}
+}
+
+// emit enumerates the root-to-leaf path solutions ending at the entry just
+// pushed on leaf's stack, filtering parent-child edges.
+func (t *twig) emit(leaf pattern.VertexID) {
+	chain := t.paths[leaf]
+	tuple := make([]Elem, len(chain))
+	var rec func(ci int, v pattern.VertexID, idx int)
+	rec = func(ci int, v pattern.VertexID, idx int) {
+		if idx < 0 {
+			return
+		}
+		entry := t.stacks[v][idx]
+		tuple[ci] = entry.elem
+		if ci == 0 {
+			sol := make([]Elem, len(tuple))
+			copy(sol, tuple)
+			t.sols[leaf] = append(t.sols[leaf], sol)
+			return
+		}
+		pv := t.parent[v]
+		for pi := entry.parent; pi >= 0; pi-- {
+			p := t.stacks[pv][pi]
+			if !p.elem.Contains(entry.elem) {
+				continue
+			}
+			if t.rel[v] == pattern.RelChild && p.elem.Level+1 != entry.elem.Level {
+				continue
+			}
+			rec(ci-1, pv, pi)
+		}
+	}
+	rec(len(chain)-1, leaf, len(t.stacks[leaf])-1)
+}
+
+// mergeRows joins the per-leaf path-solution tables on shared vertices;
+// it returns the full twig-match table and the column index per vertex.
+func (t *twig) mergeRows() ([][]Elem, map[pattern.VertexID]int) {
+	if len(t.leaves) == 0 {
+		return nil, nil
+	}
+	cols := t.paths[t.leaves[0]]
+	rows := make([][]Elem, len(t.sols[t.leaves[0]]))
+	copy(rows, t.sols[t.leaves[0]])
+	colIdx := map[pattern.VertexID]int{}
+	for i, v := range cols {
+		colIdx[v] = i
+	}
+	for _, leaf := range t.leaves[1:] {
+		chain := t.paths[leaf]
+		// Shared columns: the common root-path prefix.
+		var shared []pattern.VertexID
+		for _, v := range chain {
+			if _, ok := colIdx[v]; ok {
+				shared = append(shared, v)
+			}
+		}
+		index := make(map[string][]int)
+		for ri, row := range rows {
+			k := keyOf(row, colIdx, shared)
+			index[k] = append(index[k], ri)
+		}
+		chainIdx := map[pattern.VertexID]int{}
+		for i, v := range chain {
+			chainIdx[v] = i
+		}
+		var newCols []pattern.VertexID
+		for _, v := range chain {
+			if _, ok := colIdx[v]; !ok {
+				newCols = append(newCols, v)
+			}
+		}
+		var nextRows [][]Elem
+		for _, sol := range t.sols[leaf] {
+			for _, ri := range index[keyOf(sol, chainIdx, shared)] {
+				row := make([]Elem, len(cols)+len(newCols))
+				copy(row, rows[ri])
+				for i, v := range newCols {
+					row[len(cols)+i] = sol[chainIdx[v]]
+				}
+				nextRows = append(nextRows, row)
+			}
+		}
+		for _, v := range newCols {
+			colIdx[v] = len(cols)
+			cols = append(cols, v)
+		}
+		rows = nextRows
+	}
+	return rows, colIdx
+}
+
+// merge produces the distinct output-vertex matches in document order.
+func (t *twig) merge() Stream {
+	rows, colIdx := t.mergeRows()
+	oi, ok := colIdx[t.g.Output]
+	if !ok {
+		return nil
+	}
+	seen := map[int32]bool{}
+	var out Stream
+	for _, row := range rows {
+		e := row[oi]
+		if !seen[e.Start] {
+			seen[e.Start] = true
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+func keyOf(row []Elem, idx map[pattern.VertexID]int, shared []pattern.VertexID) string {
+	var b strings.Builder
+	for _, v := range shared {
+		b.WriteString(strconv.Itoa(int(row[idx[v]].Start)))
+		b.WriteByte('|')
+	}
+	return b.String()
+}
+
+// TwigCount returns the number of full twig matches (tuples), used by
+// experiments that measure intermediate-result sizes.
+func TwigCount(st *storage.Store, g *pattern.Graph) int {
+	t := newTwig(st, g)
+	t.run()
+	rows, _ := t.mergeRows()
+	return len(rows)
+}

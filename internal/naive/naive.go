@@ -1,0 +1,134 @@
+// Package naive implements tree-pattern matching by direct recursive
+// navigation, the "navigational approach" baseline the paper cites
+// (Section 5, [10]): for every candidate node, test the pattern
+// constraints by walking the tree, with memoization but no single-pass
+// machinery and no structural joins.
+//
+// It is deliberately straightforward: it serves both as the baseline in
+// the experiments and as the differential-testing oracle for the NoK
+// matcher and the join-based algorithms.
+package naive
+
+import (
+	"sort"
+
+	"xqp/internal/pattern"
+	"xqp/internal/storage"
+)
+
+type evaluator struct {
+	st       *storage.Store
+	g        *pattern.Graph
+	contexts map[storage.NodeRef]bool
+	downMemo map[key]bool
+	bindMemo map[key]bool
+}
+
+type key struct {
+	n storage.NodeRef
+	v pattern.VertexID
+}
+
+// MatchOutput returns the output-vertex matches of the pattern graph in
+// document order, evaluated by brute-force navigation.
+func MatchOutput(st *storage.Store, g *pattern.Graph, contexts []storage.NodeRef) []storage.NodeRef {
+	e := &evaluator{
+		st:       st,
+		g:        g,
+		contexts: map[storage.NodeRef]bool{},
+		downMemo: map[key]bool{},
+		bindMemo: map[key]bool{},
+	}
+	for _, c := range contexts {
+		e.contexts[c] = true
+	}
+	var out []storage.NodeRef
+	for n := storage.NodeRef(0); int(n) < st.NodeCount(); n++ {
+		if e.bind(n, g.Output) {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// test applies the vertex's node test and value predicates; the anchor
+// (vertex 0) additionally requires the node to be a context node.
+func (e *evaluator) test(n storage.NodeRef, v pattern.VertexID) bool {
+	if v == 0 && !e.contexts[n] {
+		return false
+	}
+	return pattern.MatchesVertex(e.st, n, &e.g.Vertices[v])
+}
+
+// down reports whether the downward sub-pattern at v matches at n.
+func (e *evaluator) down(n storage.NodeRef, v pattern.VertexID) bool {
+	k := key{n, v}
+	if r, ok := e.downMemo[k]; ok {
+		return r
+	}
+	e.downMemo[k] = false // guard (patterns are acyclic; this is for safety)
+	r := e.downEval(n, v)
+	e.downMemo[k] = r
+	return r
+}
+
+func (e *evaluator) downEval(n storage.NodeRef, v pattern.VertexID) bool {
+	if !e.test(n, v) {
+		return false
+	}
+	for _, edge := range e.g.Children[v] {
+		found := false
+		if edge.Rel == pattern.RelChild {
+			for c := e.st.FirstChild(n); c != storage.NilRef; c = e.st.NextSibling(c) {
+				if e.down(c, edge.To) {
+					found = true
+					break
+				}
+			}
+		} else {
+			end := n + storage.NodeRef(e.st.SubtreeSize(n))
+			for d := n + 1; d < end; d++ {
+				if e.down(d, edge.To) {
+					found = true
+					break
+				}
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// bind reports whether v can be bound at n in some full pattern match.
+func (e *evaluator) bind(n storage.NodeRef, v pattern.VertexID) bool {
+	k := key{n, v}
+	if r, ok := e.bindMemo[k]; ok {
+		return r
+	}
+	e.bindMemo[k] = false
+	r := e.down(n, v) && e.up(n, v)
+	e.bindMemo[k] = r
+	return r
+}
+
+// up reports whether v's pattern parent can be bound at the appropriate
+// ancestor of n.
+func (e *evaluator) up(n storage.NodeRef, v pattern.VertexID) bool {
+	if v == 0 {
+		return true
+	}
+	p, rel := e.g.Parent(v)
+	if rel == pattern.RelChild {
+		a := e.st.Parent(n)
+		return a != storage.NilRef && e.bind(a, p)
+	}
+	for a := e.st.Parent(n); a != storage.NilRef; a = e.st.Parent(a) {
+		if e.bind(a, p) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,77 @@
+package naive
+
+import (
+	"testing"
+
+	"xqp/internal/ast"
+	"xqp/internal/parser"
+	"xqp/internal/pattern"
+	"xqp/internal/storage"
+)
+
+func graphOf(t testing.TB, src string) *pattern.Graph {
+	t.Helper()
+	e, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := pattern.FromPath(e.(*ast.PathExpr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestMatchOutputBasic(t *testing.T) {
+	st := storage.MustLoad(`<a><b><c/></b><b/><x><b><c/></b></x></a>`)
+	root := []storage.NodeRef{st.Root()}
+	cases := []struct {
+		q    string
+		want int
+	}{
+		{"/a/b", 2},
+		{"//b", 3},
+		{"//b[c]", 2},
+		{"/a/b/c", 1},
+		{"//x//c", 1},
+		{"/a/*", 3},
+		{"//missing", 0},
+	}
+	for _, c := range cases {
+		got := MatchOutput(st, graphOf(t, c.q), root)
+		if len(got) != c.want {
+			t.Errorf("%s: %d matches, want %d", c.q, len(got), c.want)
+		}
+	}
+}
+
+func TestContextRestriction(t *testing.T) {
+	st := storage.MustLoad(`<a><b><c/></b><b><c/></b></a>`)
+	bs := st.ElementRefs("b")
+	got := MatchOutput(st, graphOf(t, "c"), bs[:1])
+	if len(got) != 1 {
+		t.Fatalf("restricted match = %d, want 1", len(got))
+	}
+	// No contexts: nothing matches.
+	if got := MatchOutput(st, graphOf(t, "c"), nil); len(got) != 0 {
+		t.Fatalf("empty contexts matched %d", len(got))
+	}
+}
+
+func TestDocumentOrderOutput(t *testing.T) {
+	st := storage.MustLoad(`<a><b/><c><b/></c><b/></a>`)
+	got := MatchOutput(st, graphOf(t, "//b"), []storage.NodeRef{st.Root()})
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatal("not in document order")
+		}
+	}
+}
+
+func TestValuePredicates(t *testing.T) {
+	st := storage.MustLoad(`<a><p>5</p><p>15</p></a>`)
+	got := MatchOutput(st, graphOf(t, "/a/p[. > 10]"), []storage.NodeRef{st.Root()})
+	if len(got) != 1 {
+		t.Fatalf("value pred matches = %d", len(got))
+	}
+}

@@ -1,0 +1,98 @@
+package nok
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xqp/internal/naive"
+	"xqp/internal/storage"
+)
+
+func TestHybridBasics(t *testing.T) {
+	st := storage.MustLoad(bibXML)
+	root := []storage.NodeRef{st.Root()}
+	cases := []struct {
+		q    string
+		want int
+	}{
+		{"//title", 3},
+		{"//book//last", 3},
+		{"/bib//author/last", 4},
+		{"//book[author]//last", 3},
+		{"/bib/book", 2}, // single fragment degenerates to NoK
+		{"//a//b//c", 0}, // nothing matches
+		{"//book[.//last]/title", 2},
+	}
+	for _, c := range cases {
+		g := graphOf(t, c.q)
+		got, err := MatchHybrid(st, g, root)
+		if err != nil {
+			t.Fatalf("%s: %v", c.q, err)
+		}
+		if len(got) != c.want {
+			t.Errorf("%s: %d matches, want %d", c.q, len(got), c.want)
+		}
+	}
+}
+
+func TestHybridOutputInMiddleFragment(t *testing.T) {
+	st := storage.MustLoad(bibXML)
+	// Output (book) sits in a middle fragment with a trailing descendant
+	// existence constraint.
+	g := graphOf(t, "//book[.//last]")
+	got, err := MatchHybrid(st, g, []storage.NodeRef{st.Root()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := naive.MatchOutput(st, g, []storage.NodeRef{st.Root()})
+	if !refsEqual(got, want) {
+		t.Fatalf("hybrid %v, naive %v", got, want)
+	}
+}
+
+// Property: the hybrid strategy agrees with naive navigation and the
+// single-pass NoK matcher on random documents.
+func TestHybridAgreesProperty(t *testing.T) {
+	queries := []string{
+		"//b", "//a//b", "//a//b//c", "/a//c", "//a[b]//c",
+		"//a[.//b]//c", "//*//b", "//a[b][.//c]", "//a//b[c]",
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		st, err := storage.LoadString(randomXML(r, 70))
+		if err != nil {
+			return false
+		}
+		root := []storage.NodeRef{st.Root()}
+		for _, q := range queries {
+			g := graphOf(t, q)
+			want := naive.MatchOutput(st, g, root)
+			got, err := MatchHybrid(st, g, root)
+			if err != nil {
+				return false
+			}
+			if !refsEqual(got, want) {
+				t.Logf("seed %d query %s: hybrid %v != naive %v", seed, q, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkHybrid(b *testing.B) {
+	r := rand.New(rand.NewSource(3))
+	st := storage.MustLoad(randomXML(r, 5000))
+	g := graphOf(b, "//a[b]//c")
+	root := []storage.NodeRef{st.Root()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MatchHybrid(st, g, root); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

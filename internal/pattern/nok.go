@@ -1,0 +1,111 @@
+package pattern
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Fragment is one NoK (next-of-kin) fragment: a maximal connected
+// sub-pattern containing only parent-child edges, which the navigational
+// matcher can evaluate in one document scan without structural joins.
+type Fragment struct {
+	// Root is the fragment's root vertex in the original graph.
+	Root VertexID
+	// Vertices lists the fragment's vertices (Root first).
+	Vertices []VertexID
+}
+
+// Link is an ancestor-descendant edge between two fragments: matches of
+// the child fragment's root must be descendants of matches of From.
+type Link struct {
+	// From is a vertex in the parent fragment.
+	From VertexID
+	// ToFragment indexes Partition.Fragments; its root vertex must be a
+	// descendant of From's match.
+	ToFragment int
+}
+
+// Partition is the NoK partitioning of a pattern graph: fragments
+// connected by descendant links. Fragment 0 contains the graph root.
+type Partition struct {
+	Graph     *Graph
+	Fragments []Fragment
+	// Links[i] lists the descendant links out of fragment i.
+	Links [][]Link
+	// FragmentOf maps each vertex to its fragment index.
+	FragmentOf []int
+}
+
+// Partition splits the graph into NoK fragments along descendant edges.
+func (g *Graph) Partition() *Partition {
+	p := &Partition{
+		Graph:      g,
+		FragmentOf: make([]int, len(g.Vertices)),
+	}
+	// Fragment roots: the graph root, plus every vertex entered via a
+	// descendant edge.
+	var build func(root VertexID) int
+	build = func(root VertexID) int {
+		idx := len(p.Fragments)
+		p.Fragments = append(p.Fragments, Fragment{Root: root})
+		p.Links = append(p.Links, nil)
+		// Collect the child-connected component.
+		var descend func(v VertexID)
+		descend = func(v VertexID) {
+			p.FragmentOf[v] = idx
+			p.Fragments[idx].Vertices = append(p.Fragments[idx].Vertices, v)
+			for _, e := range g.Children[v] {
+				if e.Rel == RelChild {
+					descend(e.To)
+				}
+			}
+		}
+		descend(root)
+		// Now create child fragments for descendant edges out of this
+		// component (iterate after the component is fixed).
+		for _, v := range p.Fragments[idx].Vertices {
+			for _, e := range g.Children[v] {
+				if e.Rel == RelDescendant {
+					sub := build(e.To)
+					p.Links[idx] = append(p.Links[idx], Link{From: v, ToFragment: sub})
+				}
+			}
+		}
+		return idx
+	}
+	build(0)
+	return p
+}
+
+// FragmentCount reports the number of NoK fragments.
+func (p *Partition) FragmentCount() int { return len(p.Fragments) }
+
+// JoinCount reports the number of structural joins a join-based plan needs
+// to glue the fragments (one per link).
+func (p *Partition) JoinCount() int {
+	n := 0
+	for _, ls := range p.Links {
+		n += len(ls)
+	}
+	return n
+}
+
+// String renders the partition for explain output.
+func (p *Partition) String() string {
+	var b strings.Builder
+	for i, f := range p.Fragments {
+		fmt.Fprintf(&b, "fragment %d: root=%s vertices=[", i, p.Graph.Vertices[f.Root].Label())
+		for j, v := range f.Vertices {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(p.Graph.Vertices[v].Label())
+		}
+		b.WriteString("]")
+		for _, l := range p.Links[i] {
+			fmt.Fprintf(&b, " --//-> fragment %d (under %s)", l.ToFragment, p.Graph.Vertices[l.From].Label())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,55 @@
+package pattern
+
+import (
+	"xqp/internal/ast"
+	"xqp/internal/storage"
+	"xqp/internal/xmldoc"
+)
+
+// MatchesKindTest reports whether node n satisfies a non-name node test.
+func MatchesKindTest(st *storage.Store, n storage.NodeRef, t ast.NodeTest) bool {
+	switch t.Kind {
+	case ast.TestNode:
+		return true
+	case ast.TestText:
+		return st.Kind(n) == xmldoc.KindText
+	case ast.TestComment:
+		return st.Kind(n) == xmldoc.KindComment
+	case ast.TestPI:
+		return st.Kind(n) == xmldoc.KindPI && (t.Name == "" || st.Name(n) == t.Name)
+	}
+	return false
+}
+
+// MatchesVertex reports whether node n passes the vertex's node test and
+// all of its value predicates. It is shared by every matching strategy
+// (NoK, naive navigation, and the join-based stream builders) so the
+// strategies agree on test semantics by construction.
+func MatchesVertex(st *storage.Store, n storage.NodeRef, v *Vertex) bool {
+	switch {
+	case v.Attribute:
+		if st.Kind(n) != xmldoc.KindAttribute {
+			return false
+		}
+		if v.Test.Name != "*" && st.Name(n) != v.Test.Name {
+			return false
+		}
+	case v.Test.Kind == ast.TestName:
+		if st.Kind(n) != xmldoc.KindElement {
+			return false
+		}
+		if v.Test.Name != "*" && st.Name(n) != v.Test.Name {
+			return false
+		}
+	default:
+		if !MatchesKindTest(st, n, v.Test) {
+			return false
+		}
+	}
+	for _, p := range v.Preds {
+		if !p.Matches(st.StringValue(n)) {
+			return false
+		}
+	}
+	return true
+}

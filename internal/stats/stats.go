@@ -1,0 +1,290 @@
+// Package stats builds a path synopsis (a DataGuide-style summary) of a
+// stored document and estimates pattern-match cardinalities from it. The
+// cost model (package cost) uses these estimates to choose between the
+// navigational and join-based physical plans — the chooser the paper's
+// Section 2 calls for.
+package stats
+
+import (
+	"fmt"
+	"strings"
+
+	"xqp/internal/ast"
+	"xqp/internal/pattern"
+	"xqp/internal/storage"
+	"xqp/internal/vocab"
+	"xqp/internal/xmldoc"
+)
+
+// predSelectivity is the default selectivity assumed for each value
+// predicate on a pattern vertex.
+const predSelectivity = 0.33
+
+// Synopsis summarizes the distinct root-to-node label paths of a document
+// with their occurrence counts.
+type Synopsis struct {
+	root      *node
+	tagCount  map[vocab.Symbol]int64
+	nodeCount int64
+	elemCount int64
+	maxDepth  int
+}
+
+type node struct {
+	sym      vocab.Symbol
+	count    int64
+	children map[vocab.Symbol]*node
+}
+
+func newNode(sym vocab.Symbol) *node {
+	return &node{sym: sym, children: map[vocab.Symbol]*node{}}
+}
+
+// Build scans the store once and constructs its synopsis.
+func Build(st *storage.Store) *Synopsis {
+	s := &Synopsis{root: newNode(vocab.Root), tagCount: map[vocab.Symbol]int64{}}
+	s.root.count = 1
+	stack := []*node{s.root}
+	st.Scan(st.Root(), func(n storage.NodeRef, depth int) bool {
+		if n == st.Root() {
+			return true
+		}
+		if depth > s.maxDepth {
+			s.maxDepth = depth
+		}
+		s.nodeCount++
+		if st.Kind(n) == xmldoc.KindElement {
+			s.elemCount++
+		}
+		sym := st.Tag(n)
+		s.tagCount[sym]++
+		stack = stack[:depth] // parent synopsis node is at depth-1
+		parent := stack[depth-1]
+		child, ok := parent.children[sym]
+		if !ok {
+			child = newNode(sym)
+			parent.children[sym] = child
+		}
+		child.count++
+		stack = append(stack, child)
+		return true
+	})
+	return s
+}
+
+// NodeCount reports the number of stored nodes excluding the root.
+func (s *Synopsis) NodeCount() int64 { return s.nodeCount }
+
+// ElementCount reports the number of element nodes.
+func (s *Synopsis) ElementCount() int64 { return s.elemCount }
+
+// MaxDepth reports the maximum node depth.
+func (s *Synopsis) MaxDepth() int { return s.maxDepth }
+
+// TagCount reports how many nodes carry the given tag symbol.
+func (s *Synopsis) TagCount(sym vocab.Symbol) int64 { return s.tagCount[sym] }
+
+// TagCountName reports how many nodes carry the given element name.
+func (s *Synopsis) TagCountName(st *storage.Store, name string) int64 {
+	sym := st.Vocab.Lookup(name)
+	if sym == vocab.None {
+		return 0
+	}
+	return s.tagCount[sym]
+}
+
+// PathCount reports the number of nodes reachable by the given
+// root-to-leaf label path (child steps only), e.g. ["bib","book","title"].
+func (s *Synopsis) PathCount(st *storage.Store, path []string) int64 {
+	cur := []*node{s.root}
+	for _, name := range path {
+		sym := st.Vocab.Lookup(name)
+		if sym == vocab.None {
+			return 0
+		}
+		var next []*node
+		for _, n := range cur {
+			if c, ok := n.children[sym]; ok {
+				next = append(next, c)
+			}
+		}
+		if len(next) == 0 {
+			return 0
+		}
+		cur = next
+	}
+	var total int64
+	for _, n := range cur {
+		total += n.count
+	}
+	return total
+}
+
+// EstimateVertexMatches estimates how many document nodes match a pattern
+// vertex's node test (before structural constraints).
+func (s *Synopsis) EstimateVertexMatches(st *storage.Store, v *pattern.Vertex) float64 {
+	var base float64
+	switch {
+	case v.Attribute:
+		if v.Test.Name == "*" {
+			base = float64(s.nodeCount-s.elemCount) / 2
+		} else {
+			base = float64(s.TagCountName(st, "@"+v.Test.Name))
+		}
+	case v.Test.Kind == ast.TestName:
+		if v.Test.Name == "*" {
+			base = float64(s.elemCount)
+		} else {
+			base = float64(s.TagCountName(st, v.Test.Name))
+		}
+	case v.Test.Kind == ast.TestText:
+		base = float64(s.TagCountName(st, "#text"))
+	default:
+		base = float64(s.nodeCount)
+	}
+	for range v.Preds {
+		base *= predSelectivity
+	}
+	return base
+}
+
+// EstimatePattern estimates the number of matches of the pattern's output
+// vertex by walking the synopsis against the pattern graph. Descendant
+// edges search all synopsis depths; value predicates contribute the
+// default selectivity.
+func (s *Synopsis) EstimatePattern(st *storage.Store, g *pattern.Graph) float64 {
+	// matches(synNode, vertex) = estimated count of (doc node, vertex)
+	// embeddings at this synopsis node, considering the downward pattern.
+	type key struct {
+		n *node
+		v pattern.VertexID
+	}
+	memo := map[key]float64{}
+	var down func(n *node, v pattern.VertexID) float64
+	down = func(n *node, v pattern.VertexID) float64 {
+		k := key{n, v}
+		if r, ok := memo[k]; ok {
+			return r
+		}
+		memo[k] = 0
+		vx := &g.Vertices[v]
+		if !synMatches(st, n, vx) {
+			return 0
+		}
+		frac := 1.0
+		for range vx.Preds {
+			frac *= predSelectivity
+		}
+		for _, e := range g.Children[v] {
+			var sub float64
+			if e.Rel == pattern.RelChild {
+				for _, c := range n.children {
+					sub += down(c, e.To)
+				}
+			} else {
+				var rec func(m *node)
+				rec = func(m *node) {
+					for _, c := range m.children {
+						sub += down(c, e.To)
+						rec(c)
+					}
+				}
+				rec(n)
+			}
+			// Probability that a given node has at least one matching
+			// child: clamp the expected count.
+			if sub <= 0 {
+				memo[k] = 0
+				return 0
+			}
+			p := sub / float64(maxI64(n.count, 1))
+			if p > 1 {
+				p = 1
+			}
+			frac *= p
+		}
+		r := float64(n.count) * frac
+		memo[k] = r
+		return r
+	}
+	// The output vertex estimate: product of downward fraction at output
+	// and the upward path reaching it. A simple approximation: estimate
+	// matches of the output vertex along every synopsis placement
+	// consistent with the pattern's root path.
+	var total float64
+	chain := rootChain(g)
+	var walkChain func(n *node, ci int)
+	walkChain = func(n *node, ci int) {
+		if ci == len(chain)-1 {
+			total += down(n, chain[ci].v)
+			return
+		}
+		cur := chain[ci]
+		next := chain[ci+1]
+		if !synMatches(st, n, &g.Vertices[cur.v]) {
+			return
+		}
+		if next.rel == pattern.RelChild {
+			for _, c := range n.children {
+				walkChain(c, ci+1)
+			}
+		} else {
+			var rec func(m *node)
+			rec = func(m *node) {
+				for _, c := range m.children {
+					walkChain(c, ci+1)
+					rec(c)
+				}
+			}
+			rec(n)
+		}
+	}
+	walkChain(s.root, 0)
+	return total
+}
+
+type chainStep struct {
+	v   pattern.VertexID
+	rel pattern.Rel
+}
+
+// rootChain is the vertex path from the pattern root to the output.
+func rootChain(g *pattern.Graph) []chainStep {
+	var chain []chainStep
+	for v := g.Output; v >= 0; {
+		p, rel := g.Parent(v)
+		chain = append([]chainStep{{v: v, rel: rel}}, chain...)
+		v = p
+	}
+	return chain
+}
+
+func synMatches(st *storage.Store, n *node, vx *pattern.Vertex) bool {
+	if vx.Test.Kind != ast.TestName {
+		return true // kind tests estimated loosely
+	}
+	if n.sym == vocab.Root {
+		return false
+	}
+	name := st.Vocab.Name(n.sym)
+	if vx.Attribute {
+		return strings.HasPrefix(name, "@") && (vx.Test.Name == "*" || name[1:] == vx.Test.Name)
+	}
+	if strings.HasPrefix(name, "@") || strings.HasPrefix(name, "#") || strings.HasPrefix(name, "?") {
+		return false
+	}
+	return vx.Test.Name == "*" || name == vx.Test.Name
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// String summarizes the synopsis.
+func (s *Synopsis) String() string {
+	return fmt.Sprintf("Synopsis{nodes=%d, elements=%d, maxDepth=%d, tags=%d}",
+		s.nodeCount, s.elemCount, s.maxDepth, len(s.tagCount))
+}

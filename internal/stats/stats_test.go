@@ -1,0 +1,140 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"xqp/internal/ast"
+	"xqp/internal/naive"
+	"xqp/internal/parser"
+	"xqp/internal/pattern"
+	"xqp/internal/storage"
+	"xqp/internal/xmark"
+)
+
+func graphOf(t testing.TB, src string) *pattern.Graph {
+	t.Helper()
+	e, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := pattern.FromPath(e.(*ast.PathExpr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBuildCounts(t *testing.T) {
+	st := storage.MustLoad(`<a><b><c/><c/></b><b/><d>x</d></a>`)
+	s := Build(st)
+	if s.NodeCount() != int64(st.NodeCount()-1) {
+		t.Fatalf("NodeCount = %d, want %d", s.NodeCount(), st.NodeCount()-1)
+	}
+	if got := s.TagCountName(st, "b"); got != 2 {
+		t.Fatalf("count(b) = %d", got)
+	}
+	if got := s.TagCountName(st, "c"); got != 2 {
+		t.Fatalf("count(c) = %d", got)
+	}
+	if got := s.TagCountName(st, "zzz"); got != 0 {
+		t.Fatalf("count(zzz) = %d", got)
+	}
+	if s.MaxDepth() != 3 {
+		t.Fatalf("MaxDepth = %d", s.MaxDepth())
+	}
+	if s.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestPathCount(t *testing.T) {
+	st := storage.MustLoad(`<a><b><c/><c/></b><b><c/></b><x><c/></x></a>`)
+	s := Build(st)
+	if got := s.PathCount(st, []string{"a", "b", "c"}); got != 3 {
+		t.Fatalf("a/b/c = %d, want 3", got)
+	}
+	if got := s.PathCount(st, []string{"a", "x", "c"}); got != 1 {
+		t.Fatalf("a/x/c = %d, want 1", got)
+	}
+	if got := s.PathCount(st, []string{"a", "nope"}); got != 0 {
+		t.Fatalf("a/nope = %d", got)
+	}
+}
+
+// Estimates on unique-label-path documents must be exact.
+func TestEstimateExactOnSimpleDocs(t *testing.T) {
+	st := xmark.StoreBib(3)
+	s := Build(st)
+	cases := []string{
+		"/bib/book",
+		"/bib/book/title",
+		"/bib/book/author/last",
+		"//price",
+		"/bib/book/editor",
+	}
+	for _, q := range cases {
+		g := graphOf(t, q)
+		got := s.EstimatePattern(st, g)
+		want := float64(len(naive.MatchOutput(st, g, []storage.NodeRef{st.Root()})))
+		if math.Abs(got-want) > 0.5 {
+			t.Errorf("%s: estimate %.1f, actual %.0f", q, got, want)
+		}
+	}
+}
+
+// Estimates with branching and predicates stay within an order of
+// magnitude on the auction corpus (they are estimates, not counts).
+func TestEstimateSanityOnAuction(t *testing.T) {
+	st := xmark.StoreAuction(2)
+	s := Build(st)
+	cases := []string{
+		"//item/description",
+		"//open_auction[bidder]",
+		"//person[phone]",
+		"//listitem/text",
+	}
+	for _, q := range cases {
+		g := graphOf(t, q)
+		got := s.EstimatePattern(st, g)
+		actual := float64(len(naive.MatchOutput(st, g, []storage.NodeRef{st.Root()})))
+		if actual == 0 {
+			continue
+		}
+		ratio := got / actual
+		if ratio < 0.1 || ratio > 10 {
+			t.Errorf("%s: estimate %.1f vs actual %.0f (ratio %.2f)", q, got, actual, ratio)
+		}
+	}
+}
+
+func TestEstimateZeroForMissingTags(t *testing.T) {
+	st := xmark.StoreBib(1)
+	s := Build(st)
+	g := graphOf(t, "/bib/nonexistent")
+	if got := s.EstimatePattern(st, g); got != 0 {
+		t.Fatalf("estimate for missing tag = %f", got)
+	}
+}
+
+func TestEstimateVertexMatches(t *testing.T) {
+	st := xmark.StoreBib(1)
+	s := Build(st)
+	g := graphOf(t, "/bib/book[price < 50]")
+	var priceV *pattern.Vertex
+	for i := range g.Vertices {
+		if g.Vertices[i].Test.Name == "price" {
+			priceV = &g.Vertices[i]
+		}
+	}
+	est := s.EstimateVertexMatches(st, priceV)
+	// 10 prices × default selectivity.
+	if est <= 0 || est >= 10 {
+		t.Fatalf("predicate vertex estimate = %f", est)
+	}
+	// Wildcard estimates all elements.
+	wild := pattern.Vertex{Test: ast.NodeTest{Kind: ast.TestName, Name: "*"}}
+	if got := s.EstimateVertexMatches(st, &wild); got != float64(s.ElementCount()) {
+		t.Fatalf("wildcard estimate = %f", got)
+	}
+}

@@ -1,0 +1,113 @@
+package storage
+
+import (
+	"sort"
+	"strings"
+
+	"xqp/internal/vocab"
+)
+
+// TagIndex is the element/attribute tag index over a store: one posting
+// list of node refs per tag symbol, in document order. It is the access
+// method behind the join-based operators' input streams (the role the
+// paper assigns to structure-aware indexes in Section 4).
+type TagIndex struct {
+	postings map[vocab.Symbol][]NodeRef
+}
+
+// BuildTagIndex scans the store once and builds the index.
+func BuildTagIndex(s *Store) *TagIndex {
+	idx := &TagIndex{postings: make(map[vocab.Symbol][]NodeRef, s.Vocab.Len())}
+	for i := range s.tags {
+		idx.postings[s.tags[i]] = append(idx.postings[s.tags[i]], NodeRef(i))
+	}
+	return idx
+}
+
+// Refs returns the posting list for a symbol (shared; do not mutate).
+func (x *TagIndex) Refs(sym vocab.Symbol) []NodeRef { return x.postings[sym] }
+
+// Count reports the posting-list length for a symbol.
+func (x *TagIndex) Count(sym vocab.Symbol) int { return len(x.postings[sym]) }
+
+// SizeBytes estimates the index footprint.
+func (x *TagIndex) SizeBytes() int {
+	n := 0
+	for _, p := range x.postings {
+		n += 4*len(p) + 16
+	}
+	return n
+}
+
+// Index returns the store's cached tag index, building it on first use.
+// Safe for concurrent readers.
+func (s *Store) Index() *TagIndex {
+	s.tagIndexOnce.Do(func() { s.tagIndex = BuildTagIndex(s) })
+	return s.tagIndex
+}
+
+// ContentIndex is a value index over the string values of the nodes with
+// a given tag: a sorted (value, ref) list supporting equality and range
+// probes in O(log n) — the "content-based index (such as B+ trees)" the
+// paper's storage separation enables (Section 4.2).
+type ContentIndex struct {
+	vals []string
+	refs []NodeRef
+}
+
+// BuildContentIndex indexes the string values of all nodes with the
+// given tag symbol.
+func BuildContentIndex(s *Store, sym vocab.Symbol) *ContentIndex {
+	refs := s.Index().Refs(sym)
+	ci := &ContentIndex{
+		vals: make([]string, len(refs)),
+		refs: make([]NodeRef, len(refs)),
+	}
+	copy(ci.refs, refs)
+	for i, r := range ci.refs {
+		ci.vals[i] = s.StringValue(r)
+	}
+	sort.Sort(byValue{ci})
+	return ci
+}
+
+type byValue struct{ ci *ContentIndex }
+
+func (b byValue) Len() int { return len(b.ci.vals) }
+func (b byValue) Less(i, j int) bool {
+	if c := strings.Compare(b.ci.vals[i], b.ci.vals[j]); c != 0 {
+		return c < 0
+	}
+	return b.ci.refs[i] < b.ci.refs[j]
+}
+func (b byValue) Swap(i, j int) {
+	b.ci.vals[i], b.ci.vals[j] = b.ci.vals[j], b.ci.vals[i]
+	b.ci.refs[i], b.ci.refs[j] = b.ci.refs[j], b.ci.refs[i]
+}
+
+// Len reports the number of indexed nodes.
+func (c *ContentIndex) Len() int { return len(c.refs) }
+
+// Eq returns the refs whose string value equals v, in document order.
+func (c *ContentIndex) Eq(v string) []NodeRef {
+	lo := sort.SearchStrings(c.vals, v)
+	hi := lo
+	for hi < len(c.vals) && c.vals[hi] == v {
+		hi++
+	}
+	return sortedRefs(c.refs[lo:hi])
+}
+
+// Range returns the refs with lo <= value < hi (string order), in
+// document order.
+func (c *ContentIndex) Range(lo, hi string) []NodeRef {
+	i := sort.SearchStrings(c.vals, lo)
+	j := sort.SearchStrings(c.vals, hi)
+	return sortedRefs(c.refs[i:j])
+}
+
+func sortedRefs(in []NodeRef) []NodeRef {
+	out := append([]NodeRef(nil), in...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,99 @@
+package storage
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"xqp/internal/vocab"
+)
+
+func TestTagIndexMatchesLinearScan(t *testing.T) {
+	s := MustLoad(bibXML)
+	for _, name := range []string{"book", "author", "last", "title", "price"} {
+		sym := s.Vocab.Lookup(name)
+		var want []NodeRef
+		for i := 0; i < s.NodeCount(); i++ {
+			if s.Tag(NodeRef(i)) == sym {
+				want = append(want, NodeRef(i))
+			}
+		}
+		got := s.TagRefs(sym)
+		if len(got) != len(want) {
+			t.Fatalf("%s: index %d refs, scan %d", name, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s: index and scan disagree at %d", name, i)
+			}
+		}
+	}
+	if refs := s.TagRefs(vocab.None); refs != nil {
+		t.Fatal("TagRefs(None) not nil")
+	}
+	if s.Index() != s.Index() {
+		t.Fatal("Index not cached")
+	}
+	if s.Index().SizeBytes() <= 0 {
+		t.Fatal("index size not positive")
+	}
+	if s.Index().Count(s.Vocab.Lookup("book")) != 2 {
+		t.Fatal("Count wrong")
+	}
+}
+
+func TestContentIndexEq(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("<list>")
+	for i := 0; i < 100; i++ {
+		fmt.Fprintf(&b, "<v>%d</v>", i%10)
+	}
+	b.WriteString("</list>")
+	s := MustLoad(b.String())
+	ci := BuildContentIndex(s, s.Vocab.Lookup("v"))
+	if ci.Len() != 100 {
+		t.Fatalf("indexed %d", ci.Len())
+	}
+	refs := ci.Eq("7")
+	if len(refs) != 10 {
+		t.Fatalf("Eq(7) = %d refs, want 10", len(refs))
+	}
+	for i := range refs {
+		if s.StringValue(refs[i]) != "7" {
+			t.Fatal("Eq returned wrong node")
+		}
+		if i > 0 && refs[i-1] >= refs[i] {
+			t.Fatal("Eq not in document order")
+		}
+	}
+	if got := ci.Eq("nope"); len(got) != 0 {
+		t.Fatalf("Eq(nope) = %v", got)
+	}
+}
+
+func TestContentIndexRange(t *testing.T) {
+	s := MustLoad(`<l><v>apple</v><v>banana</v><v>cherry</v><v>date</v></l>`)
+	ci := BuildContentIndex(s, s.Vocab.Lookup("v"))
+	refs := ci.Range("b", "d")
+	if len(refs) != 2 {
+		t.Fatalf("Range(b,d) = %d refs, want 2 (banana, cherry)", len(refs))
+	}
+	if got := ci.Range("x", "z"); len(got) != 0 {
+		t.Fatalf("empty range = %v", got)
+	}
+	all := ci.Range("", "￿")
+	if len(all) != 4 {
+		t.Fatalf("full range = %d", len(all))
+	}
+}
+
+func TestContentIndexAttributes(t *testing.T) {
+	s := MustLoad(bibXML)
+	ci := BuildContentIndex(s, s.Vocab.Lookup("@year"))
+	if ci.Len() != 2 {
+		t.Fatalf("year attrs indexed = %d", ci.Len())
+	}
+	if len(ci.Eq("1994")) != 1 {
+		t.Fatal("Eq(1994) wrong")
+	}
+}

@@ -1,0 +1,324 @@
+package storage
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"xqp/internal/vocab"
+	"xqp/internal/xmldoc"
+)
+
+const bibXML = `<bib>
+  <book year="1994">
+    <title>TCP/IP Illustrated</title>
+    <author><last>Stevens</last><first>W.</first></author>
+    <price>65.95</price>
+  </book>
+  <book year="2000">
+    <title>Data on the Web</title>
+    <author><last>Abiteboul</last><first>Serge</first></author>
+    <author><last>Buneman</last><first>Peter</first></author>
+    <price>39.95</price>
+  </book>
+</bib>`
+
+func TestLoadAndShape(t *testing.T) {
+	s := MustLoad(bibXML)
+	root := s.DocumentElement()
+	if root == NilRef || s.Name(root) != "bib" {
+		t.Fatalf("document element wrong: %v %q", root, s.Name(root))
+	}
+	books := s.ElementRefs("book")
+	if len(books) != 2 {
+		t.Fatalf("book refs = %d, want 2", len(books))
+	}
+	if got := s.Parent(books[0]); got != root {
+		t.Errorf("Parent(book) = %v, want %v", got, root)
+	}
+	if a := s.Attribute(books[0], "year"); a == NilRef || s.Content(a) != "1994" {
+		t.Errorf("year attribute wrong")
+	}
+	if a := s.Attribute(books[0], "nope"); a != NilRef {
+		t.Errorf("missing attribute found")
+	}
+	titles := s.ElementRefs("title")
+	if len(titles) != 2 || s.StringValue(titles[0]) != "TCP/IP Illustrated" {
+		t.Fatalf("titles wrong: %v", titles)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	for _, bad := range []string{"", "<a><b></a></b>", "<a>", "plain"} {
+		if _, err := LoadString(bad); err == nil {
+			t.Errorf("LoadString(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestNavigationMatchesDoc(t *testing.T) {
+	d := xmldoc.MustParse(bibXML)
+	s := FromDoc(d)
+	if s.NodeCount() != len(d.Nodes) {
+		t.Fatalf("node counts differ: store %d, doc %d", s.NodeCount(), len(d.Nodes))
+	}
+	// The pre-order numbering must match the arena order, so navigation
+	// must agree ref-for-id.
+	for i := range d.Nodes {
+		id := xmldoc.NodeID(i)
+		ref := NodeRef(i)
+		if got, want := s.Kind(ref), d.Kind(id); got != want {
+			t.Fatalf("node %d: kind %v vs %v", i, got, want)
+		}
+		if d.Kind(id) == xmldoc.KindElement && s.Name(ref) != d.Name(id) {
+			t.Fatalf("node %d: name %q vs %q", i, s.Name(ref), d.Name(id))
+		}
+		if got, want := s.Parent(ref), d.Nodes[id].Parent; NodeRef(want) != got {
+			t.Fatalf("node %d: parent %v vs %v", i, got, want)
+		}
+		if got, want := int32(s.Depth(ref)), d.Nodes[id].Level; got != want {
+			t.Fatalf("node %d: depth %d vs %d", i, got, want)
+		}
+		if got, want := s.StringValue(ref), d.StringValue(id); got != want {
+			t.Fatalf("node %d: string value %q vs %q", i, got, want)
+		}
+	}
+}
+
+func TestRoundTripThroughStore(t *testing.T) {
+	d1 := xmldoc.MustParse(bibXML)
+	s := FromDoc(d1)
+	d2 := s.ToDoc()
+	if !xmldoc.DeepEqual(d1, d1.Root(), d2, d2.Root()) {
+		t.Fatal("store round trip changed the tree")
+	}
+}
+
+func TestStreamingLoadEqualsDomLoad(t *testing.T) {
+	s1, err := LoadReader(strings.NewReader(bibXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := FromDoc(xmldoc.MustParse(bibXML))
+	d1, d2 := s1.ToDoc(), s2.ToDoc()
+	if !xmldoc.DeepEqual(d1, d1.Root(), d2, d2.Root()) {
+		t.Fatal("streaming load differs from DOM load")
+	}
+}
+
+func TestSubtreeContiguity(t *testing.T) {
+	s := MustLoad(bibXML)
+	for n := NodeRef(0); int(n) < s.NodeCount(); n++ {
+		size := s.SubtreeSize(n)
+		// Every node in (n, n+size) must have n as an ancestor.
+		for d := n + 1; d < n+NodeRef(size); d++ {
+			if !s.IsAncestor(n, d) {
+				t.Fatalf("node %d not ancestor of in-range %d", n, d)
+			}
+		}
+		// The node right after the range must not be a descendant.
+		if after := n + NodeRef(size); int(after) < s.NodeCount() && s.IsAncestor(n, after) {
+			t.Fatalf("node %d claims descendant %d outside range", n, after)
+		}
+	}
+}
+
+func TestSpanIsIntervalEncoding(t *testing.T) {
+	s := MustLoad(bibXML)
+	for a := NodeRef(0); int(a) < s.NodeCount(); a++ {
+		ao, ac := s.Span(a)
+		if ao >= ac {
+			t.Fatalf("node %d: open %d >= close %d", a, ao, ac)
+		}
+		for d := NodeRef(0); int(d) < s.NodeCount(); d++ {
+			do, dc := s.Span(d)
+			want := ao < do && dc < ac
+			if got := s.IsAncestor(a, d); got != want {
+				t.Fatalf("IsAncestor(%d,%d) = %v, interval says %v", a, d, got, want)
+			}
+		}
+	}
+}
+
+func TestScanVisitsSubtreeInPreorder(t *testing.T) {
+	s := MustLoad(bibXML)
+	books := s.ElementRefs("book")
+	var visited []NodeRef
+	s.Scan(books[0], func(n NodeRef, depth int) bool {
+		visited = append(visited, n)
+		return true
+	})
+	if len(visited) != s.SubtreeSize(books[0]) {
+		t.Fatalf("Scan visited %d, want %d", len(visited), s.SubtreeSize(books[0]))
+	}
+	for i := 1; i < len(visited); i++ {
+		if visited[i] != visited[i-1]+1 {
+			t.Fatal("Scan not in pre-order")
+		}
+	}
+}
+
+func TestScanPruning(t *testing.T) {
+	s := MustLoad(bibXML)
+	root := s.DocumentElement()
+	var names []string
+	s.Scan(root, func(n NodeRef, depth int) bool {
+		if s.Kind(n) == xmldoc.KindElement {
+			names = append(names, s.Name(n))
+		}
+		// Prune below book: we should see bib and the two books only.
+		return s.Name(n) != "book"
+	})
+	if len(names) != 3 || names[0] != "bib" || names[1] != "book" || names[2] != "book" {
+		t.Fatalf("pruned scan saw %v", names)
+	}
+}
+
+func TestTagRefsDocumentOrder(t *testing.T) {
+	s := MustLoad(bibXML)
+	authors := s.ElementRefs("author")
+	if len(authors) != 3 {
+		t.Fatalf("authors = %d, want 3", len(authors))
+	}
+	for i := 1; i < len(authors); i++ {
+		if authors[i-1] >= authors[i] {
+			t.Fatal("TagRefs not in document order")
+		}
+	}
+	if refs := s.ElementRefs("nosuch"); refs != nil {
+		t.Fatalf("ElementRefs(nosuch) = %v", refs)
+	}
+}
+
+func TestAccountant(t *testing.T) {
+	s := MustLoad(bibXML)
+	a := NewAccountant()
+	s.SetAccountant(a)
+	s.SetPageSize(64)
+	for _, bk := range s.ElementRefs("book") {
+		s.Scan(bk, func(n NodeRef, d int) bool { _ = s.StringValue(n); return true })
+	}
+	if a.Pages() == 0 || a.Touches == 0 {
+		t.Fatal("accountant recorded nothing")
+	}
+	a.Reset()
+	if a.Pages() != 0 || a.Touches != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestSizeBytesBreakdown(t *testing.T) {
+	s := MustLoad(bibXML)
+	st, tg, ct := s.SizeBytes()
+	if st <= 0 || tg <= 0 || ct <= 0 {
+		t.Fatalf("SizeBytes = %d/%d/%d", st, tg, ct)
+	}
+	if !strings.Contains(s.String(), "nodes=") {
+		t.Fatal("String() malformed")
+	}
+}
+
+func TestVocabSharing(t *testing.T) {
+	vt := vocab.New()
+	b1 := NewBuilder(vt)
+	b1.StartElement("x")
+	b1.EndElement()
+	s1 := b1.Build()
+	b2 := NewBuilder(vt)
+	b2.StartElement("x")
+	b2.EndElement()
+	s2 := b2.Build()
+	if s1.Tag(1) != s2.Tag(1) {
+		t.Fatal("shared vocabulary produced different symbols")
+	}
+}
+
+// Property: FromDoc ∘ ToDoc is the identity on random documents.
+func TestStoreRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d1 := randomDoc(r, 70)
+		s := FromDoc(d1)
+		d2 := s.ToDoc()
+		return xmldoc.DeepEqual(d1, d1.Root(), d2, d2.Root())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: navigation over the store matches navigation over the arena.
+func TestNavigationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := randomDoc(r, 90)
+		s := FromDoc(d)
+		if s.NodeCount() != len(d.Nodes) {
+			return false
+		}
+		for i := range d.Nodes {
+			ref, id := NodeRef(i), xmldoc.NodeID(i)
+			if int32(s.Parent(ref)) != int32(d.Nodes[id].Parent) {
+				return false
+			}
+			fcS := s.FirstChild(ref)
+			fcD := d.Nodes[id].FirstChild
+			if int32(fcS) != int32(fcD) {
+				return false
+			}
+			nsS := s.NextSibling(ref)
+			nsD := d.Nodes[id].NextSibling
+			if int32(nsS) != int32(nsD) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomDoc(r *rand.Rand, maxNodes int) *xmldoc.Document {
+	b := xmldoc.NewBuilder()
+	names := []string{"a", "b", "c", "d"}
+	var build func(depth, budget int) int
+	build = func(depth, budget int) int {
+		used := 1
+		b.OpenElement(names[r.Intn(len(names))])
+		if r.Intn(3) == 0 {
+			b.Attr("k", "v")
+		}
+		for used < budget && depth < 8 && r.Intn(3) != 0 {
+			if r.Intn(4) == 0 {
+				b.Text("t")
+			} else {
+				used += build(depth+1, budget-used)
+			}
+		}
+		b.CloseElement()
+		return used
+	}
+	build(0, maxNodes)
+	return b.Build()
+}
+
+func BenchmarkFromDoc(b *testing.B) {
+	big := "<bib>" + strings.Repeat(bibXML[5:len(bibXML)-6], 100) + "</bib>"
+	d := xmldoc.MustParse(big)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FromDoc(d)
+	}
+}
+
+func BenchmarkScan(b *testing.B) {
+	big := "<bib>" + strings.Repeat(bibXML[5:len(bibXML)-6], 200) + "</bib>"
+	s := MustLoad(big)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		s.Scan(0, func(n NodeRef, d int) bool { count++; return true })
+	}
+}

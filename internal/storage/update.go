@@ -1,0 +1,170 @@
+package storage
+
+import (
+	"fmt"
+
+	"xqp/internal/xmldoc"
+)
+
+// UpdateStats quantifies the locality of an update: how much of each
+// encoding actually changes. The paper's Section 4.2 claims the pre-order
+// balanced-parentheses clustering makes updates local ("each update only
+// affects a local sub-string"); by contrast, interval encodings renumber
+// every node following the edit point.
+type UpdateStats struct {
+	// NodesInserted / NodesDeleted count affected nodes.
+	NodesInserted int
+	NodesDeleted  int
+	// SuccinctDirtyBytes is the contiguous region of the succinct
+	// encoding that changes: 2 bits per node in the structure stream
+	// plus one tag id and kind byte per node, plus changed content.
+	SuccinctDirtyBytes int
+	// IntervalDirtyBytes is what an interval-encoded relation must
+	// rewrite: the edited tuples plus the renumbered (start, end) of
+	// every node at or after the edit point.
+	IntervalDirtyBytes int
+}
+
+// The updates below are copy-on-write: they produce a new Store (the
+// succinct structures are otherwise immutable). A disk-resident
+// implementation would rewrite only the dirty region; UpdateStats reports
+// that region's size so experiments can compare locality across schemes.
+
+// DeleteSubtree removes the subtree rooted at target and returns the new
+// store. The document root cannot be deleted.
+func (s *Store) DeleteSubtree(target NodeRef) (*Store, UpdateStats, error) {
+	if target <= 0 || int(target) >= s.NodeCount() {
+		return nil, UpdateStats{}, fmt.Errorf("storage: DeleteSubtree(%d): no such node", target)
+	}
+	size := s.SubtreeSize(target)
+	var contentBytes int
+	for d := target; d < target+NodeRef(size); d++ {
+		contentBytes += len(s.Content(d))
+	}
+	stats := UpdateStats{
+		NodesDeleted:       size,
+		SuccinctDirtyBytes: dirtySuccinct(size, contentBytes),
+		IntervalDirtyBytes: dirtyInterval(s, target, size),
+	}
+	out := s.rebuild(func(b *Builder, n NodeRef) bool { return n != target }, nil)
+	return out, stats, nil
+}
+
+// InsertChild inserts the document element(s) of frag as the last
+// children of parent, returning the new store.
+func (s *Store) InsertChild(parent NodeRef, frag *xmldoc.Document) (*Store, UpdateStats, error) {
+	if int(parent) >= s.NodeCount() {
+		return nil, UpdateStats{}, fmt.Errorf("storage: InsertChild(%d): no such node", parent)
+	}
+	if k := s.Kind(parent); k != xmldoc.KindElement && k != xmldoc.KindDocument {
+		return nil, UpdateStats{}, fmt.Errorf("storage: InsertChild: %v node cannot have children", k)
+	}
+	inserted, contentBytes := fragSize(frag)
+	// Everything after the parent's close parenthesis keeps its position;
+	// interval encodings renumber from the insertion point on.
+	stats := UpdateStats{
+		NodesInserted:      inserted,
+		SuccinctDirtyBytes: dirtySuccinct(inserted, contentBytes),
+		IntervalDirtyBytes: dirtyInterval(s, parent+NodeRef(s.SubtreeSize(parent)), inserted),
+	}
+	out := s.rebuild(nil, map[NodeRef]*xmldoc.Document{parent: frag})
+	return out, stats, nil
+}
+
+// fragSize counts the insertable nodes and content bytes of a fragment.
+func fragSize(frag *xmldoc.Document) (nodes, contentBytes int) {
+	for i := 1; i < len(frag.Nodes); i++ { // skip the document node
+		nodes++
+		contentBytes += len(frag.Nodes[i].Value)
+	}
+	return nodes, contentBytes
+}
+
+// dirtySuccinct is the size of the contiguous changed region of the
+// succinct encoding: 2 structure bits + ~5 bytes of tag/kind/cref per
+// node, plus the content bytes.
+func dirtySuccinct(nodes, contentBytes int) int {
+	return nodes*2/8 + nodes*9 + contentBytes
+}
+
+// dirtyInterval is what an interval-encoded relation rewrites: 16 bytes
+// per edited node plus 8 bytes (start, end) for every node whose numbers
+// shift — all nodes from the edit point to the end of the document.
+func dirtyInterval(s *Store, editPoint NodeRef, editedNodes int) int {
+	following := s.NodeCount() - int(editPoint)
+	if following < 0 {
+		following = 0
+	}
+	return editedNodes*16 + following*8
+}
+
+// rebuild copies the store through a Builder, skipping nodes rejected by
+// keep (nil keeps everything) and appending fragment children under the
+// keys of insertAfter (nil inserts nothing).
+func (s *Store) rebuild(keep func(*Builder, NodeRef) bool, insertUnder map[NodeRef]*xmldoc.Document) *Store {
+	b := NewBuilder(nil)
+	var emit func(n NodeRef)
+	emit = func(n NodeRef) {
+		if keep != nil && !keep(b, n) {
+			return
+		}
+		switch s.Kind(n) {
+		case xmldoc.KindDocument:
+			for c := s.FirstChild(n); c != NilRef; c = s.NextSibling(c) {
+				emit(c)
+			}
+			if frag, ok := insertUnder[n]; ok {
+				copyFragment(b, frag)
+			}
+		case xmldoc.KindElement:
+			b.StartElement(s.Name(n))
+			for c := s.FirstChild(n); c != NilRef; c = s.NextSibling(c) {
+				emit(c)
+			}
+			if frag, ok := insertUnder[n]; ok {
+				copyFragment(b, frag)
+			}
+			b.EndElement()
+		case xmldoc.KindAttribute:
+			b.Attr(s.Name(n), s.Content(n))
+		case xmldoc.KindText:
+			b.Text(s.Content(n))
+		case xmldoc.KindComment:
+			b.Comment(s.Content(n))
+		case xmldoc.KindPI:
+			b.PI(s.Name(n), s.Content(n))
+		}
+	}
+	emit(0)
+	out := b.Build()
+	out.URI = s.URI
+	return out
+}
+
+// copyFragment appends the fragment's top-level nodes into the builder.
+func copyFragment(b *Builder, frag *xmldoc.Document) {
+	var emit func(n xmldoc.NodeID)
+	emit = func(n xmldoc.NodeID) {
+		switch frag.Kind(n) {
+		case xmldoc.KindDocument:
+			for c := frag.Nodes[n].FirstChild; c != xmldoc.Nil; c = frag.Nodes[c].NextSibling {
+				emit(c)
+			}
+		case xmldoc.KindElement:
+			b.StartElement(frag.Name(n))
+			for c := frag.Nodes[n].FirstChild; c != xmldoc.Nil; c = frag.Nodes[c].NextSibling {
+				emit(c)
+			}
+			b.EndElement()
+		case xmldoc.KindAttribute:
+			b.Attr(frag.Name(n), frag.Value(n))
+		case xmldoc.KindText:
+			b.Text(frag.Value(n))
+		case xmldoc.KindComment:
+			b.Comment(frag.Value(n))
+		case xmldoc.KindPI:
+			b.PI(frag.Name(n), frag.Value(n))
+		}
+	}
+	emit(frag.Root())
+}

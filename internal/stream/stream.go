@@ -1,0 +1,257 @@
+// Package stream evaluates NoK path patterns over an XML byte stream in
+// a single pass, without materializing any store — the paper's Section
+// 4.2 observation that "pre-order of the tree nodes coincides with the
+// streaming XML element arrival order[, so] the path query evaluation
+// algorithm can also be used in the streaming context".
+//
+// The matcher is a stack automaton: each open element carries the set of
+// pattern vertices it tentatively binds (upward-consistent with its
+// ancestors). For a non-branching pattern, upward consistency is the
+// whole story — the chain of tentative ancestors is itself the required
+// downward witness — so matches of the output vertex are confirmed the
+// moment the element opens (or closes, when a value predicate must see
+// the element's text).
+//
+// Branching patterns and value predicates on non-output vertices require
+// cross-subtree buffering and are rejected with ErrUnsupported; the
+// stored evaluators (package nok) handle those.
+package stream
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"xqp/internal/ast"
+	"xqp/internal/pattern"
+)
+
+// ErrUnsupported reports a pattern outside the streamable fragment.
+var ErrUnsupported = errors.New("stream: pattern not streamable (branching or inner value predicates)")
+
+// Match is one streaming match of the pattern's output vertex.
+type Match struct {
+	// Path is the root-to-match chain of element names.
+	Path []string
+	// Value is the match's string value (subtree text, or the attribute
+	// value), buffered only for matched elements.
+	Value string
+}
+
+// Eval runs the pattern over the XML stream and calls emit for every
+// match of the output vertex, in document order. It returns the number
+// of matches.
+func Eval(r io.Reader, g *pattern.Graph, emit func(Match)) (int, error) {
+	ev, err := newEvaluator(g)
+	if err != nil {
+		return 0, err
+	}
+	return ev.run(r, emit)
+}
+
+// Count runs the pattern over the stream and returns the match count.
+func Count(r io.Reader, g *pattern.Graph) (int, error) {
+	return Eval(r, g, nil)
+}
+
+type evaluator struct {
+	g *pattern.Graph
+	// chain[i] is the i-th vertex along the path (chain[0] is the
+	// anchor); rel[i] relates chain[i-1] to chain[i].
+	chain []pattern.VertexID
+	rel   []pattern.Rel
+	// outPos is the output vertex's position in the chain.
+	outPos int
+	// attr marks a trailing attribute step.
+	outIsAttr bool
+}
+
+func newEvaluator(g *pattern.Graph) (*evaluator, error) {
+	if !g.IsPath() {
+		return nil, ErrUnsupported
+	}
+	if !g.Rooted {
+		return nil, fmt.Errorf("stream: only rooted patterns can run over a stream")
+	}
+	ev := &evaluator{g: g, outPos: -1}
+	for v := pattern.VertexID(0); ; {
+		ev.chain = append(ev.chain, v)
+		if int(v) == int(g.Output) {
+			ev.outPos = len(ev.chain) - 1
+		}
+		vx := g.Vertices[v]
+		if v != 0 {
+			if len(vx.Preds) > 0 && int(v) != int(g.Output) {
+				return nil, ErrUnsupported
+			}
+			if vx.Test.Kind != ast.TestName {
+				// text()/node() tests would need content events matched
+				// as pseudo-elements; keep the streamable fragment to
+				// element and attribute steps.
+				return nil, ErrUnsupported
+			}
+		}
+		if len(g.Children[v]) == 0 {
+			break
+		}
+		e := g.Children[v][0]
+		ev.rel = append(ev.rel, e.Rel)
+		v = e.To
+	}
+	if ev.outPos != len(ev.chain)-1 {
+		return nil, ErrUnsupported // output below a predicate subtree
+	}
+	last := ev.g.Vertices[ev.chain[len(ev.chain)-1]]
+	ev.outIsAttr = last.Attribute
+	return ev, nil
+}
+
+// frame is one open element on the stream stack.
+type frame struct {
+	name string
+	// active[i] reports that chain position i tentatively binds here.
+	active []bool
+	// capture, when >= 0, buffers the subtree text of a candidate match
+	// pending its value predicate at close.
+	capturing bool
+	text      strings.Builder
+}
+
+func (ev *evaluator) run(r io.Reader, emit func(Match)) (int, error) {
+	dec := xml.NewDecoder(r)
+	n := len(ev.chain)
+	var stack []*frame
+	count := 0
+	outVx := &ev.g.Vertices[ev.chain[n-1]]
+
+	// testName reports whether an element name passes chain position i.
+	testName := func(i int, name string) bool {
+		vx := ev.g.Vertices[ev.chain[i]]
+		if vx.Attribute {
+			return false
+		}
+		return vx.Test.Name == "*" || vx.Test.Name == name
+	}
+	// activeFor computes the tentative positions of a new element. The
+	// anchor (position 0) is the virtual document root above the stack:
+	// a child of it is the document element, a descendant of it is any
+	// element.
+	activeFor := func(name string) []bool {
+		act := make([]bool, n)
+		for i := 1; i < n; i++ {
+			if !testName(i, name) {
+				continue
+			}
+			if ev.rel[i-1] == pattern.RelChild {
+				if i == 1 {
+					act[i] = len(stack) == 0
+				} else if len(stack) > 0 && stack[len(stack)-1].active[i-1] {
+					act[i] = true
+				}
+				continue
+			}
+			// Descendant edge: any proper ancestor binding i-1.
+			if i == 1 {
+				act[i] = true // every element descends from the anchor
+				continue
+			}
+			for _, f := range stack {
+				if f.active[i-1] {
+					act[i] = true
+					break
+				}
+			}
+		}
+		return act
+	}
+
+	emitMatch := func(path []string, val string) {
+		count++
+		if emit != nil {
+			emit(Match{Path: path, Value: val})
+		}
+	}
+	pathOf := func(extra string) []string {
+		out := make([]string, 0, len(stack)+1)
+		for _, f := range stack {
+			out = append(out, f.name)
+		}
+		if extra != "" {
+			out = append(out, extra)
+		}
+		return out
+	}
+
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return count, fmt.Errorf("stream: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			act := activeFor(t.Name.Local)
+			f := &frame{name: t.Name.Local, active: act}
+			// Attribute output: confirm against this element's attrs.
+			if ev.outIsAttr && n >= 2 && act[n-2] {
+				for _, a := range t.Attr {
+					if outVx.Test.Name != "*" && a.Name.Local != outVx.Test.Name {
+						continue
+					}
+					if !predsOK(outVx, a.Value) {
+						continue
+					}
+					stack = append(stack, f) // path includes this element
+					emitMatch(pathOf("@"+a.Name.Local), a.Value)
+					stack = stack[:len(stack)-1]
+				}
+			}
+			if !ev.outIsAttr && act[n-1] {
+				if len(outVx.Preds) == 0 {
+					stack = append(stack, f)
+					emitMatch(pathOf(""), "")
+					stack = stack[:len(stack)-1]
+				} else {
+					f.capturing = true
+				}
+			}
+			stack = append(stack, f)
+		case xml.EndElement:
+			f := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if f.capturing {
+				val := f.text.String()
+				if predsOK(outVx, val) {
+					stack = append(stack, f)
+					emitMatch(pathOf(""), val)
+					stack = stack[:len(stack)-1]
+				}
+			}
+		case xml.CharData:
+			// Character data belongs to the subtree text of every
+			// capturing open element (candidates can nest).
+			for _, f := range stack {
+				if f.capturing {
+					f.text.Write([]byte(t))
+				}
+			}
+		}
+	}
+	if len(stack) != 0 {
+		return count, fmt.Errorf("stream: truncated document (%d unclosed elements)", len(stack))
+	}
+	return count, nil
+}
+
+func predsOK(vx *pattern.Vertex, sv string) bool {
+	for _, p := range vx.Preds {
+		if !p.Matches(sv) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,114 @@
+package value
+
+import "strings"
+
+// Nested is one node of a NestedList — the sort the paper introduces so
+// that a single tree-pattern-matching pass can return structured results
+// without structural joins (Section 3.2).
+//
+// A Nested either carries an Item (a match) or is an unlabeled grouping
+// node, and has an ordered list of children. Two items are parent/child in
+// a NestedList produced by τ iff they are in immediate ancestor-descendant
+// relationship among the matched nodes of the input tree.
+type Nested struct {
+	Item Item // nil for unlabeled grouping nodes
+	Kids []*Nested
+}
+
+// NestedList is an ordered forest of Nested nodes.
+type NestedList struct {
+	Roots []*Nested
+}
+
+// NewLeaf wraps an item as a leaf Nested.
+func NewLeaf(it Item) *Nested { return &Nested{Item: it} }
+
+// Append adds a child and returns it (for fluent building).
+func (n *Nested) Append(child *Nested) *Nested {
+	n.Kids = append(n.Kids, child)
+	return child
+}
+
+// Flatten appends all items in the nested forest to out, pre-order.
+func (l NestedList) Flatten() Sequence {
+	var out Sequence
+	var walk func(n *Nested)
+	walk = func(n *Nested) {
+		if n.Item != nil {
+			out = append(out, n.Item)
+		}
+		for _, k := range n.Kids {
+			walk(k)
+		}
+	}
+	for _, r := range l.Roots {
+		walk(r)
+	}
+	return out
+}
+
+// Size reports the number of item-bearing nodes in the forest.
+func (l NestedList) Size() int {
+	n := 0
+	var walk func(x *Nested)
+	walk = func(x *Nested) {
+		if x.Item != nil {
+			n++
+		}
+		for _, k := range x.Kids {
+			walk(k)
+		}
+	}
+	for _, r := range l.Roots {
+		walk(r)
+	}
+	return n
+}
+
+// Depth reports the maximum nesting depth (0 for an empty list).
+func (l NestedList) Depth() int {
+	var depth func(n *Nested) int
+	depth = func(n *Nested) int {
+		d := 0
+		for _, k := range n.Kids {
+			if kd := depth(k); kd > d {
+				d = kd
+			}
+		}
+		return d + 1
+	}
+	max := 0
+	for _, r := range l.Roots {
+		if d := depth(r); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// String renders the forest with parentheses marking nesting, e.g.
+// "(a (b c)) (d)".
+func (l NestedList) String() string {
+	var b strings.Builder
+	var walk func(n *Nested)
+	walk = func(n *Nested) {
+		b.WriteByte('(')
+		if n.Item != nil {
+			b.WriteString(n.Item.String())
+		} else {
+			b.WriteByte('.')
+		}
+		for _, k := range n.Kids {
+			b.WriteByte(' ')
+			walk(k)
+		}
+		b.WriteByte(')')
+	}
+	for i, r := range l.Roots {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		walk(r)
+	}
+	return b.String()
+}

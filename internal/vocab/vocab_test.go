@@ -1,0 +1,68 @@
+package vocab
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestInternLookup(t *testing.T) {
+	v := New()
+	if v.Len() != 1 {
+		t.Fatalf("fresh table Len = %d, want 1 (root)", v.Len())
+	}
+	a := v.Intern("book")
+	b := v.Intern("title")
+	if a == b {
+		t.Fatal("distinct names got same symbol")
+	}
+	if got := v.Intern("book"); got != a {
+		t.Errorf("re-Intern(book) = %d, want %d", got, a)
+	}
+	if got := v.Lookup("title"); got != b {
+		t.Errorf("Lookup(title) = %d, want %d", got, b)
+	}
+	if got := v.Lookup("missing"); got != None {
+		t.Errorf("Lookup(missing) = %d, want None", got)
+	}
+	if v.Name(a) != "book" || v.Name(Root) != "#root" {
+		t.Errorf("Name round-trip failed")
+	}
+}
+
+func TestNamesOrder(t *testing.T) {
+	v := New()
+	v.Intern("z")
+	v.Intern("a")
+	names := v.Names()
+	if len(names) != 3 || names[1] != "z" || names[2] != "a" {
+		t.Fatalf("Names = %v", names)
+	}
+	sorted := v.SortedNames()
+	if sorted[0] != "#root" || sorted[1] != "a" || sorted[2] != "z" {
+		t.Fatalf("SortedNames = %v", sorted)
+	}
+}
+
+// Property: Name(Intern(x)) == x for arbitrary strings.
+func TestInternRoundTripProperty(t *testing.T) {
+	v := New()
+	f := func(s string) bool { return v.Name(v.Intern(s)) == s }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: symbols are dense — Len grows by exactly one per fresh name.
+func TestDenseSymbols(t *testing.T) {
+	v := New()
+	for i := 0; i < 1000; i++ {
+		s := v.Intern(fmt.Sprintf("tag%d", i))
+		if int(s) != i+1 {
+			t.Fatalf("Intern #%d = %d, want %d", i, s, i+1)
+		}
+	}
+	if v.SizeBytes() <= 0 {
+		t.Error("SizeBytes not positive")
+	}
+}

@@ -1,0 +1,289 @@
+// Package xmark generates deterministic synthetic XML workloads for the
+// experiments: a bibliography corpus (the paper's running example and the
+// XQuery Use Cases XMP scenario), an auction-site corpus shaped like the
+// XMark benchmark the original evaluation used, and structurally extreme
+// documents (deep recursion, wide fan-out, text-heavy content) that probe
+// the storage scheme and the matchers.
+//
+// All generators are pure functions of their parameters: the same scale
+// always produces byte-identical documents.
+package xmark
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"xqp/internal/storage"
+	"xqp/internal/xmldoc"
+)
+
+var words = []string{
+	"succinct", "parenthesis", "pattern", "query", "twig", "stack",
+	"navigational", "structural", "join", "stream", "schema", "algebra",
+	"nested", "list", "holistic", "interval", "encoding", "storage",
+	"optimizer", "rewrite", "path", "axis", "predicate", "document",
+}
+
+// sentence produces n pseudo-random words.
+func sentence(r *rand.Rand, n int) string {
+	parts := make([]string, n)
+	for i := range parts {
+		parts[i] = words[r.Intn(len(words))]
+	}
+	return strings.Join(parts, " ")
+}
+
+// Bib generates a bibliography document with approximately 10×scale book
+// elements (the paper's Fig. 1 corpus).
+func Bib(scale int) *xmldoc.Document {
+	if scale < 1 {
+		scale = 1
+	}
+	r := rand.New(rand.NewSource(42))
+	b := xmldoc.NewBuilder()
+	b.OpenElement("bib")
+	n := 10 * scale
+	for i := 0; i < n; i++ {
+		b.OpenElement("book")
+		b.Attr("year", fmt.Sprintf("%d", 1980+r.Intn(25)))
+		b.OpenElement("title")
+		b.Text(fmt.Sprintf("%s %s %d", words[r.Intn(len(words))], words[r.Intn(len(words))], i))
+		b.CloseElement()
+		if r.Intn(10) < 9 {
+			na := 1 + r.Intn(3)
+			for a := 0; a < na; a++ {
+				b.OpenElement("author")
+				b.OpenElement("last")
+				b.Text(fmt.Sprintf("Last%d", r.Intn(50*scale)))
+				b.CloseElement()
+				b.OpenElement("first")
+				b.Text(fmt.Sprintf("First%d", r.Intn(30)))
+				b.CloseElement()
+				b.CloseElement()
+			}
+		} else {
+			b.OpenElement("editor")
+			b.OpenElement("last")
+			b.Text(fmt.Sprintf("Ed%d", r.Intn(20)))
+			b.CloseElement()
+			b.OpenElement("affiliation")
+			b.Text(sentence(r, 2))
+			b.CloseElement()
+			b.CloseElement()
+		}
+		b.OpenElement("publisher")
+		b.Text(fmt.Sprintf("Publisher %d", r.Intn(8)))
+		b.CloseElement()
+		b.OpenElement("price")
+		b.Text(fmt.Sprintf("%d.%02d", 10+r.Intn(140), r.Intn(100)))
+		b.CloseElement()
+		b.CloseElement()
+	}
+	b.CloseElement()
+	d := b.Build()
+	d.URI = fmt.Sprintf("bib-%d.xml", scale)
+	return d
+}
+
+// Auction generates an auction-site document shaped like XMark: regions
+// with items (nested description parlists), people, and open auctions
+// with bidders. Scale 1 is roughly 2000 elements; element counts grow
+// linearly with scale.
+func Auction(scale int) *xmldoc.Document {
+	if scale < 1 {
+		scale = 1
+	}
+	r := rand.New(rand.NewSource(7))
+	b := xmldoc.NewBuilder()
+	b.OpenElement("site")
+
+	regions := []string{"africa", "asia", "australia", "europe", "namerica", "samerica"}
+	items := 30 * scale
+	b.OpenElement("regions")
+	for _, reg := range regions {
+		b.OpenElement(reg)
+		for i := 0; i < items/len(regions); i++ {
+			b.OpenElement("item")
+			b.Attr("id", fmt.Sprintf("item_%s_%d", reg, i))
+			b.OpenElement("name")
+			b.Text(sentence(r, 2))
+			b.CloseElement()
+			b.OpenElement("location")
+			b.Text(reg)
+			b.CloseElement()
+			b.OpenElement("quantity")
+			b.Text(fmt.Sprintf("%d", 1+r.Intn(5)))
+			b.CloseElement()
+			b.OpenElement("payment")
+			b.Text("Cash Check")
+			b.CloseElement()
+			b.OpenElement("description")
+			b.OpenElement("parlist")
+			for p := 0; p < 1+r.Intn(3); p++ {
+				b.OpenElement("listitem")
+				b.OpenElement("text")
+				b.Text(sentence(r, 6+r.Intn(10)))
+				b.CloseElement()
+				if r.Intn(4) == 0 {
+					// Recursive parlist, as XMark descriptions have.
+					b.OpenElement("parlist")
+					b.OpenElement("listitem")
+					b.OpenElement("text")
+					b.Text(sentence(r, 4))
+					b.CloseElement()
+					b.CloseElement()
+					b.CloseElement()
+				}
+				b.CloseElement()
+			}
+			b.CloseElement()
+			b.CloseElement()
+			b.OpenElement("incategory")
+			b.Attr("category", fmt.Sprintf("category%d", r.Intn(10)))
+			b.CloseElement()
+			b.CloseElement()
+		}
+		b.CloseElement()
+	}
+	b.CloseElement()
+
+	people := 25 * scale
+	b.OpenElement("people")
+	for i := 0; i < people; i++ {
+		b.OpenElement("person")
+		b.Attr("id", fmt.Sprintf("person%d", i))
+		b.OpenElement("name")
+		b.Text(fmt.Sprintf("Person %d", i))
+		b.CloseElement()
+		b.OpenElement("emailaddress")
+		b.Text(fmt.Sprintf("mailto:person%d@example.org", i))
+		b.CloseElement()
+		if r.Intn(2) == 0 {
+			b.OpenElement("phone")
+			b.Text(fmt.Sprintf("+1 (%d) %d", 100+r.Intn(900), 1000000+r.Intn(9000000)))
+			b.CloseElement()
+		}
+		if r.Intn(3) == 0 {
+			b.OpenElement("homepage")
+			b.Text(fmt.Sprintf("http://example.org/~p%d", i))
+			b.CloseElement()
+		}
+		if r.Intn(4) == 0 {
+			b.OpenElement("profile")
+			b.Attr("income", fmt.Sprintf("%d", 20000+r.Intn(80000)))
+			b.OpenElement("interest")
+			b.Attr("category", fmt.Sprintf("category%d", r.Intn(10)))
+			b.CloseElement()
+			b.CloseElement()
+		}
+		b.CloseElement()
+	}
+	b.CloseElement()
+
+	auctions := 12 * scale
+	b.OpenElement("open_auctions")
+	for i := 0; i < auctions; i++ {
+		b.OpenElement("open_auction")
+		b.Attr("id", fmt.Sprintf("open_auction%d", i))
+		b.OpenElement("initial")
+		b.Text(fmt.Sprintf("%d.%02d", 1+r.Intn(100), r.Intn(100)))
+		b.CloseElement()
+		nb := r.Intn(5)
+		for j := 0; j < nb; j++ {
+			b.OpenElement("bidder")
+			b.OpenElement("date")
+			b.Text(fmt.Sprintf("%02d/%02d/2003", 1+r.Intn(12), 1+r.Intn(28)))
+			b.CloseElement()
+			b.OpenElement("personref")
+			b.Attr("person", fmt.Sprintf("person%d", r.Intn(people)))
+			b.CloseElement()
+			b.OpenElement("increase")
+			b.Text(fmt.Sprintf("%d.00", 1+r.Intn(20)))
+			b.CloseElement()
+			b.CloseElement()
+		}
+		b.OpenElement("current")
+		b.Text(fmt.Sprintf("%d.%02d", 10+r.Intn(300), r.Intn(100)))
+		b.CloseElement()
+		b.OpenElement("itemref")
+		b.Attr("item", fmt.Sprintf("item_%s_%d", regions[r.Intn(len(regions))], r.Intn(items/len(regions))))
+		b.CloseElement()
+		b.CloseElement()
+	}
+	b.CloseElement()
+
+	b.CloseElement()
+	d := b.Build()
+	d.URI = fmt.Sprintf("auction-%d.xml", scale)
+	return d
+}
+
+// Deep generates a document of nested <section> chains: `chains` chains,
+// each `depth` levels deep, with a <title> leaf. Stresses the
+// balanced-parentheses navigation and recursive patterns.
+func Deep(chains, depth int) *xmldoc.Document {
+	b := xmldoc.NewBuilder()
+	b.OpenElement("doc")
+	for c := 0; c < chains; c++ {
+		for d := 0; d < depth; d++ {
+			b.OpenElement("section")
+			b.Attr("level", fmt.Sprintf("%d", d))
+		}
+		b.OpenElement("title")
+		b.Text(fmt.Sprintf("chain %d", c))
+		b.CloseElement()
+		for d := 0; d < depth; d++ {
+			b.CloseElement()
+		}
+	}
+	b.CloseElement()
+	d := b.Build()
+	d.URI = fmt.Sprintf("deep-%d-%d.xml", chains, depth)
+	return d
+}
+
+// Wide generates a flat document with n leaf children under the root.
+func Wide(n int) *xmldoc.Document {
+	b := xmldoc.NewBuilder()
+	b.OpenElement("list")
+	for i := 0; i < n; i++ {
+		b.OpenElement("entry")
+		b.Attr("n", fmt.Sprintf("%d", i))
+		b.Text(fmt.Sprintf("v%d", i))
+		b.CloseElement()
+	}
+	b.CloseElement()
+	d := b.Build()
+	d.URI = fmt.Sprintf("wide-%d.xml", n)
+	return d
+}
+
+// TextHeavy generates a document dominated by text content: n paragraphs
+// of roughly wordsPer words.
+func TextHeavy(n, wordsPer int) *xmldoc.Document {
+	r := rand.New(rand.NewSource(11))
+	b := xmldoc.NewBuilder()
+	b.OpenElement("article")
+	for i := 0; i < n; i++ {
+		b.OpenElement("para")
+		b.Text(sentence(r, wordsPer))
+		b.CloseElement()
+	}
+	b.CloseElement()
+	d := b.Build()
+	d.URI = fmt.Sprintf("text-%d.xml", n)
+	return d
+}
+
+// StoreBib is Bib loaded into a succinct store.
+func StoreBib(scale int) *storage.Store { return storage.FromDoc(Bib(scale)) }
+
+// StoreAuction is Auction loaded into a succinct store.
+func StoreAuction(scale int) *storage.Store { return storage.FromDoc(Auction(scale)) }
+
+// StoreDeep is Deep loaded into a succinct store.
+func StoreDeep(chains, depth int) *storage.Store { return storage.FromDoc(Deep(chains, depth)) }
+
+// StoreWide is Wide loaded into a succinct store.
+func StoreWide(n int) *storage.Store { return storage.FromDoc(Wide(n)) }

@@ -1,0 +1,118 @@
+package xmark
+
+import (
+	"testing"
+
+	"xqp/internal/storage"
+	"xqp/internal/xmldoc"
+)
+
+func TestBibDeterministic(t *testing.T) {
+	d1, d2 := Bib(2), Bib(2)
+	if !xmldoc.DeepEqual(d1, d1.Root(), d2, d2.Root()) {
+		t.Fatal("Bib not deterministic")
+	}
+	if d1.ElementCount() < 50 {
+		t.Fatalf("Bib(2) elements = %d, implausibly small", d1.ElementCount())
+	}
+}
+
+func TestBibScaling(t *testing.T) {
+	small := Bib(1).ElementCount()
+	big := Bib(4).ElementCount()
+	if big < 3*small {
+		t.Fatalf("Bib scaling: %d -> %d", small, big)
+	}
+	// Scale clamps.
+	if Bib(0).ElementCount() != Bib(1).ElementCount() {
+		t.Fatal("scale 0 not clamped to 1")
+	}
+}
+
+func TestBibShape(t *testing.T) {
+	st := StoreBib(1)
+	books := st.ElementRefs("book")
+	if len(books) != 10 {
+		t.Fatalf("books = %d, want 10", len(books))
+	}
+	if len(st.ElementRefs("title")) != 10 {
+		t.Fatal("each book needs a title")
+	}
+	if len(st.ElementRefs("price")) != 10 {
+		t.Fatal("each book needs a price")
+	}
+	for _, bk := range books {
+		if st.Attribute(bk, "year") == storage.NilRef {
+			t.Fatal("book without year")
+		}
+	}
+}
+
+func TestAuctionShape(t *testing.T) {
+	st := StoreAuction(1)
+	if st.DocumentElement() == storage.NilRef || st.Name(st.DocumentElement()) != "site" {
+		t.Fatal("no site root")
+	}
+	items := st.ElementRefs("item")
+	if len(items) != 30 {
+		t.Fatalf("items = %d, want 30", len(items))
+	}
+	if len(st.ElementRefs("person")) != 25 {
+		t.Fatal("people wrong")
+	}
+	if len(st.ElementRefs("open_auction")) != 12 {
+		t.Fatal("auctions wrong")
+	}
+	// Recursive parlists exist at scale >= 1 with the fixed seed.
+	if len(st.ElementRefs("parlist")) <= len(items) {
+		t.Log("note: no nested parlists at this scale")
+	}
+	d1, d2 := Auction(2), Auction(2)
+	if !xmldoc.DeepEqual(d1, d1.Root(), d2, d2.Root()) {
+		t.Fatal("Auction not deterministic")
+	}
+}
+
+func TestDeepShape(t *testing.T) {
+	st := StoreDeep(3, 50)
+	secs := st.ElementRefs("section")
+	if len(secs) != 150 {
+		t.Fatalf("sections = %d, want 150", len(secs))
+	}
+	titles := st.ElementRefs("title")
+	if len(titles) != 3 {
+		t.Fatalf("titles = %d, want 3", len(titles))
+	}
+	for _, ti := range titles {
+		if st.Depth(ti) != 52 { // root(0)/doc(1)/50 sections -> depth 51+1
+			t.Fatalf("title depth = %d", st.Depth(ti))
+		}
+	}
+}
+
+func TestWideShape(t *testing.T) {
+	st := StoreWide(500)
+	if len(st.ElementRefs("entry")) != 500 {
+		t.Fatal("entries wrong")
+	}
+}
+
+func TestTextHeavy(t *testing.T) {
+	d := TextHeavy(20, 30)
+	st := storage.FromDoc(d)
+	_, _, content := st.SizeBytes()
+	structure, _, _ := st.SizeBytes()
+	if content < structure {
+		t.Fatalf("text-heavy doc should be content-dominated: content=%d structure=%d", content, structure)
+	}
+}
+
+func TestRoundTripThroughStorage(t *testing.T) {
+	for _, d := range []*xmldoc.Document{Bib(1), Auction(1), Deep(2, 10), Wide(50)} {
+		st := storage.FromDoc(d)
+		back := st.ToDoc()
+		if !xmldoc.DeepEqual(d, d.Root(), back, back.Root()) {
+			t.Fatalf("%s: storage round trip changed tree", d.URI)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package xmldoc
+
+import "strings"
+
+// IndentXML serializes the subtree rooted at n with two-space
+// indentation. Elements with only text content stay on one line; mixed
+// content is emitted unindented to preserve its text exactly.
+func (d *Document) IndentXML(n NodeID) string {
+	var b strings.Builder
+	d.indentInto(&b, n, 0)
+	return b.String()
+}
+
+func (d *Document) indentInto(b *strings.Builder, n NodeID, depth int) {
+	node := &d.Nodes[n]
+	pad := strings.Repeat("  ", depth)
+	switch node.Kind {
+	case KindDocument:
+		for c := node.FirstChild; c != Nil; c = d.Nodes[c].NextSibling {
+			d.indentInto(b, c, depth)
+		}
+	case KindElement:
+		b.WriteString(pad)
+		b.WriteByte('<')
+		b.WriteString(node.Name)
+		for c := node.FirstChild; c != Nil; c = d.Nodes[c].NextSibling {
+			if d.Nodes[c].Kind != KindAttribute {
+				break
+			}
+			b.WriteByte(' ')
+			b.WriteString(d.Nodes[c].Name)
+			b.WriteString(`="`)
+			escapeInto(b, d.Nodes[c].Value, true)
+			b.WriteByte('"')
+		}
+		first := d.FirstChild(n)
+		if first == Nil {
+			b.WriteString("/>\n")
+			return
+		}
+		// Text-only content prints inline; any element child forces
+		// block layout; mixed content falls back to exact one-line form.
+		hasElem, hasText := false, false
+		for c := first; c != Nil; c = d.NextSibling(c) {
+			switch d.Nodes[c].Kind {
+			case KindText:
+				hasText = true
+			default:
+				hasElem = true
+			}
+		}
+		switch {
+		case !hasElem:
+			b.WriteByte('>')
+			for c := first; c != Nil; c = d.NextSibling(c) {
+				escapeInto(b, d.Nodes[c].Value, false)
+			}
+			b.WriteString("</")
+			b.WriteString(node.Name)
+			b.WriteString(">\n")
+		case hasText:
+			// Mixed content: exact serialization on one line.
+			b.WriteByte('>')
+			for c := first; c != Nil; c = d.NextSibling(c) {
+				d.appendXML(b, c)
+			}
+			b.WriteString("</")
+			b.WriteString(node.Name)
+			b.WriteString(">\n")
+		default:
+			b.WriteString(">\n")
+			for c := first; c != Nil; c = d.NextSibling(c) {
+				d.indentInto(b, c, depth+1)
+			}
+			b.WriteString(pad)
+			b.WriteString("</")
+			b.WriteString(node.Name)
+			b.WriteString(">\n")
+		}
+	case KindText:
+		b.WriteString(pad)
+		escapeInto(b, node.Value, false)
+		b.WriteByte('\n')
+	case KindComment:
+		b.WriteString(pad)
+		b.WriteString("<!--")
+		b.WriteString(node.Value)
+		b.WriteString("-->\n")
+	case KindPI:
+		b.WriteString(pad)
+		b.WriteString("<?")
+		b.WriteString(node.Name)
+		b.WriteByte(' ')
+		b.WriteString(node.Value)
+		b.WriteString("?>\n")
+	case KindAttribute:
+		b.WriteString(pad)
+		b.WriteString(node.Name)
+		b.WriteString(`="`)
+		escapeInto(b, node.Value, true)
+		b.WriteString("\"\n")
+	}
+}

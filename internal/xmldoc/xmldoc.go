@@ -1,0 +1,575 @@
+// Package xmldoc provides the in-memory XML data model used throughout the
+// system: labeled, ordered, rooted trees (the paper's sort Tree), stored in
+// a flat pre-order arena.
+//
+// Besides plain DOM navigation, every node carries its interval encoding
+// (start, end, level) in the style of DeHaan et al. (SIGMOD 2003), which is
+// both the substrate of the extended-relational baseline and the constant-
+// time structural-relationship test used by the join operators:
+//
+//	a is an ancestor of d  ⇔  a.start < d.start ∧ d.end < a.end
+//	a is the parent of d   ⇔  ancestor ∧ a.level+1 == d.level
+//
+// The arena is in document order, so NodeIDs compare as document positions.
+package xmldoc
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// NodeID indexes a node inside a Document arena. The document node is
+// always NodeID 0. NodeIDs increase in document order.
+type NodeID int32
+
+// Nil is the absent node.
+const Nil NodeID = -1
+
+// Kind classifies nodes following the XQuery data model.
+type Kind uint8
+
+const (
+	// KindDocument is the synthetic root above the document element.
+	KindDocument Kind = iota
+	// KindElement is an element node.
+	KindElement
+	// KindAttribute is an attribute node; attributes precede element
+	// children in the arena and are skipped by child traversal.
+	KindAttribute
+	// KindText is a text node.
+	KindText
+	// KindComment is a comment node.
+	KindComment
+	// KindPI is a processing-instruction node.
+	KindPI
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindDocument:
+		return "document"
+	case KindElement:
+		return "element"
+	case KindAttribute:
+		return "attribute"
+	case KindText:
+		return "text"
+	case KindComment:
+		return "comment"
+	case KindPI:
+		return "processing-instruction"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Node is one tree node. Fields are exported for cheap access by the
+// physical operators; treat them as read-only outside this package.
+type Node struct {
+	Kind  Kind
+	Name  string // element/attribute/PI target name
+	Value string // text/comment/attribute content
+
+	Parent      NodeID
+	FirstChild  NodeID // first child including attribute nodes
+	NextSibling NodeID
+
+	// Interval encoding.
+	Start, End int32
+	Level      int32
+}
+
+// Document is an XML tree in a pre-order arena.
+type Document struct {
+	Nodes []Node
+	// URI is an optional document identifier (e.g. a file name).
+	URI string
+}
+
+// Root returns the document node's id (always 0).
+func (d *Document) Root() NodeID { return 0 }
+
+// DocumentElement returns the top-level element, or Nil for an empty
+// document.
+func (d *Document) DocumentElement() NodeID {
+	for c := d.Nodes[0].FirstChild; c != Nil; c = d.Nodes[c].NextSibling {
+		if d.Nodes[c].Kind == KindElement {
+			return c
+		}
+	}
+	return Nil
+}
+
+// Kind returns the kind of node n.
+func (d *Document) Kind(n NodeID) Kind { return d.Nodes[n].Kind }
+
+// Name returns the name of node n ("" for unnamed kinds).
+func (d *Document) Name(n NodeID) string { return d.Nodes[n].Name }
+
+// Value returns the literal value of node n (text/comment/attribute).
+func (d *Document) Value(n NodeID) string { return d.Nodes[n].Value }
+
+// Parent returns n's parent or Nil.
+func (d *Document) Parent(n NodeID) NodeID { return d.Nodes[n].Parent }
+
+// FirstChild returns n's first non-attribute child or Nil.
+func (d *Document) FirstChild(n NodeID) NodeID {
+	c := d.Nodes[n].FirstChild
+	for c != Nil && d.Nodes[c].Kind == KindAttribute {
+		c = d.Nodes[c].NextSibling
+	}
+	return c
+}
+
+// NextSibling returns n's next non-attribute sibling or Nil.
+func (d *Document) NextSibling(n NodeID) NodeID {
+	c := d.Nodes[n].NextSibling
+	for c != Nil && d.Nodes[c].Kind == KindAttribute {
+		c = d.Nodes[c].NextSibling
+	}
+	return c
+}
+
+// Children returns n's non-attribute children in document order.
+func (d *Document) Children(n NodeID) []NodeID {
+	var out []NodeID
+	for c := d.FirstChild(n); c != Nil; c = d.NextSibling(c) {
+		out = append(out, c)
+	}
+	return out
+}
+
+// Attributes returns n's attribute nodes in document order.
+func (d *Document) Attributes(n NodeID) []NodeID {
+	var out []NodeID
+	for c := d.Nodes[n].FirstChild; c != Nil; c = d.Nodes[c].NextSibling {
+		if d.Nodes[c].Kind == KindAttribute {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Attribute returns the attribute of n named name, or Nil.
+func (d *Document) Attribute(n NodeID, name string) NodeID {
+	for c := d.Nodes[n].FirstChild; c != Nil; c = d.Nodes[c].NextSibling {
+		if d.Nodes[c].Kind == KindAttribute && d.Nodes[c].Name == name {
+			return c
+		}
+	}
+	return Nil
+}
+
+// IsAncestor reports whether a is a proper ancestor of x, in O(1) via the
+// interval encoding.
+func (d *Document) IsAncestor(a, x NodeID) bool {
+	na, nx := &d.Nodes[a], &d.Nodes[x]
+	return na.Start < nx.Start && nx.End < na.End
+}
+
+// IsParent reports whether p is the parent of x, in O(1).
+func (d *Document) IsParent(p, x NodeID) bool {
+	return d.IsAncestor(p, x) && d.Nodes[p].Level+1 == d.Nodes[x].Level
+}
+
+// StringValue returns the concatenation of all descendant text (the XPath
+// string-value) of n; for attribute/text nodes, their own value.
+func (d *Document) StringValue(n NodeID) string {
+	switch d.Nodes[n].Kind {
+	case KindText, KindAttribute, KindComment, KindPI:
+		return d.Nodes[n].Value
+	}
+	var b strings.Builder
+	d.appendText(n, &b)
+	return b.String()
+}
+
+func (d *Document) appendText(n NodeID, b *strings.Builder) {
+	for c := d.Nodes[n].FirstChild; c != Nil; c = d.Nodes[c].NextSibling {
+		switch d.Nodes[c].Kind {
+		case KindText:
+			b.WriteString(d.Nodes[c].Value)
+		case KindElement:
+			d.appendText(c, b)
+		}
+	}
+}
+
+// Walk visits n and every descendant (including attributes) in document
+// order, calling f with each node and its depth below n. Returning false
+// from f prunes the subtree.
+func (d *Document) Walk(n NodeID, f func(NodeID, int) bool) {
+	d.walk(n, 0, f)
+}
+
+func (d *Document) walk(n NodeID, depth int, f func(NodeID, int) bool) {
+	if !f(n, depth) {
+		return
+	}
+	for c := d.Nodes[n].FirstChild; c != Nil; c = d.Nodes[c].NextSibling {
+		d.walk(c, depth+1, f)
+	}
+}
+
+// Descendants returns all element descendants of n in document order.
+func (d *Document) Descendants(n NodeID) []NodeID {
+	var out []NodeID
+	d.Walk(n, func(x NodeID, depth int) bool {
+		if depth > 0 && d.Nodes[x].Kind == KindElement {
+			out = append(out, x)
+		}
+		return d.Nodes[x].Kind == KindElement || d.Nodes[x].Kind == KindDocument
+	})
+	return out
+}
+
+// ElementCount reports the number of element nodes.
+func (d *Document) ElementCount() int {
+	n := 0
+	for i := range d.Nodes {
+		if d.Nodes[i].Kind == KindElement {
+			n++
+		}
+	}
+	return n
+}
+
+// SizeBytes estimates the arena's in-memory footprint (experiment E1).
+func (d *Document) SizeBytes() int {
+	n := 0
+	for i := range d.Nodes {
+		n += 64 + len(d.Nodes[i].Name) + len(d.Nodes[i].Value)
+	}
+	return n
+}
+
+// --- Builder ---
+
+// Builder assembles a Document in document order; it is what the parser and
+// the γ construction operator use.
+type Builder struct {
+	doc      *Document
+	stack    []NodeID
+	lastChld []NodeID // last child appended per stack entry
+	counter  int32
+}
+
+// NewBuilder returns a Builder with the document node already open.
+func NewBuilder() *Builder {
+	b := &Builder{doc: &Document{}}
+	b.doc.Nodes = append(b.doc.Nodes, Node{
+		Kind: KindDocument, Parent: Nil, FirstChild: Nil, NextSibling: Nil,
+		Start: b.counter, Level: 0,
+	})
+	b.counter++
+	b.stack = append(b.stack, 0)
+	b.lastChld = append(b.lastChld, Nil)
+	return b
+}
+
+func (b *Builder) appendNode(n Node) NodeID {
+	top := b.stack[len(b.stack)-1]
+	id := NodeID(len(b.doc.Nodes))
+	n.Parent = top
+	n.FirstChild = Nil
+	n.NextSibling = Nil
+	n.Level = int32(len(b.stack) - 1 + 1)
+	b.doc.Nodes = append(b.doc.Nodes, n)
+	if last := b.lastChld[len(b.lastChld)-1]; last == Nil {
+		b.doc.Nodes[top].FirstChild = id
+	} else {
+		b.doc.Nodes[last].NextSibling = id
+	}
+	b.lastChld[len(b.lastChld)-1] = id
+	return id
+}
+
+// OpenElement starts an element named name.
+func (b *Builder) OpenElement(name string) NodeID {
+	id := b.appendNode(Node{Kind: KindElement, Name: name, Start: b.counter})
+	b.counter++
+	b.stack = append(b.stack, id)
+	b.lastChld = append(b.lastChld, Nil)
+	return id
+}
+
+// CloseElement ends the innermost open element.
+func (b *Builder) CloseElement() {
+	id := b.stack[len(b.stack)-1]
+	if id == 0 {
+		panic("xmldoc: CloseElement with no open element")
+	}
+	b.doc.Nodes[id].End = b.counter
+	b.counter++
+	b.stack = b.stack[:len(b.stack)-1]
+	b.lastChld = b.lastChld[:len(b.lastChld)-1]
+}
+
+// Attr adds an attribute to the innermost open element. It must be called
+// before any child content is added.
+func (b *Builder) Attr(name, value string) NodeID {
+	id := b.appendNode(Node{Kind: KindAttribute, Name: name, Value: value, Start: b.counter})
+	b.doc.Nodes[id].End = b.counter
+	b.counter++
+	return id
+}
+
+// Text adds a text node; empty strings are ignored.
+func (b *Builder) Text(s string) NodeID {
+	if s == "" {
+		return Nil
+	}
+	// Merge with a preceding text sibling, as the data model requires.
+	if last := b.lastChld[len(b.lastChld)-1]; last != Nil && b.doc.Nodes[last].Kind == KindText {
+		b.doc.Nodes[last].Value += s
+		return last
+	}
+	id := b.appendNode(Node{Kind: KindText, Value: s, Start: b.counter})
+	b.doc.Nodes[id].End = b.counter
+	b.counter++
+	return id
+}
+
+// Comment adds a comment node.
+func (b *Builder) Comment(s string) NodeID {
+	id := b.appendNode(Node{Kind: KindComment, Value: s, Start: b.counter})
+	b.doc.Nodes[id].End = b.counter
+	b.counter++
+	return id
+}
+
+// PI adds a processing-instruction node.
+func (b *Builder) PI(target, data string) NodeID {
+	id := b.appendNode(Node{Kind: KindPI, Name: target, Value: data, Start: b.counter})
+	b.doc.Nodes[id].End = b.counter
+	b.counter++
+	return id
+}
+
+// CopySubtree deep-copies the subtree rooted at n of src under the innermost
+// open element; attribute nodes copy as attributes. Used by γ when a
+// placeholder evaluates to existing nodes.
+func (b *Builder) CopySubtree(src *Document, n NodeID) {
+	switch src.Nodes[n].Kind {
+	case KindElement:
+		b.OpenElement(src.Nodes[n].Name)
+		for c := src.Nodes[n].FirstChild; c != Nil; c = src.Nodes[c].NextSibling {
+			b.CopySubtree(src, c)
+		}
+		b.CloseElement()
+	case KindAttribute:
+		b.Attr(src.Nodes[n].Name, src.Nodes[n].Value)
+	case KindText:
+		b.Text(src.Nodes[n].Value)
+	case KindComment:
+		b.Comment(src.Nodes[n].Value)
+	case KindPI:
+		b.PI(src.Nodes[n].Name, src.Nodes[n].Value)
+	case KindDocument:
+		for c := src.Nodes[n].FirstChild; c != Nil; c = src.Nodes[c].NextSibling {
+			b.CopySubtree(src, c)
+		}
+	}
+}
+
+// Build finishes the document. Any still-open elements are closed.
+func (b *Builder) Build() *Document {
+	for len(b.stack) > 1 {
+		b.CloseElement()
+	}
+	b.doc.Nodes[0].End = b.counter
+	return b.doc
+}
+
+// --- Parsing ---
+
+// Options controls parsing.
+type Options struct {
+	// PreserveWhitespace keeps text nodes that consist solely of
+	// whitespace. The default (false) strips them, matching the usual
+	// document-processing mode of XQuery engines and keeping pattern
+	// matching over data-centric documents deterministic.
+	PreserveWhitespace bool
+}
+
+// Parse reads an XML document from r with default options (whitespace-only
+// text stripped).
+func Parse(r io.Reader) (*Document, error) {
+	return ParseWith(r, Options{})
+}
+
+// ParseWith reads an XML document from r.
+func ParseWith(r io.Reader, opts Options) (*Document, error) {
+	dec := xml.NewDecoder(r)
+	b := NewBuilder()
+	depth := 0
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmldoc: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			b.OpenElement(t.Name.Local)
+			for _, a := range t.Attr {
+				if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+					continue
+				}
+				b.Attr(a.Name.Local, a.Value)
+			}
+			depth++
+		case xml.EndElement:
+			b.CloseElement()
+			depth--
+		case xml.CharData:
+			if depth > 0 {
+				if !opts.PreserveWhitespace && len(strings.TrimSpace(string(t))) == 0 {
+					continue
+				}
+				b.Text(string(t))
+			}
+		case xml.Comment:
+			if depth > 0 {
+				b.Comment(string(t))
+			}
+		case xml.ProcInst:
+			if depth > 0 {
+				b.PI(t.Target, string(t.Inst))
+			}
+		}
+	}
+	if depth != 0 {
+		return nil, fmt.Errorf("xmldoc: parse: %d unclosed elements", depth)
+	}
+	doc := b.Build()
+	if doc.DocumentElement() == Nil {
+		return nil, fmt.Errorf("xmldoc: parse: no document element")
+	}
+	return doc, nil
+}
+
+// ParseString parses an XML document held in a string.
+func ParseString(s string) (*Document, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// MustParse parses s and panics on error; intended for tests and examples.
+func MustParse(s string) *Document {
+	d, err := ParseString(s)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// --- Serialization ---
+
+// WriteXML serializes the subtree rooted at n to w.
+func (d *Document) WriteXML(w io.Writer, n NodeID) error {
+	var b strings.Builder
+	d.appendXML(&b, n)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// XMLString serializes the subtree rooted at n to a string.
+func (d *Document) XMLString(n NodeID) string {
+	var b strings.Builder
+	d.appendXML(&b, n)
+	return b.String()
+}
+
+func (d *Document) appendXML(b *strings.Builder, n NodeID) {
+	node := &d.Nodes[n]
+	switch node.Kind {
+	case KindDocument:
+		for c := node.FirstChild; c != Nil; c = d.Nodes[c].NextSibling {
+			d.appendXML(b, c)
+		}
+	case KindElement:
+		b.WriteByte('<')
+		b.WriteString(node.Name)
+		for c := node.FirstChild; c != Nil; c = d.Nodes[c].NextSibling {
+			if d.Nodes[c].Kind != KindAttribute {
+				break
+			}
+			b.WriteByte(' ')
+			b.WriteString(d.Nodes[c].Name)
+			b.WriteString(`="`)
+			escapeInto(b, d.Nodes[c].Value, true)
+			b.WriteByte('"')
+		}
+		first := d.FirstChild(n)
+		if first == Nil {
+			b.WriteString("/>")
+			return
+		}
+		b.WriteByte('>')
+		for c := first; c != Nil; c = d.NextSibling(c) {
+			d.appendXML(b, c)
+		}
+		b.WriteString("</")
+		b.WriteString(node.Name)
+		b.WriteByte('>')
+	case KindText:
+		escapeInto(b, node.Value, false)
+	case KindComment:
+		b.WriteString("<!--")
+		b.WriteString(node.Value)
+		b.WriteString("-->")
+	case KindPI:
+		b.WriteString("<?")
+		b.WriteString(node.Name)
+		b.WriteByte(' ')
+		b.WriteString(node.Value)
+		b.WriteString("?>")
+	case KindAttribute:
+		b.WriteString(node.Name)
+		b.WriteString(`="`)
+		escapeInto(b, node.Value, true)
+		b.WriteByte('"')
+	}
+}
+
+func escapeInto(b *strings.Builder, s string, attr bool) {
+	for _, r := range s {
+		switch r {
+		case '<':
+			b.WriteString("&lt;")
+		case '>':
+			b.WriteString("&gt;")
+		case '&':
+			b.WriteString("&amp;")
+		case '"':
+			if attr {
+				b.WriteString("&quot;")
+			} else {
+				b.WriteRune(r)
+			}
+		default:
+			b.WriteRune(r)
+		}
+	}
+}
+
+// DeepEqual reports whether the subtrees (d1, n1) and (d2, n2) are equal as
+// labeled ordered trees (ignoring interval numbers); used by differential
+// tests between evaluation strategies.
+func DeepEqual(d1 *Document, n1 NodeID, d2 *Document, n2 NodeID) bool {
+	a, b := &d1.Nodes[n1], &d2.Nodes[n2]
+	if a.Kind != b.Kind || a.Name != b.Name || a.Value != b.Value {
+		return false
+	}
+	c1, c2 := a.FirstChild, b.FirstChild
+	for c1 != Nil && c2 != Nil {
+		if !DeepEqual(d1, c1, d2, c2) {
+			return false
+		}
+		c1, c2 = d1.Nodes[c1].NextSibling, d2.Nodes[c2].NextSibling
+	}
+	return c1 == Nil && c2 == Nil
+}

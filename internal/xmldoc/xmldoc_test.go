@@ -1,0 +1,327 @@
+package xmldoc
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const bibXML = `<bib>
+  <book year="1994">
+    <title>TCP/IP Illustrated</title>
+    <author><last>Stevens</last><first>W.</first></author>
+    <publisher>Addison-Wesley</publisher>
+    <price>65.95</price>
+  </book>
+  <book year="2000">
+    <title>Data on the Web</title>
+    <author><last>Abiteboul</last><first>Serge</first></author>
+    <author><last>Buneman</last><first>Peter</first></author>
+    <price>39.95</price>
+  </book>
+</bib>`
+
+func TestParseBasicShape(t *testing.T) {
+	d := MustParse(bibXML)
+	root := d.DocumentElement()
+	if root == Nil || d.Name(root) != "bib" {
+		t.Fatalf("document element = %v (%q)", root, d.Name(root))
+	}
+	books := d.Children(root)
+	if len(books) != 2 {
+		t.Fatalf("children(bib) = %d, want 2", len(books))
+	}
+	b0 := books[0]
+	if d.Name(b0) != "book" {
+		t.Fatalf("first child name = %q", d.Name(b0))
+	}
+	attrs := d.Attributes(b0)
+	if len(attrs) != 1 || d.Name(attrs[0]) != "year" || d.Value(attrs[0]) != "1994" {
+		t.Fatalf("book attrs wrong: %v", attrs)
+	}
+	if a := d.Attribute(b0, "year"); a == Nil || d.Value(a) != "1994" {
+		t.Fatalf("Attribute(year) wrong")
+	}
+	if a := d.Attribute(b0, "missing"); a != Nil {
+		t.Fatalf("Attribute(missing) = %v", a)
+	}
+	var titles []string
+	for _, c := range d.Children(b0) {
+		if d.Name(c) == "title" {
+			titles = append(titles, d.StringValue(c))
+		}
+	}
+	if len(titles) != 1 || titles[0] != "TCP/IP Illustrated" {
+		t.Fatalf("titles = %v", titles)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{"", "not xml at <<", "<a><b></a></b>", "<a>", "just text"} {
+		if _, err := ParseString(bad); err == nil {
+			t.Errorf("ParseString(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestIntervalEncodingInvariants(t *testing.T) {
+	d := MustParse(bibXML)
+	for i := range d.Nodes {
+		n := &d.Nodes[i]
+		if n.Start > n.End {
+			t.Fatalf("node %d: start %d > end %d", i, n.Start, n.End)
+		}
+		if n.Parent != Nil {
+			p := &d.Nodes[n.Parent]
+			if !(p.Start < n.Start && n.End < p.End) {
+				t.Fatalf("node %d: interval not inside parent", i)
+			}
+			if p.Level+1 != n.Level {
+				t.Fatalf("node %d: level %d, parent level %d", i, n.Level, p.Level)
+			}
+		}
+	}
+	// Siblings have disjoint intervals in order.
+	root := d.DocumentElement()
+	kids := d.Children(root)
+	for i := 1; i < len(kids); i++ {
+		if d.Nodes[kids[i-1]].End >= d.Nodes[kids[i]].Start {
+			t.Fatalf("sibling intervals overlap")
+		}
+	}
+}
+
+func TestIsAncestorIsParent(t *testing.T) {
+	d := MustParse(bibXML)
+	root := d.DocumentElement()
+	book := d.Children(root)[0]
+	var last NodeID = Nil
+	d.Walk(book, func(n NodeID, depth int) bool {
+		if d.Nodes[n].Kind == KindElement && d.Name(n) == "last" {
+			last = n
+		}
+		return true
+	})
+	if last == Nil {
+		t.Fatal("no <last> found")
+	}
+	if !d.IsAncestor(book, last) || !d.IsAncestor(root, last) {
+		t.Error("IsAncestor false negative")
+	}
+	if d.IsAncestor(last, book) || d.IsAncestor(book, book) {
+		t.Error("IsAncestor false positive")
+	}
+	author := d.Parent(last)
+	if !d.IsParent(author, last) {
+		t.Error("IsParent false negative")
+	}
+	if d.IsParent(book, last) {
+		t.Error("IsParent true for grandparent")
+	}
+}
+
+func TestStringValueConcatenatesDescendants(t *testing.T) {
+	d := MustParse(`<a>x<b>y</b>z</a>`)
+	if got := d.StringValue(d.DocumentElement()); got != "xyz" {
+		t.Fatalf("StringValue = %q, want xyz", got)
+	}
+}
+
+func TestTextMerging(t *testing.T) {
+	// Entity references split CharData tokens; adjacent text must merge.
+	d := MustParse(`<a>one&amp;two</a>`)
+	kids := d.Children(d.DocumentElement())
+	if len(kids) != 1 || d.Nodes[kids[0]].Kind != KindText {
+		t.Fatalf("expected single merged text node, got %d children", len(kids))
+	}
+	if d.Value(kids[0]) != "one&two" {
+		t.Fatalf("merged text = %q", d.Value(kids[0]))
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	docs := []string{
+		`<a/>`,
+		`<a b="1" c="x&quot;y"/>`,
+		`<a>text &amp; more</a>`,
+		`<r><x>1</x><y z="w"><!--note--><?pi data?></y></r>`,
+		bibXML,
+	}
+	for _, src := range docs {
+		d1 := MustParse(src)
+		out := d1.XMLString(d1.Root())
+		d2, err := ParseString(out)
+		if err != nil {
+			t.Fatalf("reparse of %q failed: %v\noutput: %s", src, err, out)
+		}
+		if !DeepEqual(d1, d1.Root(), d2, d2.Root()) {
+			t.Fatalf("round trip changed tree for %q -> %s", src, out)
+		}
+	}
+}
+
+func TestBuilderProgrammatic(t *testing.T) {
+	b := NewBuilder()
+	b.OpenElement("results")
+	b.OpenElement("result")
+	b.Attr("id", "1")
+	b.Text("hello")
+	b.CloseElement()
+	b.CloseElement()
+	d := b.Build()
+	want := `<results><result id="1">hello</result></results>`
+	if got := d.XMLString(d.Root()); got != want {
+		t.Fatalf("built XML = %s, want %s", got, want)
+	}
+}
+
+func TestBuilderAutoClose(t *testing.T) {
+	b := NewBuilder()
+	b.OpenElement("a")
+	b.OpenElement("b")
+	d := b.Build()
+	if got := d.XMLString(d.Root()); got != `<a><b/></a>` {
+		t.Fatalf("auto-closed XML = %s", got)
+	}
+}
+
+func TestCopySubtree(t *testing.T) {
+	src := MustParse(bibXML)
+	book := src.Children(src.DocumentElement())[1]
+	b := NewBuilder()
+	b.OpenElement("copy")
+	b.CopySubtree(src, book)
+	b.CloseElement()
+	d := b.Build()
+	got := d.Children(d.DocumentElement())
+	if len(got) != 1 || !DeepEqual(src, book, d, got[0]) {
+		t.Fatal("CopySubtree did not preserve the subtree")
+	}
+}
+
+func TestDescendants(t *testing.T) {
+	d := MustParse(bibXML)
+	desc := d.Descendants(d.Root())
+	if len(desc) != d.ElementCount() {
+		t.Fatalf("Descendants(root) = %d, ElementCount = %d", len(desc), d.ElementCount())
+	}
+	for i := 1; i < len(desc); i++ {
+		if desc[i-1] >= desc[i] {
+			t.Fatal("descendants not in document order")
+		}
+	}
+}
+
+// randomDoc builds a random document for property tests.
+func randomDoc(r *rand.Rand, maxNodes int) *Document {
+	b := NewBuilder()
+	names := []string{"a", "b", "c", "d"}
+	var build func(depth, budget int) int
+	build = func(depth, budget int) int {
+		used := 1
+		b.OpenElement(names[r.Intn(len(names))])
+		if r.Intn(3) == 0 {
+			b.Attr("k", "v")
+		}
+		for used < budget && depth < 8 && r.Intn(3) != 0 {
+			if r.Intn(4) == 0 {
+				b.Text("t")
+			} else {
+				used += build(depth+1, budget-used)
+			}
+		}
+		b.CloseElement()
+		return used
+	}
+	build(0, maxNodes)
+	return b.Build()
+}
+
+// Property: serialize ∘ parse is identity on random documents.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d1 := randomDoc(r, 60)
+		d2, err := ParseString(d1.XMLString(d1.Root()))
+		if err != nil {
+			return false
+		}
+		return DeepEqual(d1, d1.Root(), d2, d2.Root())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: document order of NodeIDs agrees with interval starts.
+func TestDocumentOrderProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := randomDoc(r, 80)
+		for i := 1; i < len(d.Nodes); i++ {
+			if d.Nodes[i-1].Start >= d.Nodes[i].Start {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseSkipsTopLevelMisc(t *testing.T) {
+	d := MustParse("<?xml version=\"1.0\"?>\n<!-- head -->\n<a>x</a>\n")
+	if d.Name(d.DocumentElement()) != "a" {
+		t.Fatal("document element not found after prolog")
+	}
+	if len(d.Children(d.Root())) != 1 {
+		t.Fatalf("document node has %d children, want 1", len(d.Children(d.Root())))
+	}
+}
+
+func TestWriteXML(t *testing.T) {
+	d := MustParse(`<a>x</a>`)
+	var sb strings.Builder
+	if err := d.WriteXML(&sb, d.Root()); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != `<a>x</a>` {
+		t.Fatalf("WriteXML = %q", sb.String())
+	}
+}
+
+func BenchmarkParseBib(b *testing.B) {
+	big := "<bib>" + strings.Repeat(bibXML[5:len(bibXML)-6], 50) + "</bib>"
+	b.SetBytes(int64(len(big)))
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseString(big); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestIndentXML(t *testing.T) {
+	d := MustParse(`<r><a k="1"><b>text</b><c/></a><mixed>x<i>y</i>z</mixed></r>`)
+	got := d.IndentXML(d.Root())
+	want := `<r>
+  <a k="1">
+    <b>text</b>
+    <c/>
+  </a>
+  <mixed>x<i>y</i>z</mixed>
+</r>
+`
+	if got != want {
+		t.Fatalf("IndentXML:\n%s\nwant:\n%s", got, want)
+	}
+	// Indented output reparses to the same tree for element-only content.
+	d2, err := ParseString(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !DeepEqual(d, d.Root(), d2, d2.Root()) {
+		t.Fatal("indented round trip changed the tree")
+	}
+}

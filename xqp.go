@@ -1,0 +1,293 @@
+// Package xqp is an XML query processing and optimization engine: a Go
+// implementation of the system described in Ning Zhang's "XML Query
+// Processing and Optimization" (EDBT 2004 PhD Workshop).
+//
+// Documents are stored in a succinct structure-separated layout (balanced
+// parentheses + tag symbols + a content store). Queries in an XQuery
+// subset (FLWOR, paths, constructors, quantifiers, conditionals) are
+// parsed, translated into the paper's logical algebra, optimized by
+// rewrite rules (path fusion into tree-pattern matching, predicate
+// pushdown), and executed with a choice of physical pattern-matching
+// strategies: the NoK navigational matcher, holistic twig joins
+// (TwigStack/PathStack), or naive navigation.
+//
+// Quickstart:
+//
+//	db, err := xqp.OpenString(`<bib><book><title>T</title></book></bib>`)
+//	res, err := db.Query(`for $b in /bib/book return $b/title`)
+//	fmt.Println(res.XML()) // <title>T</title>
+package xqp
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"xqp/internal/core"
+	"xqp/internal/cost"
+	"xqp/internal/exec"
+	"xqp/internal/parser"
+	"xqp/internal/pattern"
+	"xqp/internal/rewrite"
+	"xqp/internal/storage"
+	"xqp/internal/value"
+	"xqp/internal/xmldoc"
+)
+
+// Strategy selects the physical tree-pattern-matching implementation.
+type Strategy = exec.Strategy
+
+// Physical strategies for tree pattern matching.
+const (
+	// Auto picks a strategy per pattern (NoK unless a cost chooser is
+	// installed).
+	Auto = exec.StrategyAuto
+	// NoK is the paper's navigational next-of-kin matcher (default).
+	NoK = exec.StrategyNoK
+	// TwigStack is the holistic twig join baseline.
+	TwigStack = exec.StrategyTwigStack
+	// PathStack is the holistic path join baseline.
+	PathStack = exec.StrategyPathStack
+	// Naive is brute-force recursive navigation.
+	Naive = exec.StrategyNaive
+	// Hybrid evaluates NoK fragments navigationally and glues them with
+	// structural joins (the paper's Section 4.2 proposal).
+	Hybrid = exec.StrategyHybrid
+)
+
+// Options configures compilation and execution.
+type Options struct {
+	// Strategy selects the physical τ implementation (default Auto).
+	Strategy Strategy
+	// DisableRewrites turns off all logical optimization (ablation).
+	DisableRewrites bool
+	// Rewrites selects individual rules when DisableRewrites is false.
+	// The zero value means "all rules".
+	Rewrites *rewrite.Options
+	// NoStepDedup disables duplicate elimination between path steps,
+	// reproducing worst-case pipelined evaluation (never use normally).
+	NoStepDedup bool
+	// CostBased installs the synopsis-driven strategy chooser (package
+	// cost) when Strategy is Auto.
+	CostBased bool
+}
+
+// Database holds a primary document and a catalog of named documents.
+type Database struct {
+	store   *storage.Store
+	catalog map[string]*storage.Store
+	chooser func(*storage.Store, *pattern.Graph) exec.Strategy
+}
+
+// Open loads the primary document from r.
+func Open(r io.Reader) (*Database, error) {
+	st, err := storage.LoadReader(r)
+	if err != nil {
+		return nil, err
+	}
+	return FromStore(st), nil
+}
+
+// OpenString loads the primary document from an XML string.
+func OpenString(xml string) (*Database, error) {
+	return Open(strings.NewReader(xml))
+}
+
+// OpenFile loads the primary document from a file; the file name becomes
+// its doc() URI.
+func OpenFile(path string) (*Database, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	db, err := Open(f)
+	if err != nil {
+		return nil, err
+	}
+	db.store.URI = path
+	db.catalog[path] = db.store
+	return db, nil
+}
+
+// FromStore wraps an existing document store.
+func FromStore(st *storage.Store) *Database {
+	db := &Database{store: st, catalog: map[string]*storage.Store{}}
+	if st != nil && st.URI != "" {
+		db.catalog[st.URI] = st
+	}
+	return db
+}
+
+// Store exposes the underlying succinct store (for experiments and
+// advanced integrations).
+func (db *Database) Store() *storage.Store { return db.store }
+
+// AddDocument registers an additional document under a URI for doc().
+func (db *Database) AddDocument(uri string, r io.Reader) error {
+	st, err := storage.LoadReader(r)
+	if err != nil {
+		return err
+	}
+	st.URI = uri
+	db.catalog[uri] = st
+	return nil
+}
+
+// AddDocumentString registers an additional document from a string.
+func (db *Database) AddDocumentString(uri, xml string) error {
+	return db.AddDocument(uri, strings.NewReader(xml))
+}
+
+// Query is a compiled, optimized query plan.
+type Query struct {
+	Source string
+	Plan   core.Op
+	// RewriteStats records which optimization rules fired.
+	RewriteStats *rewrite.Stats
+	opts         Options
+}
+
+// Compile parses, translates and optimizes a query.
+func Compile(src string, opts Options) (*Query, error) {
+	e, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := core.Translate(e)
+	if err != nil {
+		return nil, err
+	}
+	stats := &rewrite.Stats{}
+	if !opts.DisableRewrites {
+		ro := rewrite.All()
+		if opts.Rewrites != nil {
+			ro = *opts.Rewrites
+		}
+		plan, stats = rewrite.Rewrite(plan, ro)
+	}
+	return &Query{Source: src, Plan: plan, RewriteStats: stats, opts: opts}, nil
+}
+
+// Explain renders the optimized logical plan.
+func (q *Query) Explain() string { return core.Explain(q.Plan) }
+
+// Run executes a compiled query against the database.
+func (db *Database) Run(q *Query) (*Result, error) {
+	eo := exec.Options{
+		Strategy:    q.opts.Strategy,
+		NoStepDedup: q.opts.NoStepDedup,
+	}
+	if q.opts.CostBased && eo.Strategy == Auto {
+		if db.chooser == nil {
+			db.chooser = cost.Chooser()
+		}
+		eo.Chooser = db.chooser
+	}
+	eng := exec.New(db.store, eo)
+	for uri, st := range db.catalog {
+		eng.AddDocument(uri, st)
+	}
+	seq, err := eng.Eval(q.Plan, exec.Root())
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Seq: seq, Metrics: eng.Metrics}, nil
+}
+
+// Query compiles and runs a query with default options.
+func (db *Database) Query(src string) (*Result, error) {
+	return db.QueryWith(src, Options{})
+}
+
+// QueryWith compiles and runs a query with explicit options.
+func (db *Database) QueryWith(src string, opts Options) (*Result, error) {
+	q, err := Compile(src, opts)
+	if err != nil {
+		return nil, err
+	}
+	return db.Run(q)
+}
+
+// Explain compiles a query and renders its optimized plan.
+func (db *Database) Explain(src string) (string, error) {
+	q, err := Compile(src, Options{})
+	if err != nil {
+		return "", err
+	}
+	return q.Explain(), nil
+}
+
+// Result is a query result: a sequence of items.
+type Result struct {
+	Seq value.Sequence
+	// Metrics are the physical-operator counters of the run.
+	Metrics exec.Metrics
+}
+
+// Len reports the number of items.
+func (r *Result) Len() int { return len(r.Seq) }
+
+// Strings returns the string value of each item.
+func (r *Result) Strings() []string {
+	out := make([]string, len(r.Seq))
+	for i, it := range r.Seq {
+		out[i] = it.String()
+	}
+	return out
+}
+
+// XML serializes the result: node items as XML subtrees, atomic items as
+// text, separated by spaces between adjacent atomics.
+func (r *Result) XML() string {
+	var b strings.Builder
+	prevAtomic := false
+	for _, it := range r.Seq {
+		if n, ok := it.(value.Node); ok {
+			b.WriteString(nodeXML(n))
+			prevAtomic = false
+			continue
+		}
+		if prevAtomic {
+			b.WriteByte(' ')
+		}
+		b.WriteString(it.String())
+		prevAtomic = true
+	}
+	return b.String()
+}
+
+func nodeXML(n value.Node) string {
+	switch n.Store.Kind(n.Ref) {
+	case xmldoc.KindAttribute:
+		return fmt.Sprintf(`%s="%s"`, n.Store.Name(n.Ref), n.Store.Content(n.Ref))
+	default:
+		return n.Store.XMLString(n.Ref)
+	}
+}
+
+// Items exposes the raw item sequence.
+func (r *Result) Items() value.Sequence { return r.Seq }
+
+// PrettyXML serializes node items with two-space indentation (atomic
+// items print on their own lines).
+func (r *Result) PrettyXML() string {
+	var b strings.Builder
+	for _, it := range r.Seq {
+		n, ok := it.(value.Node)
+		if !ok {
+			b.WriteString(it.String())
+			b.WriteByte('\n')
+			continue
+		}
+		if n.Store.Kind(n.Ref) == xmldoc.KindAttribute {
+			b.WriteString(nodeXML(n))
+			b.WriteByte('\n')
+			continue
+		}
+		d := n.Store.SubtreeDoc(n.Ref)
+		b.WriteString(d.IndentXML(d.Root()))
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
