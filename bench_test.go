@@ -402,3 +402,43 @@ func BenchmarkE13Hybrid(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkE14AnalyzerPruning measures rewrite+execution of a query with
+// a statically-empty branch (synopsis-unmatchable path), with the static
+// analyzer disabled ("off": the dead branch is rewritten and executed)
+// and enabled ("on": the analyzer prunes it to a constant at compile
+// time).
+func BenchmarkE14AnalyzerPruning(b *testing.B) {
+	db := xqp.FromStore(xmark.StoreAuction(8))
+	src := `(/site/regions/africa/item/name, /site/nonexistent//item/name)`
+	for _, v := range []struct {
+		name string
+		opts xqp.Options
+	}{
+		{"off", xqp.Options{DisableAnalyzer: true}},
+		{"on", xqp.Options{}},
+	} {
+		b.Run("compile+run/"+v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				q, err := db.Compile(src, v.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := db.Run(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		q, err := db.Compile(src, v.opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run("run/"+v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Run(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -4,50 +4,68 @@
 //
 //	xq -doc bib.xml 'for $b in /bib/book return $b/title'
 //	xq -doc bib.xml -explain '/bib/book[price < 50]'
+//	xq -doc bib.xml -check 'for $x in /bib/nosuch return $x'
 //	xq -doc site.xml -strategy twigstack '//item/name'
 //	echo '<a><b/></a>' | xq '/a/b'
 //
 // Flags select the physical pattern-matching strategy, disable the
-// logical rewrites, and print the optimized plan or execution metrics.
+// logical rewrites, and print the optimized plan, static-analysis
+// diagnostics, or execution metrics.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"xqp"
 )
 
 func main() {
-	doc := flag.String("doc", "", "XML document file (default: stdin)")
-	strategy := flag.String("strategy", "auto", "pattern matching strategy: auto|nok|twigstack|pathstack|naive|hybrid")
-	explain := flag.Bool("explain", false, "print the optimized logical plan instead of running")
-	noRewrite := flag.Bool("no-rewrites", false, "disable logical optimization")
-	costBased := flag.Bool("cost", false, "use the synopsis-driven cost model for strategy choice")
-	metrics := flag.Bool("metrics", false, "print physical operator counters after the result")
-	indent := flag.Bool("indent", false, "pretty-print node results with indentation")
-	flag.Parse()
+	os.Exit(run(os.Stdin, os.Stdout, os.Stderr, os.Args[1:]))
+}
 
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: xq [flags] <query>")
-		flag.Usage()
-		os.Exit(2)
+func run(stdin io.Reader, stdout, stderr io.Writer, argv []string) int {
+	fs := flag.NewFlagSet("xq", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	doc := fs.String("doc", "", "XML document file (default: stdin)")
+	strategy := fs.String("strategy", "auto", "pattern matching strategy: auto|nok|twigstack|pathstack|naive|hybrid")
+	explain := fs.Bool("explain", false, "print the optimized logical plan instead of running")
+	check := fs.Bool("check", false, "print static-analysis diagnostics and the annotated plan instead of running")
+	noRewrite := fs.Bool("no-rewrites", false, "disable logical optimization")
+	noAnalyze := fs.Bool("no-analyze", false, "disable the static analyzer (diagnostics and pruning)")
+	costBased := fs.Bool("cost", false, "use the synopsis-driven cost model for strategy choice")
+	metrics := fs.Bool("metrics", false, "print physical operator counters after the result")
+	indent := fs.Bool("indent", false, "pretty-print node results with indentation")
+	if err := fs.Parse(argv); err != nil {
+		return 2
 	}
-	query := flag.Arg(0)
+
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: xq [flags] <query>")
+		fs.Usage()
+		return 2
+	}
+	query := fs.Arg(0)
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "xq:", err)
+		return 1
+	}
 
 	var db *xqp.Database
 	var err error
 	if *doc != "" {
 		db, err = xqp.OpenFile(*doc)
 	} else {
-		db, err = xqp.Open(os.Stdin)
+		db, err = xqp.Open(stdin)
 	}
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
-	opts := xqp.Options{DisableRewrites: *noRewrite, CostBased: *costBased}
+	opts := xqp.Options{DisableRewrites: *noRewrite, DisableAnalyzer: *noAnalyze, CostBased: *costBased}
 	switch *strategy {
 	case "auto":
 		opts.Strategy = xqp.Auto
@@ -62,34 +80,44 @@ func main() {
 	case "hybrid":
 		opts.Strategy = xqp.Hybrid
 	default:
-		fatal(fmt.Errorf("unknown strategy %q", *strategy))
+		return fail(fmt.Errorf("unknown strategy %q", *strategy))
 	}
 
-	q, err := xqp.Compile(query, opts)
+	q, err := db.Compile(query, opts)
 	if err != nil {
-		fatal(err)
+		return fail(err)
+	}
+	if *check {
+		for _, d := range q.Diagnostics {
+			fmt.Fprintln(stdout, d)
+		}
+		if len(q.Diagnostics) == 0 {
+			fmt.Fprintln(stdout, "no diagnostics")
+		}
+		if q.Pruned > 0 {
+			fmt.Fprintf(stdout, "pruned %d provably-empty subplan(s)\n", q.Pruned)
+		}
+		fmt.Fprintln(stdout, "plan:")
+		fmt.Fprint(stdout, q.ExplainAnnotated())
+		return 0
 	}
 	if *explain {
-		fmt.Print(q.Explain())
-		return
+		fmt.Fprint(stdout, q.Explain())
+		return 0
 	}
 	res, err := db.Run(q)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	if *indent {
-		fmt.Println(res.PrettyXML())
+		fmt.Fprintln(stdout, res.PrettyXML())
 	} else {
-		fmt.Println(res.XML())
+		fmt.Fprintln(stdout, res.XML())
 	}
 	if *metrics {
 		m := res.Metrics
-		fmt.Fprintf(os.Stderr, "items=%d τ=%d πs=%d joins=%d γ=%d env-bindings=%d preds=%d\n",
+		fmt.Fprintf(stderr, "items=%d τ=%d πs=%d joins=%d γ=%d env-bindings=%d preds=%d\n",
 			res.Len(), m.TPMCalls, m.StepCalls, m.JoinCalls, m.CtorCalls, m.EnvLeaves, m.PredEvals)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "xq:", err)
-	os.Exit(1)
+	return 0
 }

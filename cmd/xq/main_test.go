@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"xqp/internal/xmark"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// checkQuery exercises every diagnostic class on the XMark auction
+// document: a synopsis-unmatchable path, a structurally empty navigation,
+// an unused let, a shadowing rebind, and a type-decided comparison.
+const checkQuery = `for $i in /site/regions/africa/item
+let $i := $i/name
+let $unused := /site/nonexistent//item
+where count($i) = "many"
+return ($i/text()/zzz, $i)`
+
+func runXQ(t *testing.T, stdin string, args ...string) (string, string, int) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(strings.NewReader(stdin), &stdout, &stderr, args)
+	return stdout.String(), stderr.String(), code
+}
+
+func auctionXML(t *testing.T) string {
+	t.Helper()
+	d := xmark.Auction(1)
+	return d.XMLString(d.Root())
+}
+
+func TestCheckGolden(t *testing.T) {
+	stdout, stderr, code := runXQ(t, auctionXML(t), "-check", checkQuery)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	golden := filepath.Join("testdata", "check_auction.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(stdout), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if stdout != string(want) {
+		t.Errorf("golden mismatch\n--- got ---\n%s\n--- want ---\n%s", stdout, want)
+	}
+}
+
+func TestCheckCleanQuery(t *testing.T) {
+	stdout, _, code := runXQ(t, auctionXML(t), "-check",
+		"for $i in /site/regions/africa/item return $i/name")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(stdout, "no diagnostics") {
+		t.Errorf("clean query produced diagnostics:\n%s", stdout)
+	}
+}
+
+func TestRunQuery(t *testing.T) {
+	stdout, stderr, code := runXQ(t, "<a><b>x</b></a>", "/a/b")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if strings.TrimSpace(stdout) != "<b>x</b>" {
+		t.Errorf("result = %q", stdout)
+	}
+}
+
+func TestPrunedQueryRuns(t *testing.T) {
+	// A synopsis-pruned query still executes (to an empty result).
+	stdout, stderr, code := runXQ(t, "<a><b>x</b></a>", "/a/zzz")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if strings.TrimSpace(stdout) != "" {
+		t.Errorf("result = %q", stdout)
+	}
+}
+
+func TestBadQueryExitCode(t *testing.T) {
+	_, stderr, code := runXQ(t, "<a/>", "for $x in")
+	if code != 1 {
+		t.Fatalf("exit %d", code)
+	}
+	if stderr == "" {
+		t.Error("no error message")
+	}
+}

@@ -37,6 +37,7 @@ var registry = []struct {
 	{"E11", "update locality", func() *experiments.Table { return experiments.E11UpdateLocality([]int{1, 4, 16, 64}) }},
 	{"E12", "content index vs scan", func() *experiments.Table { return experiments.E12ContentIndex(200) }},
 	{"E13", "hybrid NoK-fragment strategy", experiments.E13HybridStrategy},
+	{"E14", "static analyzer pruning", func() *experiments.Table { return experiments.E14AnalyzerPruning(8) }},
 }
 
 func main() {

@@ -1,0 +1,153 @@
+// Command xqlint enforces this repository's own source invariants using
+// only the standard library (go/ast, go/parser):
+//
+//  1. no panic in executor hot paths: internal/exec must not call panic
+//     outside must*-helpers (a query error must surface as an error value,
+//     never crash the engine);
+//  2. exported API is documented: every exported package-level function,
+//     method and type in non-main packages carries a doc comment.
+//
+// Usage: xqlint [dir]  (default "."; walks every non-test .go file,
+// skipping testdata). Exits 1 when violations are found. CI runs it on
+// every push.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	violations, err := lintTree(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xqlint:", err)
+		os.Exit(2)
+	}
+	for _, v := range violations {
+		fmt.Println(v)
+	}
+	if len(violations) > 0 {
+		fmt.Fprintf(os.Stderr, "xqlint: %d violation(s)\n", len(violations))
+		os.Exit(1)
+	}
+}
+
+// lintTree walks root and lints every non-test Go file.
+func lintTree(root string) ([]string, error) {
+	var violations []string
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || strings.HasPrefix(name, ".") && path != root {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		violations = append(violations, lintFile(fset, path, f)...)
+		return nil
+	})
+	return violations, err
+}
+
+func lintFile(fset *token.FileSet, path string, f *ast.File) []string {
+	var violations []string
+	report := func(pos token.Pos, format string, args ...any) {
+		violations = append(violations,
+			fmt.Sprintf("%s: %s", fset.Position(pos), fmt.Sprintf(format, args...)))
+	}
+	if strings.Contains(filepath.ToSlash(path), "internal/exec/") {
+		checkNoPanic(f, report)
+	}
+	if f.Name.Name != "main" {
+		checkExportedDocs(f, report)
+	}
+	return violations
+}
+
+// checkNoPanic flags panic calls in executor code outside must*-helpers.
+func checkNoPanic(f *ast.File, report func(token.Pos, string, ...any)) {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		name := fd.Name.Name
+		if strings.HasPrefix(name, "must") || strings.HasPrefix(name, "Must") {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				report(call.Pos(), "panic in executor hot path %s (wrap in a must* helper or return an error)", name)
+			}
+			return true
+		})
+	}
+}
+
+// wellKnownMethods are interface implementations whose contract is given
+// by the interface itself (fmt.Stringer, error, sort.Interface, the core.Op
+// plan-node interface); requiring a doc comment on each would be noise.
+var wellKnownMethods = map[string]bool{
+	"String": true, "Error": true, "GoString": true,
+	"Len": true, "Less": true, "Swap": true,
+	"Children": true, "Label": true,
+}
+
+// checkExportedDocs flags undocumented exported package-level functions,
+// methods and type declarations.
+func checkExportedDocs(f *ast.File, report func(token.Pos, string, ...any)) {
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if d.Name.IsExported() && d.Doc == nil &&
+				!(d.Recv != nil && wellKnownMethods[d.Name.Name]) {
+				report(d.Pos(), "exported %s %s has no doc comment", funcKind(d), d.Name.Name)
+			}
+		case *ast.GenDecl:
+			if d.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range d.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || !ts.Name.IsExported() {
+					continue
+				}
+				if d.Doc == nil && ts.Doc == nil {
+					report(ts.Pos(), "exported type %s has no doc comment", ts.Name.Name)
+				}
+			}
+		}
+	}
+}
+
+func funcKind(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, path, src string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLintFlagsViolations(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "internal", "exec", "bad.go"), `package exec
+
+func eval() { panic("boom") }
+
+func mustRef() { panic("ok in must helpers") }
+`)
+	writeFile(t, filepath.Join(dir, "internal", "core", "undoc.go"), `package core
+
+type Exposed struct{}
+
+func Run() {}
+`)
+	violations, err := lintTree(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(violations, "\n")
+	for _, want := range []string{
+		"panic in executor hot path eval",
+		"exported type Exposed has no doc comment",
+		"exported function Run has no doc comment",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing violation %q in:\n%s", want, joined)
+		}
+	}
+	if strings.Contains(joined, "mustRef") {
+		t.Errorf("must* helper wrongly flagged:\n%s", joined)
+	}
+	if len(violations) != 3 {
+		t.Errorf("got %d violations, want 3:\n%s", len(violations), joined)
+	}
+}
+
+func TestLintCleanTree(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "pkg", "good.go"), `// Package pkg is documented.
+package pkg
+
+// Exposed is documented.
+type Exposed struct{}
+
+// String implements fmt.Stringer.
+func (Exposed) String() string { return "" }
+`)
+	violations, err := lintTree(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) != 0 {
+		t.Errorf("unexpected violations: %v", violations)
+	}
+}

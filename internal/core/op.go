@@ -302,6 +302,27 @@ func Explain(op Op) string {
 	return b.String()
 }
 
+// ExplainWith renders the plan like Explain, appending annotate's output
+// (when non-empty) after each operator label. The static analyzer uses it
+// to show inferred type/cardinality annotations per operator.
+func ExplainWith(op Op, annotate func(Op) string) string {
+	var b strings.Builder
+	var walk func(op Op, depth int)
+	walk = func(op Op, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(op.Label())
+		if s := annotate(op); s != "" {
+			b.WriteString("  [" + s + "]")
+		}
+		b.WriteByte('\n')
+		for _, c := range op.Children() {
+			walk(c, depth+1)
+		}
+	}
+	walk(op, 0)
+	return b.String()
+}
+
 // Walk visits op and all descendants pre-order; returning false prunes.
 func Walk(op Op, f func(Op) bool) {
 	if op == nil || !f(op) {

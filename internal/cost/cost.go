@@ -79,7 +79,12 @@ func (m *Model) Estimate(g *pattern.Graph) Estimate {
 	for v := 1; v < g.VertexCount(); v++ {
 		streams += m.syn.EstimateVertexMatches(m.st, &g.Vertices[v])
 	}
-	out := m.syn.EstimatePattern(m.st, g)
+	// Prefer the output-cardinality annotation the static analyzer stamped
+	// at compile time over re-walking the synopsis per execution.
+	out := g.EstCard
+	if out < 0 {
+		out = m.syn.EstimatePattern(m.st, g)
+	}
 	joins := float64(g.VertexCount() - 1)
 	e := Estimate{
 		OutputCard:  out,

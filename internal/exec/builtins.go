@@ -36,6 +36,21 @@ func (e *Engine) evalFn(o *core.FnOp, ctx *Context) (value.Sequence, error) {
 			return nil, err
 		}
 		return value.Singleton(value.Bool(!b)), nil
+	case "error":
+		// fn:error — raises a dynamic error. The static analyzer treats
+		// this builtin as impure, so subplans containing it survive both
+		// dead-let elimination and empty-subplan pruning.
+		if err := arity(o, args, 0, 2); err != nil {
+			return nil, err
+		}
+		msg := "error()"
+		if len(args) >= 1 && len(args[0]) > 0 {
+			msg = seqString(args[0])
+		}
+		if len(args) == 2 && len(args[1]) > 0 {
+			msg += ": " + seqString(args[1])
+		}
+		return nil, fmt.Errorf("exec: error raised: %s", msg)
 	case "boolean":
 		if err := arity(o, args, 1, 1); err != nil {
 			return nil, err

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"xqp/internal/core"
@@ -184,6 +185,26 @@ func TestBuiltinEdgeCases(t *testing.T) {
 	}
 	if err := runErr(t, e, `count()`); err == nil {
 		t.Error("count() with no args succeeded")
+	}
+}
+
+func TestErrorBuiltin(t *testing.T) {
+	e := engine(t, Options{})
+	err := runErr(t, e, `error("boom")`)
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("error(\"boom\") = %v", err)
+	}
+	if err := runErr(t, e, `error()`); err == nil {
+		t.Error("error() with no args succeeded")
+	}
+	err = runErr(t, e, `error("code", "detail")`)
+	if err == nil || !strings.Contains(err.Error(), "detail") {
+		t.Fatalf("two-arg error() = %v", err)
+	}
+	// error() in a dead branch still never fires.
+	got := run(t, e, `if (true()) then 1 else error("unreachable")`)
+	if len(got) != 1 || got[0] != value.Int(1) {
+		t.Fatalf("if with error branch = %v", got)
 	}
 }
 

@@ -65,6 +65,7 @@ func TestExperimentsSmoke(t *testing.T) {
 		{"E11", func() *Table { return E11UpdateLocality([]int{1}) }},
 		{"E12", func() *Table { return E12ContentIndex(2) }},
 		{"E13", E13HybridStrategy},
+		{"E14", func() *Table { return E14AnalyzerPruning(1) }},
 	}
 	for _, r := range runs {
 		r := r

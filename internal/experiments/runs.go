@@ -515,6 +515,7 @@ func RunAll() []*Table {
 		E11UpdateLocality([]int{1, 4, 16}),
 		E12ContentIndex(100),
 		E13HybridStrategy(),
+		E14AnalyzerPruning(8),
 	}
 }
 

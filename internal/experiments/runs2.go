@@ -2,7 +2,10 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 
+	"xqp"
+	"xqp/internal/core"
 	"xqp/internal/storage"
 	"xqp/internal/xmark"
 	"xqp/internal/xmldoc"
@@ -98,6 +101,57 @@ func E13HybridStrategy() *Table {
 		t.AddRow(q, p.FragmentCount(), p.JoinCount(), dNok, dTwig, dHyb)
 	}
 	return t
+}
+
+// E14AnalyzerPruning measures the static analyzer's empty-subplan
+// pruning: a query with a statically-empty branch (a path the synopsis
+// proves unmatchable) pays full rewrite+execution cost without the
+// analyzer, and collapses to a constant with it. Claim: synopsis-backed
+// compile-time pruning removes entire subplans that every runtime
+// strategy would otherwise evaluate against the document.
+func E14AnalyzerPruning(scale int) *Table {
+	t := &Table{ID: "E14", Title: "Static analyzer pruning (auction corpus)",
+		Columns: []string{"query", "analyzer", "plan ops", "pruned", "compile", "exec"}}
+	db := xqp.FromStore(xmark.StoreAuction(scale))
+	queries := []string{
+		`(/site/regions/africa/item/name, /site/nonexistent//item/name)`,
+		`for $i in /site/regions/africa/item
+		 let $dead := /site/closed_auctions/missing//seller
+		 return ($i/name, $dead)`,
+		`//person[profile/nosuchchild]/name`,
+	}
+	for _, src := range queries {
+		for _, ablate := range []bool{true, false} {
+			opts := xqp.Options{DisableAnalyzer: ablate}
+			var q *xqp.Query
+			var err error
+			dCompile := timeIt(func() {
+				q, err = db.Compile(src, opts)
+			})
+			if err != nil {
+				panic(err)
+			}
+			ops := core.Count(q.Plan, func(core.Op) bool { return true })
+			dExec := timeIt(func() {
+				if _, err := db.Run(q); err != nil {
+					panic(err)
+				}
+			})
+			name := "off"
+			if !ablate {
+				name = "on"
+			}
+			t.AddRow(firstLine(src), name, ops, q.Pruned, dCompile, dExec)
+		}
+	}
+	return t
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i] + " …"
+	}
+	return s
 }
 
 // VerifyAll cross-checks every matching strategy on every experiment

@@ -92,6 +92,10 @@ type Graph struct {
 	Rooted bool
 	// Output is the vertex whose matches form the result.
 	Output VertexID
+	// EstCard is the synopsis estimate of the output cardinality, stamped
+	// by the static analyzer after rewriting (analyze.AnnotateGraphs);
+	// negative means not annotated and the cost model estimates on demand.
+	EstCard float64
 }
 
 // NewGraph returns a graph with only the root vertex.
@@ -100,6 +104,7 @@ func NewGraph(rooted bool) *Graph {
 		Vertices: []Vertex{{Test: ast.NodeTest{Kind: ast.TestNode}}},
 		Children: [][]Edge{nil},
 		Rooted:   rooted,
+		EstCard:  -1,
 	}
 }
 
@@ -150,6 +155,7 @@ func (g *Graph) Clone() *Graph {
 		Children: make([][]Edge, len(g.Children)),
 		Rooted:   g.Rooted,
 		Output:   g.Output,
+		EstCard:  g.EstCard,
 	}
 	copy(ng.Vertices, g.Vertices)
 	for i := range ng.Vertices {

@@ -16,6 +16,7 @@
 package rewrite
 
 import (
+	"xqp/internal/analyze"
 	"xqp/internal/ast"
 	"xqp/internal/core"
 	"xqp/internal/pattern"
@@ -463,6 +464,9 @@ func (r *rewriter) pushPred(f *core.FLWOROp, p *core.PathOp, pred ast.Expr) bool
 }
 
 // eliminateLets removes let-clauses whose variable is never used later.
+// A dead let is only dropped when its binding expression is pure: a
+// binding that may raise (error()-style builtins, unknown functions) has
+// an observable effect even when the variable itself is never read.
 func (r *rewriter) eliminateLets(f *core.FLWOROp) {
 	used := map[string]bool{}
 	mark := func(op core.Op) {
@@ -495,7 +499,7 @@ func (r *rewriter) eliminateLets(f *core.FLWOROp) {
 	mark(f.Return)
 	var kept []core.Bind
 	for _, c := range f.Clauses {
-		if c.Kind == core.BindLet && !used[c.Var] {
+		if c.Kind == core.BindLet && !used[c.Var] && analyze.Pure(c.Expr) {
 			r.stats.LetsEliminated++
 			continue
 		}

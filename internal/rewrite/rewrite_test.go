@@ -185,6 +185,31 @@ func TestLetElimination(t *testing.T) {
 	}
 }
 
+func TestLetEliminationKeepsImpureBindings(t *testing.T) {
+	// An unused let whose binding may raise must survive: dropping it
+	// would silently swallow the error.
+	p := plan(t, `for $b in /a let $chk := error("bad doc") return $b`)
+	out, stats := Rewrite(p, All())
+	if stats.LetsEliminated != 0 {
+		t.Fatalf("impure let eliminated:\n%s", core.Explain(out))
+	}
+	if len(findFLWOR(out).Clauses) != 2 {
+		t.Fatalf("clauses = %d, want 2", len(findFLWOR(out).Clauses))
+	}
+	// Unknown functions are impure too (the executor raises for them).
+	p2 := plan(t, `for $b in /a let $x := frobnicate($b) return $b`)
+	_, stats2 := Rewrite(p2, All())
+	if stats2.LetsEliminated != 0 {
+		t.Fatal("let with unknown function eliminated")
+	}
+	// A pure unused let inside a larger binding expression still goes.
+	p3 := plan(t, `for $b in /a let $u := count($b/x) + 1 return $b`)
+	_, stats3 := Rewrite(p3, All())
+	if stats3.LetsEliminated != 1 {
+		t.Fatalf("pure unused let kept: eliminated = %d", stats3.LetsEliminated)
+	}
+}
+
 func TestRewriteInsideConstructor(t *testing.T) {
 	p := plan(t, `<r>{/bib/book/title}</r>`)
 	out, stats := Rewrite(p, All())

@@ -243,6 +243,77 @@ func (s *Synopsis) EstimatePattern(st *storage.Store, g *pattern.Graph) float64 
 	return total
 }
 
+// Matchable reports whether the pattern can match at least one node of
+// the summarized document. Because the synopsis preserves every distinct
+// root-to-node label path, a "no" answer for downward-only patterns is
+// exact, not an estimate: the static analyzer uses it to prune provably
+// empty plans. Rooted patterns anchor at the document root; relative
+// patterns are tried at every synopsis node. Value predicates are ignored
+// (they can only shrink the match set, never grow it, so ignoring them
+// keeps "no" answers sound).
+func (s *Synopsis) Matchable(st *storage.Store, g *pattern.Graph) bool {
+	type key struct {
+		n *node
+		v pattern.VertexID
+	}
+	memo := map[key]bool{}
+	var down func(n *node, v pattern.VertexID) bool
+	down = func(n *node, v pattern.VertexID) bool {
+		k := key{n, v}
+		if r, ok := memo[k]; ok {
+			return r
+		}
+		memo[k] = false
+		vx := &g.Vertices[v]
+		if !synMatches(st, n, vx) {
+			return false
+		}
+		for _, e := range g.Children[v] {
+			found := false
+			if e.Rel == pattern.RelChild {
+				for _, c := range n.children {
+					if down(c, e.To) {
+						found = true
+						break
+					}
+				}
+			} else {
+				var rec func(m *node) bool
+				rec = func(m *node) bool {
+					for _, c := range m.children {
+						if down(c, e.To) || rec(c) {
+							return true
+						}
+					}
+					return false
+				}
+				found = rec(n)
+			}
+			if !found {
+				return false
+			}
+		}
+		memo[k] = true
+		return true
+	}
+	if g.Rooted {
+		return down(s.root, 0)
+	}
+	var anywhere func(m *node) bool
+	anywhere = func(m *node) bool {
+		if down(m, 0) {
+			return true
+		}
+		for _, c := range m.children {
+			if anywhere(c) {
+				return true
+			}
+		}
+		return false
+	}
+	return anywhere(s.root)
+}
+
 type chainStep struct {
 	v   pattern.VertexID
 	rel pattern.Rel

@@ -138,3 +138,46 @@ func TestEstimateVertexMatches(t *testing.T) {
 		t.Fatalf("wildcard estimate = %f", got)
 	}
 }
+
+func TestMatchable(t *testing.T) {
+	st := storage.MustLoad(`<a><b at="1"><c/></b><b/><d>x</d></a>`)
+	s := Build(st)
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"/a/b/c", true},
+		{"/a/b", true},
+		{"//c", true},
+		{"/a/b/@at", true},
+		{"/a//c", true},
+		{"/a/c", false},       // c exists only under b
+		{"/a/b/zzz", false},   // unknown tag
+		{"//zzz", false},      // unknown tag anywhere
+		{"/a/d/@at", false},   // @at exists only on b
+		{"/b/c", false},       // b is not a child of the root (a is)
+		{"/a/b[c]", true},     // branching pattern, satisfiable
+		{"/a/d[c]", false},    // d has no c child
+		{"//b[c][@at]", true}, // both branches satisfiable at the first b
+		{"/a/*/c", true},      // wildcard
+	}
+	for _, tc := range cases {
+		g := graphOf(t, tc.path)
+		if got := s.Matchable(st, g); got != tc.want {
+			t.Errorf("Matchable(%s) = %v, want %v", tc.path, got, tc.want)
+		}
+	}
+}
+
+func TestMatchableRelative(t *testing.T) {
+	st := storage.MustLoad(`<a><b><c/></b></a>`)
+	s := Build(st)
+	rel := graphOf(t, "b/c") // relative: anchored anywhere
+	if !s.Matchable(st, rel) {
+		t.Error("relative b/c should match somewhere (anchored at a)")
+	}
+	relNo := graphOf(t, "c/b")
+	if s.Matchable(st, relNo) {
+		t.Error("relative c/b matches nowhere")
+	}
+}

@@ -24,12 +24,14 @@ import (
 	"os"
 	"strings"
 
+	"xqp/internal/analyze"
 	"xqp/internal/core"
 	"xqp/internal/cost"
 	"xqp/internal/exec"
 	"xqp/internal/parser"
 	"xqp/internal/pattern"
 	"xqp/internal/rewrite"
+	"xqp/internal/stats"
 	"xqp/internal/storage"
 	"xqp/internal/value"
 	"xqp/internal/xmldoc"
@@ -71,13 +73,21 @@ type Options struct {
 	// CostBased installs the synopsis-driven strategy chooser (package
 	// cost) when Strategy is Auto.
 	CostBased bool
+	// DisableAnalyzer turns off the static analysis pass (diagnostics,
+	// empty-subplan pruning, pattern cardinality annotation) that normally
+	// runs between translation and rewriting (ablation).
+	DisableAnalyzer bool
 }
+
+// Diagnostic is a static-analyzer finding (see ANALYZER.md for the codes).
+type Diagnostic = analyze.Diagnostic
 
 // Database holds a primary document and a catalog of named documents.
 type Database struct {
 	store   *storage.Store
 	catalog map[string]*storage.Store
 	chooser func(*storage.Store, *pattern.Graph) exec.Strategy
+	syn     *stats.Synopsis
 }
 
 // Open loads the primary document from r.
@@ -146,11 +156,40 @@ type Query struct {
 	Plan   core.Op
 	// RewriteStats records which optimization rules fired.
 	RewriteStats *rewrite.Stats
-	opts         Options
+	// Diagnostics are the static analyzer's findings for this query (empty
+	// when compiled with DisableAnalyzer).
+	Diagnostics []Diagnostic
+	// Pruned counts the provably-empty subplans the analyzer replaced with
+	// empty-sequence constants.
+	Pruned int
+	opts   Options
+	st     *storage.Store
+	syn    *stats.Synopsis
 }
 
-// Compile parses, translates and optimizes a query.
+// Compile parses, translates, analyzes and optimizes a query without a
+// bound document: the analyzer performs structural checks only. Use
+// Database.Compile for the synopsis-aware checks.
 func Compile(src string, opts Options) (*Query, error) {
+	return compile(src, opts, nil, nil)
+}
+
+// Compile compiles a query against the database's primary document,
+// enabling the analyzer's synopsis-based unmatchability checks and
+// pattern-cardinality annotation for the cost model.
+func (db *Database) Compile(src string, opts Options) (*Query, error) {
+	return compile(src, opts, db.store, db.synopsis())
+}
+
+// synopsis lazily builds (and caches) the primary document's synopsis.
+func (db *Database) synopsis() *stats.Synopsis {
+	if db.syn == nil && db.store != nil {
+		db.syn = stats.Build(db.store)
+	}
+	return db.syn
+}
+
+func compile(src string, opts Options, st *storage.Store, syn *stats.Synopsis) (*Query, error) {
 	e, err := parser.Parse(src)
 	if err != nil {
 		return nil, err
@@ -159,19 +198,61 @@ func Compile(src string, opts Options) (*Query, error) {
 	if err != nil {
 		return nil, err
 	}
-	stats := &rewrite.Stats{}
+	q := &Query{Source: src, RewriteStats: &rewrite.Stats{}, opts: opts, st: st, syn: syn}
+	if !opts.DisableAnalyzer {
+		res := analyze.Analyze(plan, analyze.Options{Store: st, Synopsis: syn, Prune: true})
+		plan = res.Plan
+		q.Diagnostics = res.Diagnostics
+		q.Pruned = res.Pruned
+	}
 	if !opts.DisableRewrites {
 		ro := rewrite.All()
 		if opts.Rewrites != nil {
 			ro = *opts.Rewrites
 		}
-		plan, stats = rewrite.Rewrite(plan, ro)
+		plan, q.RewriteStats = rewrite.Rewrite(plan, ro)
 	}
-	return &Query{Source: src, Plan: plan, RewriteStats: stats, opts: opts}, nil
+	if !opts.DisableAnalyzer {
+		analyze.AnnotateGraphs(plan, st, syn)
+	}
+	q.Plan = plan
+	return q, nil
+}
+
+// Analyze runs the static analyzer over a query without binding a
+// document and returns its diagnostics (structural checks only).
+func Analyze(src string) ([]Diagnostic, error) {
+	q, err := Compile(src, Options{})
+	if err != nil {
+		return nil, err
+	}
+	return q.Diagnostics, nil
+}
+
+// Analyze runs the static analyzer over a query against the database's
+// primary document, enabling the synopsis-based checks.
+func (db *Database) Analyze(src string) ([]Diagnostic, error) {
+	q, err := db.Compile(src, Options{})
+	if err != nil {
+		return nil, err
+	}
+	return q.Diagnostics, nil
 }
 
 // Explain renders the optimized logical plan.
 func (q *Query) Explain() string { return core.Explain(q.Plan) }
+
+// ExplainAnnotated renders the optimized plan with the analyzer's
+// type/cardinality annotation per operator (xq -check output).
+func (q *Query) ExplainAnnotated() string {
+	res := analyze.Analyze(q.Plan, analyze.Options{Store: q.st, Synopsis: q.syn})
+	return core.ExplainWith(res.Plan, func(o core.Op) string {
+		if a, ok := res.AnnotationOf(o); ok {
+			return a.String()
+		}
+		return ""
+	})
+}
 
 // Run executes a compiled query against the database.
 func (db *Database) Run(q *Query) (*Result, error) {
@@ -203,7 +284,7 @@ func (db *Database) Query(src string) (*Result, error) {
 
 // QueryWith compiles and runs a query with explicit options.
 func (db *Database) QueryWith(src string, opts Options) (*Result, error) {
-	q, err := Compile(src, opts)
+	q, err := db.Compile(src, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -212,7 +293,7 @@ func (db *Database) QueryWith(src string, opts Options) (*Result, error) {
 
 // Explain compiles a query and renders its optimized plan.
 func (db *Database) Explain(src string) (string, error) {
-	q, err := Compile(src, Options{})
+	q, err := db.Compile(src, Options{})
 	if err != nil {
 		return "", err
 	}

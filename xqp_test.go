@@ -581,3 +581,105 @@ func TestPrettyXML(t *testing.T) {
 		t.Fatalf("attr pretty = %q", res.PrettyXML())
 	}
 }
+
+func TestAnalyzeAPI(t *testing.T) {
+	// Store-less entry point: structural diagnostics only.
+	diags, err := Analyze(`for $b in /bib/book let $u := 1 return $b/@year/x`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[string]bool{}
+	for _, d := range diags {
+		found[d.Code] = true
+	}
+	if !found["XQA001"] || !found["XQA004"] {
+		t.Fatalf("diagnostics = %v", diags)
+	}
+
+	// Database-bound entry point adds synopsis checks.
+	db, err := OpenString(bibXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err = db.Analyze(`/bib/nosuch`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || diags[0].Code != "XQA002" {
+		t.Fatalf("diagnostics = %v", diags)
+	}
+}
+
+func TestCompilePrunesProvablyEmptyPath(t *testing.T) {
+	db, err := OpenString(bibXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := db.Compile(`(/bib/book/title, /bib/nosuch)`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Pruned != 1 {
+		t.Fatalf("pruned = %d\n%s", q.Pruned, q.Explain())
+	}
+	if !strings.Contains(q.Explain(), "const ()") {
+		t.Fatalf("explain does not show the pruned constant:\n%s", q.Explain())
+	}
+	res, err := db.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 4 { // four titles, nothing from the pruned branch
+		t.Fatalf("result = %v", res.Strings())
+	}
+
+	// Ablation: same query with the analyzer disabled keeps the path.
+	q2, err := db.Compile(`(/bib/book/title, /bib/nosuch)`, Options{DisableAnalyzer: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2.Pruned != 0 || len(q2.Diagnostics) != 0 {
+		t.Fatal("analyzer ran while disabled")
+	}
+}
+
+func TestQueryResultsUnchangedByAnalyzer(t *testing.T) {
+	db, err := OpenString(bibXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		`for $b in /bib/book return $b/title`,
+		`for $b in /bib/book where $b/price < 60 return $b/title`,
+		`(/bib/book/title, /bib/nosuch, //last)`,
+		`count(/bib/nothing//x)`,
+	}
+	for _, src := range queries {
+		on, err := db.QueryWith(src, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		off, err := db.QueryWith(src, Options{DisableAnalyzer: true})
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if on.XML() != off.XML() {
+			t.Errorf("%s: analyzer changed the result: %q vs %q", src, on.XML(), off.XML())
+		}
+	}
+}
+
+func TestExplainAnnotated(t *testing.T) {
+	db, err := OpenString(bibXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := db.Compile(`for $b in /bib/book return $b/title`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := q.ExplainAnnotated()
+	if !strings.Contains(out, "[node many]") {
+		t.Fatalf("missing annotations:\n%s", out)
+	}
+}
