@@ -5,6 +5,8 @@
 package xqp_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
@@ -439,6 +441,43 @@ func BenchmarkE14AnalyzerPruning(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkE15Throughput measures concurrent engine query throughput
+// (b.RunParallel across GOMAXPROCS workers) with the compiled-plan cache
+// on and off: the gap is the parse/translate/analyze/rewrite work a
+// cache hit skips.
+func BenchmarkE15Throughput(b *testing.B) {
+	st := xmark.StoreAuction(2)
+	queries := []string{
+		`/site/regions/africa/item/name`,
+		`//item[payment]/name`,
+		`//person//name`,
+		`for $i in /site/open_auctions/open_auction return $i/current`,
+	}
+	for _, cache := range []struct {
+		name string
+		size int
+	}{{"cache", 0}, {"nocache", -1}} {
+		b.Run(cache.name, func(b *testing.B) {
+			eng := xqp.NewEngine(xqp.EngineConfig{PlanCacheSize: cache.size, QueueDepth: -1})
+			eng.RegisterStore("auction", st)
+			ctx := context.Background()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					q := queries[i%len(queries)]
+					i++
+					_, err := eng.Query(ctx, "auction", q)
+					if err != nil && !errors.Is(err, xqp.ErrSaturated) {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.ReportMetric(eng.Stats().HitRate()*100, "hit%")
 		})
 	}
 }

@@ -65,7 +65,9 @@ func run(stdin io.Reader, stdout, stderr io.Writer, argv []string) int {
 		return fail(err)
 	}
 
-	opts := xqp.Options{DisableRewrites: *noRewrite, DisableAnalyzer: *noAnalyze, CostBased: *costBased}
+	// StrictDocs: a doc() reference that cannot be resolved is an error,
+	// never a silent fallback to the default document.
+	opts := xqp.Options{DisableRewrites: *noRewrite, DisableAnalyzer: *noAnalyze, CostBased: *costBased, StrictDocs: true}
 	switch *strategy {
 	case "auto":
 		opts.Strategy = xqp.Auto
@@ -86,6 +88,23 @@ func run(stdin io.Reader, stdout, stderr io.Writer, argv []string) int {
 	q, err := db.Compile(query, opts)
 	if err != nil {
 		return fail(err)
+	}
+	// Resolve doc() references: URIs not registered (the -doc file is)
+	// are loaded from disk, and a missing or unreadable file is a clean
+	// failure instead of the former silent fallback to -doc.
+	for _, uri := range q.DocURIs() {
+		if db.HasDocument(uri) {
+			continue
+		}
+		f, err := os.Open(uri)
+		if err != nil {
+			return fail(fmt.Errorf("query references document %q: %w", uri, err))
+		}
+		err = db.AddDocument(uri, f)
+		f.Close()
+		if err != nil {
+			return fail(fmt.Errorf("loading document %q: %w", uri, err))
+		}
 	}
 	if *check {
 		for _, d := range q.Diagnostics {

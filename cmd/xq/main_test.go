@@ -99,3 +99,45 @@ func TestBadQueryExitCode(t *testing.T) {
 		t.Error("no error message")
 	}
 }
+
+func TestUnresolvableDocFails(t *testing.T) {
+	// Formerly doc() of an unknown URI silently fell back to the default
+	// document and exited 0; now it must fail cleanly.
+	stdout, stderr, code := runXQ(t, "<a><b>x</b></a>", `doc("no-such-file.xml")//b`)
+	if code != 1 {
+		t.Fatalf("exit %d (stdout %q), want 1", code, stdout)
+	}
+	if !strings.Contains(stderr, "no-such-file.xml") {
+		t.Errorf("stderr %q does not name the missing document", stderr)
+	}
+}
+
+func TestDocLoadedFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "extra.xml")
+	if err := os.WriteFile(path, []byte(`<extra><v>42</v></extra>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout, stderr, code := runXQ(t, "<a/>", `doc("`+path+`")//v`)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if strings.TrimSpace(stdout) != "<v>42</v>" {
+		t.Errorf("result = %q", stdout)
+	}
+}
+
+func TestUnreadableDocFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.xml")
+	if err := os.WriteFile(path, []byte(`<a><unclosed>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, stderr, code := runXQ(t, "<a/>", `doc("`+path+`")//v`)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "bad.xml") {
+		t.Errorf("stderr %q does not name the bad document", stderr)
+	}
+}

@@ -38,6 +38,7 @@ var registry = []struct {
 	{"E12", "content index vs scan", func() *experiments.Table { return experiments.E12ContentIndex(200) }},
 	{"E13", "hybrid NoK-fragment strategy", experiments.E13HybridStrategy},
 	{"E14", "static analyzer pruning", func() *experiments.Table { return experiments.E14AnalyzerPruning(8) }},
+	{"E15", "engine throughput vs workers/cache", func() *experiments.Table { return experiments.E15Throughput(200) }},
 }
 
 func main() {

@@ -1,0 +1,292 @@
+// Command xqd serves XQuery-subset queries over HTTP: a thin shell over
+// the xqp Engine (document catalog, plan cache, admission control,
+// per-request deadlines).
+//
+// Usage:
+//
+//	xqd -addr :8080 -doc bib=bib.xml -doc site=auction.xml
+//
+// Endpoints:
+//
+//	POST /query        {"doc":"bib","query":"//book/title"}  → result JSON
+//	GET  /query?doc=bib&q=//book/title                       → same
+//	GET  /docs                                               → catalog listing
+//	PUT  /docs/{name}  <XML body>                            → register/replace
+//	DELETE /docs/{name}                                      → close
+//	GET  /stats                                              → engine counters
+//	GET  /debug/vars                                         → expvar (incl. "xqp")
+//
+// Saturation maps to 503, unknown documents to 404, deadline expiry to
+// 504, and compile/execution errors to 400.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"xqp"
+)
+
+func main() {
+	fs := flag.NewFlagSet("xqd", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	var docs docFlags
+	fs.Var(&docs, "doc", "document to serve as name=path (repeatable)")
+	maxConcurrent := fs.Int("max-concurrent", 0, "max concurrently executing queries (0: GOMAXPROCS)")
+	queueDepth := fs.Int("queue", 0, "queries allowed to wait for a worker (0: 4x max-concurrent, <0: none)")
+	cacheSize := fs.Int("cache", 0, "compiled-plan cache size (0: 256, <0: disabled)")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-query deadline (0: none)")
+	fs.Parse(os.Args[1:])
+
+	eng := xqp.NewEngine(xqp.EngineConfig{
+		MaxConcurrent:  *maxConcurrent,
+		QueueDepth:     *queueDepth,
+		PlanCacheSize:  *cacheSize,
+		DefaultTimeout: *timeout,
+	})
+	for _, d := range docs {
+		f, err := os.Open(d.path)
+		if err != nil {
+			log.Fatalf("xqd: %v", err)
+		}
+		err = eng.Register(d.name, f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("xqd: %v", err)
+		}
+		log.Printf("registered %s from %s", d.name, d.path)
+	}
+
+	log.Printf("xqd listening on %s (%d documents)", *addr, len(docs))
+	log.Fatal(http.ListenAndServe(*addr, newServer(eng)))
+}
+
+type docFlag struct{ name, path string }
+
+type docFlags []docFlag
+
+func (f *docFlags) String() string { return fmt.Sprint(*f) }
+
+func (f *docFlags) Set(s string) error {
+	name, path, ok := strings.Cut(s, "=")
+	if !ok || name == "" || path == "" {
+		return fmt.Errorf("want name=path, got %q", s)
+	}
+	*f = append(*f, docFlag{name, path})
+	return nil
+}
+
+// maxQueryBody bounds request bodies (queries and uploaded documents).
+const maxQueryBody = 16 << 20
+
+// newServer builds the HTTP API over an engine.
+func newServer(eng *xqp.Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) { handleQuery(eng, w, r) })
+	mux.HandleFunc("/docs", func(w http.ResponseWriter, r *http.Request) { handleDocs(eng, w, r) })
+	mux.HandleFunc("/docs/", func(w http.ResponseWriter, r *http.Request) { handleDoc(eng, w, r) })
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		writeJSON(w, http.StatusOK, eng.Stats())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	publishOnce(eng)
+	return mux
+}
+
+// publishOnce exposes the engine on the process-global expvar registry;
+// expvar panics on duplicate names, so only the first engine is
+// published (relevant in tests that build several servers).
+func publishOnce(eng *xqp.Engine) {
+	if expvar.Get("xqp") == nil {
+		expvar.Publish("xqp", statsVar{eng})
+	}
+}
+
+type statsVar struct{ eng *xqp.Engine }
+
+func (v statsVar) String() string {
+	b, err := json.Marshal(v.eng.Stats())
+	if err != nil {
+		return "{}"
+	}
+	return string(b)
+}
+
+type queryRequest struct {
+	Doc   string `json:"doc"`
+	Query string `json:"query"`
+	// Strategy: auto|nok|twigstack|pathstack|naive|hybrid.
+	Strategy  string `json:"strategy,omitempty"`
+	CostBased bool   `json:"cost,omitempty"`
+	NoCache   bool   `json:"no_cache,omitempty"`
+	NoRewrite bool   `json:"no_rewrites,omitempty"`
+	NoAnalyze bool   `json:"no_analyze,omitempty"`
+	// TimeoutMS tightens (never extends) the server's default deadline.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+type queryResponse struct {
+	Items       []string `json:"items"`
+	Count       int      `json:"count"`
+	Cached      bool     `json:"cached"`
+	Generation  uint64   `json:"generation"`
+	QueueNanos  int64    `json:"queue_ns"`
+	ExecNanos   int64    `json:"exec_ns"`
+	Diagnostics []string `json:"diagnostics,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func handleQuery(eng *xqp.Engine, w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	switch r.Method {
+	case http.MethodGet:
+		req.Doc = r.URL.Query().Get("doc")
+		req.Query = r.URL.Query().Get("q")
+	case http.MethodPost:
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxQueryBody))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "reading body: "+err.Error())
+			return
+		}
+		if err := json.Unmarshal(body, &req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+			return
+		}
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "GET or POST only")
+		return
+	}
+	if req.Doc == "" || req.Query == "" {
+		httpError(w, http.StatusBadRequest, "doc and query are required")
+		return
+	}
+	opts := xqp.EngineQueryOptions{
+		CostBased:       req.CostBased,
+		NoCache:         req.NoCache,
+		DisableRewrites: req.NoRewrite,
+		DisableAnalyzer: req.NoAnalyze,
+	}
+	var ok bool
+	if opts.Strategy, ok = parseStrategy(req.Strategy); !ok {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown strategy %q", req.Strategy))
+		return
+	}
+	ctx := r.Context()
+	if req.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	res, err := eng.QueryWith(ctx, req.Doc, req.Query, opts)
+	if err != nil {
+		httpError(w, statusFor(err), err.Error())
+		return
+	}
+	resp := queryResponse{
+		Items:      res.XMLItems(),
+		Count:      res.Len(),
+		Cached:     res.Cached,
+		Generation: res.Generation,
+		QueueNanos: res.QueueWait.Nanoseconds(),
+		ExecNanos:  res.ExecTime.Nanoseconds(),
+	}
+	for _, d := range res.Diagnostics {
+		resp.Diagnostics = append(resp.Diagnostics, d.String())
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func handleDocs(eng *xqp.Engine, w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, eng.Docs())
+}
+
+func handleDoc(eng *xqp.Engine, w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/docs/")
+	if name == "" || strings.Contains(name, "/") {
+		httpError(w, http.StatusNotFound, "bad document name")
+		return
+	}
+	switch r.Method {
+	case http.MethodPut:
+		if err := eng.Register(name, io.LimitReader(r.Body, maxQueryBody)); err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"registered": name})
+	case http.MethodDelete:
+		if err := eng.Close(name); err != nil {
+			httpError(w, statusFor(err), err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"closed": name})
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "PUT or DELETE only")
+	}
+}
+
+func parseStrategy(s string) (xqp.Strategy, bool) {
+	switch s {
+	case "", "auto":
+		return xqp.Auto, true
+	case "nok":
+		return xqp.NoK, true
+	case "twigstack":
+		return xqp.TwigStack, true
+	case "pathstack":
+		return xqp.PathStack, true
+	case "naive":
+		return xqp.Naive, true
+	case "hybrid":
+		return xqp.Hybrid, true
+	default:
+		return xqp.Auto, false
+	}
+}
+
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, xqp.ErrUnknownDocument):
+		return http.StatusNotFound
+	case errors.Is(err, xqp.ErrSaturated):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499 // client closed request (nginx convention)
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorResponse{Error: msg})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("xqd: encoding response: %v", err)
+	}
+}

@@ -1,0 +1,199 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"xqp"
+)
+
+const bibXML = `<bib>
+  <book year="1994"><title>TCP/IP Illustrated</title><price>65.95</price></book>
+  <book year="2000"><title>Data on the Web</title><price>39.95</price></book>
+</bib>`
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	eng := xqp.NewEngine(xqp.EngineConfig{})
+	if err := eng.RegisterString("bib", bibXML); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newServer(eng))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func getJSON(t *testing.T, url string, wantStatus int, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s: status %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: decoding: %v", url, err)
+		}
+	}
+}
+
+func TestQueryGet(t *testing.T) {
+	srv := newTestServer(t)
+	var resp queryResponse
+	getJSON(t, srv.URL+"/query?doc=bib&q="+`//book/title`, http.StatusOK, &resp)
+	if resp.Count != 2 || len(resp.Items) != 2 {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if resp.Items[0] != "<title>TCP/IP Illustrated</title>" {
+		t.Fatalf("items = %q", resp.Items)
+	}
+	if resp.Cached || resp.Generation != 1 {
+		t.Fatalf("cached/gen = %v/%d", resp.Cached, resp.Generation)
+	}
+	// Second hit is served from the plan cache.
+	getJSON(t, srv.URL+"/query?doc=bib&q="+`//book/title`, http.StatusOK, &resp)
+	if !resp.Cached {
+		t.Fatal("second query not cached")
+	}
+}
+
+func TestQueryPost(t *testing.T) {
+	srv := newTestServer(t)
+	body := `{"doc":"bib","query":"//book[price > 40.0]/title","strategy":"twigstack"}`
+	resp, err := http.Post(srv.URL+"/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var qr queryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Count != 1 || qr.Items[0] != "<title>TCP/IP Illustrated</title>" {
+		t.Fatalf("resp = %+v", qr)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	srv := newTestServer(t)
+	var errResp errorResponse
+	// Unknown document → 404.
+	getJSON(t, srv.URL+"/query?doc=ghost&q=//a", http.StatusNotFound, &errResp)
+	if !strings.Contains(errResp.Error, "unknown document") {
+		t.Fatalf("error = %q", errResp.Error)
+	}
+	// Syntax error → 400.
+	getJSON(t, srv.URL+"/query?doc=bib&q="+"%2F%2F%5B", http.StatusBadRequest, nil)
+	// Missing params → 400.
+	getJSON(t, srv.URL+"/query", http.StatusBadRequest, nil)
+	// Bad strategy → 400.
+	resp, err := http.Post(srv.URL+"/query", "application/json",
+		strings.NewReader(`{"doc":"bib","query":"//a","strategy":"quantum"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad strategy status = %d", resp.StatusCode)
+	}
+}
+
+func TestDocsLifecycle(t *testing.T) {
+	srv := newTestServer(t)
+	var docs []xqp.DocInfo
+	getJSON(t, srv.URL+"/docs", http.StatusOK, &docs)
+	if len(docs) != 1 || docs[0].Name != "bib" {
+		t.Fatalf("docs = %+v", docs)
+	}
+	// Register a second document.
+	req, _ := http.NewRequest(http.MethodPut, srv.URL+"/docs/tiny", strings.NewReader(`<a><b/></a>`))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("PUT status = %d", resp.StatusCode)
+	}
+	var qr queryResponse
+	getJSON(t, srv.URL+"/query?doc=tiny&q=//b", http.StatusOK, &qr)
+	if qr.Count != 1 {
+		t.Fatalf("tiny query = %+v", qr)
+	}
+	// Replace it: generation bumps, results change.
+	req, _ = http.NewRequest(http.MethodPut, srv.URL+"/docs/tiny", strings.NewReader(`<a><b/><b/></a>`))
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	getJSON(t, srv.URL+"/query?doc=tiny&q=//b", http.StatusOK, &qr)
+	if qr.Count != 2 || qr.Generation != 2 || qr.Cached {
+		t.Fatalf("after replace: %+v", qr)
+	}
+	// Delete it.
+	req, _ = http.NewRequest(http.MethodDelete, srv.URL+"/docs/tiny", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE status = %d", resp.StatusCode)
+	}
+	getJSON(t, srv.URL+"/query?doc=tiny&q=//b", http.StatusNotFound, nil)
+	// Malformed XML rejected.
+	req, _ = http.NewRequest(http.MethodPut, srv.URL+"/docs/bad", strings.NewReader(`<a><unclosed>`))
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad XML status = %d", resp.StatusCode)
+	}
+}
+
+func TestStats(t *testing.T) {
+	srv := newTestServer(t)
+	getJSON(t, srv.URL+"/query?doc=bib&q=//book", http.StatusOK, nil)
+	getJSON(t, srv.URL+"/query?doc=bib&q=//book", http.StatusOK, nil)
+	var s xqp.EngineStats
+	getJSON(t, srv.URL+"/stats", http.StatusOK, &s)
+	if s.Served != 2 || s.CacheHits != 1 || s.Compilations != 1 || s.Documents != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	// expvar surface is mounted too.
+	resp, err := http.Get(srv.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/vars status = %d", resp.StatusCode)
+	}
+}
+
+func TestDocFlagParsing(t *testing.T) {
+	var f docFlags
+	if err := f.Set("bib=testdata/bib.xml"); err != nil {
+		t.Fatal(err)
+	}
+	if len(f) != 1 || f[0].name != "bib" || f[0].path != "testdata/bib.xml" {
+		t.Fatalf("f = %+v", f)
+	}
+	for _, bad := range []string{"", "nopath", "=x", "n="} {
+		if err := f.Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package xqp_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"xqp"
+)
+
+func TestEngineFacade(t *testing.T) {
+	e := xqp.NewEngine(xqp.EngineConfig{})
+	if err := e.RegisterString("bib.xml", `<bib><book><title>T1</title></book><book><title>T2</title></book></bib>`); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	res, err := e.Query(ctx, "bib.xml", `//book/title`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 || res.Cached || res.Generation != 1 {
+		t.Fatalf("first run: len=%d cached=%v gen=%d", res.Len(), res.Cached, res.Generation)
+	}
+	res, err = e.Query(ctx, "bib.xml", `//book/title`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Cached {
+		t.Fatal("second run not served from plan cache")
+	}
+	if got := res.XMLItems(); len(got) != 2 || got[0] != "<title>T1</title>" {
+		t.Fatalf("XMLItems = %q", got)
+	}
+	if _, err := e.Query(ctx, "nope.xml", `//a`); !errors.Is(err, xqp.ErrUnknownDocument) {
+		t.Fatalf("err = %v, want ErrUnknownDocument", err)
+	}
+	if s := e.Stats(); s.Served != 2 || s.CacheHits != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if docs := e.Docs(); len(docs) != 1 || docs[0].Name != "bib.xml" {
+		t.Fatalf("docs = %+v", docs)
+	}
+}

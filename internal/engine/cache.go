@@ -1,0 +1,69 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cacheKey identifies a compiled plan. The generation component gives
+// free invalidation: updating a document bumps its generation, so stale
+// plans simply stop being requested and age out of the LRU.
+type cacheKey struct {
+	doc   string
+	gen   uint64
+	fp    uint32 // compile.Options fingerprint (plan-shaping flags only)
+	query string
+}
+
+type cacheEntry struct {
+	key cacheKey
+	p   *plan
+}
+
+// planCache is a mutex-guarded LRU over compiled plans. Cached plans are
+// immutable and shared by concurrent executions.
+type planCache struct {
+	mu   sync.Mutex
+	max  int
+	ll   *list.List // front = most recently used
+	byKy map[cacheKey]*list.Element
+}
+
+func newPlanCache(max int) *planCache {
+	return &planCache{max: max, ll: list.New(), byKy: map[cacheKey]*list.Element{}}
+}
+
+func (c *planCache) enabled() bool { return c.max > 0 }
+
+func (c *planCache) get(k cacheKey) (*plan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKy[k]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).p, true
+}
+
+func (c *planCache) put(k cacheKey, p *plan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKy[k]; ok {
+		el.Value.(*cacheEntry).p = p
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byKy[k] = c.ll.PushFront(&cacheEntry{key: k, p: p})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byKy, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *planCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,455 @@
+// Package engine is the concurrent query service layer over the xqp
+// pipeline: the subsystem that turns the one-document, one-query-at-a-time
+// library into a server core (the role RadegastXDB's service shell plays
+// around its storage + twig-matching engine).
+//
+// It owns four things the library layers deliberately do not:
+//
+//   - a document catalog: named documents, each an immutable
+//     (store, synopsis) snapshot with a generation number that is bumped
+//     under an exclusive per-document lock on every update or
+//     re-registration;
+//   - a compiled-plan LRU cache keyed by (document, generation, query
+//     text, compile-options fingerprint), so a repeated query skips
+//     parse/translate/analyze/rewrite entirely and reuses the analyzer's
+//     τ cardinality annotations (Graph.EstCard) across executions;
+//   - a worker pool with admission control: at most MaxConcurrent
+//     queries execute at once, at most QueueDepth more wait for a slot,
+//     and everything beyond that fails fast with ErrSaturated instead of
+//     queueing unboundedly;
+//   - context plumbing: cancellation and deadlines reach the executor's
+//     interrupt hook, so an abandoned query stops mid-scan rather than
+//     finishing a multi-second twig match nobody will read.
+//
+// Metrics are collected lock-free (atomics) and exposed as a Snapshot
+// struct and an expvar.Var.
+//
+// Lock order: Engine.mu before document.mu; neither is held while a
+// query executes (queries run against immutable snapshots).
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"xqp/internal/analyze"
+	"xqp/internal/compile"
+	"xqp/internal/core"
+	"xqp/internal/cost"
+	"xqp/internal/exec"
+	"xqp/internal/pattern"
+	"xqp/internal/stats"
+	"xqp/internal/storage"
+	"xqp/internal/value"
+)
+
+// Service errors, matchable with errors.Is.
+var (
+	// ErrSaturated is returned when both the worker pool and its queue
+	// are full; callers should back off and retry.
+	ErrSaturated = errors.New("engine: saturated")
+	// ErrUnknownDocument is returned for queries against unregistered
+	// document names.
+	ErrUnknownDocument = errors.New("engine: unknown document")
+)
+
+// Config sizes the service; the zero value gives sensible defaults.
+type Config struct {
+	// MaxConcurrent bounds simultaneously executing queries
+	// (default: GOMAXPROCS).
+	MaxConcurrent int
+	// QueueDepth bounds queries waiting for a worker slot beyond
+	// MaxConcurrent (default: 4×MaxConcurrent; negative: no queue).
+	// Admission beyond pool+queue fails fast with ErrSaturated.
+	QueueDepth int
+	// PlanCacheSize is the maximum number of compiled plans kept across
+	// all documents (default: 256; negative: caching disabled).
+	PlanCacheSize int
+	// DefaultTimeout is applied per query when the caller's context has
+	// no deadline of its own (0: none).
+	DefaultTimeout time.Duration
+	// TrackPages attaches a page-touch accountant to every registered
+	// document so Snapshot.PagesTouched reports the modeled I/O volume.
+	// Costs one mutex operation per page access; off by default.
+	TrackPages bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case c.QueueDepth == 0:
+		c.QueueDepth = 4 * c.MaxConcurrent
+	case c.QueueDepth < 0:
+		c.QueueDepth = 0
+	}
+	switch {
+	case c.PlanCacheSize == 0:
+		c.PlanCacheSize = 256
+	case c.PlanCacheSize < 0:
+		c.PlanCacheSize = 0
+	}
+	return c
+}
+
+// document is one catalog entry. The (store, syn, gen) triple is an
+// immutable snapshot: readers grab it under RLock and then run unlocked,
+// so updates never wait for in-flight queries; they swap the snapshot
+// and bump the generation under the write lock.
+type document struct {
+	name string
+	mu   sync.RWMutex
+	st   *storage.Store
+	syn  *stats.Synopsis
+	gen  uint64
+	acct *storage.Accountant
+}
+
+func (d *document) snapshot() (*storage.Store, *stats.Synopsis, uint64) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.st, d.syn, d.gen
+}
+
+// Engine is the concurrent query service. Create with New; all methods
+// are safe for concurrent use.
+type Engine struct {
+	cfg   Config
+	mu    sync.RWMutex
+	docs  map[string]*document
+	cache *planCache
+	// tickets bounds admission (executing + queued); slots bounds
+	// execution. A query holds a ticket for its whole stay and a slot
+	// only while executing.
+	tickets chan struct{}
+	slots   chan struct{}
+	met     metrics
+}
+
+// New returns an Engine with the given configuration.
+func New(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	return &Engine{
+		cfg:     cfg,
+		docs:    map[string]*document{},
+		cache:   newPlanCache(cfg.PlanCacheSize),
+		tickets: make(chan struct{}, cfg.MaxConcurrent+cfg.QueueDepth),
+		slots:   make(chan struct{}, cfg.MaxConcurrent),
+	}
+}
+
+// Register parses XML from r and registers (or replaces) it under name.
+// Replacing bumps the document's generation, so plans cached against the
+// old content can no longer be served.
+func (e *Engine) Register(name string, r io.Reader) error {
+	st, err := storage.LoadReader(r)
+	if err != nil {
+		return fmt.Errorf("engine: register %q: %w", name, err)
+	}
+	e.RegisterStore(name, st)
+	return nil
+}
+
+// RegisterStore registers (or replaces) an already-loaded store under
+// name, building its synopsis. The store must not be mutated afterwards.
+func (e *Engine) RegisterStore(name string, st *storage.Store) {
+	syn := stats.Build(st)
+	var acct *storage.Accountant
+	if e.cfg.TrackPages {
+		acct = storage.NewAccountant()
+		st.SetAccountant(acct)
+	}
+	e.mu.Lock()
+	d, ok := e.docs[name]
+	if !ok {
+		d = &document{name: name}
+		e.docs[name] = d
+	}
+	e.mu.Unlock()
+	d.mu.Lock()
+	d.st, d.syn, d.acct = st, syn, acct
+	d.gen++
+	d.mu.Unlock()
+}
+
+// Update applies an exclusive copy-on-write update to a document: fn
+// receives the current store and returns its replacement (e.g. via
+// Store.InsertChild / Store.DeleteSubtree). The synopsis is rebuilt and
+// the generation bumped under the document's write lock; in-flight
+// queries keep executing against the old immutable snapshot.
+func (e *Engine) Update(name string, fn func(*storage.Store) (*storage.Store, error)) error {
+	d, err := e.lookup(name)
+	if err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st, err := fn(d.st)
+	if err != nil {
+		return fmt.Errorf("engine: update %q: %w", name, err)
+	}
+	if st == nil {
+		return fmt.Errorf("engine: update %q: fn returned nil store", name)
+	}
+	if e.cfg.TrackPages {
+		d.acct = storage.NewAccountant()
+		st.SetAccountant(d.acct)
+	}
+	d.st = st
+	d.syn = stats.Build(st)
+	d.gen++
+	return nil
+}
+
+// Close removes a document from the catalog. Cached plans for it become
+// unreachable and age out of the LRU; in-flight queries finish normally.
+func (e *Engine) Close(name string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.docs[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownDocument, name)
+	}
+	delete(e.docs, name)
+	return nil
+}
+
+// DocInfo describes one catalog entry.
+type DocInfo struct {
+	Name       string `json:"name"`
+	Generation uint64 `json:"generation"`
+	Nodes      int    `json:"nodes"`
+	Elements   int64  `json:"elements"`
+	MaxDepth   int    `json:"max_depth"`
+}
+
+// Docs lists the catalog, sorted by name.
+func (e *Engine) Docs() []DocInfo {
+	e.mu.RLock()
+	docs := make([]*document, 0, len(e.docs))
+	for _, d := range e.docs {
+		docs = append(docs, d)
+	}
+	e.mu.RUnlock()
+	out := make([]DocInfo, 0, len(docs))
+	for _, d := range docs {
+		st, syn, gen := d.snapshot()
+		out = append(out, DocInfo{
+			Name:       d.name,
+			Generation: gen,
+			Nodes:      st.NodeCount(),
+			Elements:   syn.ElementCount(),
+			MaxDepth:   syn.MaxDepth(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func (e *Engine) lookup(name string) (*document, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	d, ok := e.docs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDocument, name)
+	}
+	return d, nil
+}
+
+// QueryOptions configures one query execution.
+type QueryOptions struct {
+	// Strategy selects the physical τ implementation (default auto).
+	Strategy exec.Strategy
+	// CostBased installs the synopsis-driven strategy chooser when
+	// Strategy is auto.
+	CostBased bool
+	// DisableRewrites / DisableAnalyzer ablate pipeline stages (these
+	// shape the plan and are part of the cache key).
+	DisableRewrites bool
+	DisableAnalyzer bool
+	// NoCache bypasses the plan cache for this query (both lookup and
+	// fill) without disabling it engine-wide.
+	NoCache bool
+}
+
+func (o QueryOptions) compileOptions() compile.Options {
+	return compile.Options{
+		DisableAnalyzer: o.DisableAnalyzer,
+		DisableRewrites: o.DisableRewrites,
+	}
+}
+
+// plan is a cached compilation; immutable and shared by concurrent
+// executions (all run state lives in each execution's exec.Engine).
+type plan struct {
+	op          core.Op
+	diagnostics []analyze.Diagnostic
+	pruned      int
+}
+
+// Result is one query's outcome.
+type Result struct {
+	// Seq is the result sequence. Node items reference the document
+	// snapshot the query ran against, which stays valid after updates
+	// (stores are immutable).
+	Seq value.Sequence
+	// Metrics are the physical-operator counters of this run.
+	Metrics exec.Metrics
+	// Cached reports whether the plan came from the plan cache.
+	Cached bool
+	// Generation is the document generation the query executed against.
+	Generation uint64
+	// QueueWait is the time spent waiting for a worker slot; ExecTime is
+	// the plan execution time (excluding compile).
+	QueueWait time.Duration
+	ExecTime  time.Duration
+	// Diagnostics are the static analyzer's findings for the plan.
+	Diagnostics []analyze.Diagnostic
+}
+
+// Query compiles (or fetches from cache) and executes src against the
+// named document, honoring ctx cancellation and deadlines throughout:
+// while waiting for a worker slot, between operators, and inside long
+// pattern-matching scans. Returns ErrSaturated immediately when the pool
+// and queue are full.
+func (e *Engine) Query(ctx context.Context, doc, src string, opts QueryOptions) (*Result, error) {
+	// Admission: a ticket covers the queue wait + execution; refusal is
+	// immediate so overload turns into fast errors, not latency.
+	select {
+	case e.tickets <- struct{}{}:
+	default:
+		e.met.rejected.Add(1)
+		return nil, fmt.Errorf("%w: %d executing, %d queued", ErrSaturated, len(e.slots), len(e.tickets)-len(e.slots))
+	}
+	defer func() { <-e.tickets }()
+
+	enqueued := time.Now()
+	select {
+	case e.slots <- struct{}{}:
+	case <-ctx.Done():
+		e.met.canceled.Add(1)
+		return nil, ctx.Err()
+	}
+	defer func() { <-e.slots }()
+	wait := time.Since(enqueued)
+	e.met.queueWaitNanos.Add(wait.Nanoseconds())
+
+	if e.cfg.DefaultTimeout > 0 {
+		if _, has := ctx.Deadline(); !has {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, e.cfg.DefaultTimeout)
+			defer cancel()
+		}
+	}
+	res, err := e.run(ctx, doc, src, opts, wait)
+	switch {
+	case err == nil:
+		e.met.served.Add(1)
+		return res, nil
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		e.met.canceled.Add(1)
+		return nil, err
+	default:
+		e.met.failed.Add(1)
+		return nil, err
+	}
+}
+
+func (e *Engine) run(ctx context.Context, doc, src string, opts QueryOptions, wait time.Duration) (*Result, error) {
+	d, err := e.lookup(doc)
+	if err != nil {
+		return nil, err
+	}
+	st, syn, gen := d.snapshot()
+	if err := ctx.Err(); err != nil {
+		return nil, err // deadline may be gone before we compile anything
+	}
+	p, cached, err := e.compiledPlan(src, doc, gen, opts, st, syn)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	eo := exec.Options{
+		Strategy:   opts.Strategy,
+		StrictDocs: true,
+		Interrupt:  ctx.Err,
+	}
+	if opts.CostBased && eo.Strategy == exec.StrategyAuto {
+		// Per-query chooser over the snapshot synopsis: cost.Chooser's
+		// shared memo map is not safe across concurrent queries.
+		model := cost.NewModelWith(st, syn)
+		eo.Chooser = func(cs *storage.Store, g *pattern.Graph) exec.Strategy {
+			if cs != st {
+				return exec.StrategyNoK // secondary doc() targets: no synopsis at hand
+			}
+			return model.Choose(g)
+		}
+	}
+	ex := exec.New(st, eo)
+	ex.AddDocument(doc, st)
+	// doc() references resolve against the catalog's current snapshots.
+	e.mu.RLock()
+	others := make([]*document, 0, len(e.docs))
+	for _, od := range e.docs {
+		others = append(others, od)
+	}
+	e.mu.RUnlock()
+	for _, od := range others {
+		if od == d {
+			continue
+		}
+		os, _, _ := od.snapshot()
+		ex.AddDocument(od.name, os)
+	}
+
+	start := time.Now()
+	seq, err := ex.Eval(p.op, exec.Root())
+	elapsed := time.Since(start)
+	e.met.observeExec(elapsed)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Seq:         seq,
+		Metrics:     ex.Metrics,
+		Cached:      cached,
+		Generation:  gen,
+		QueueWait:   wait,
+		ExecTime:    elapsed,
+		Diagnostics: p.diagnostics,
+	}, nil
+}
+
+// compiledPlan returns the plan for (src, doc@gen, opts), consulting the
+// cache first. A hit performs zero parse/translate/analyze/rewrite work
+// (metrics.compilations counts actual pipeline runs; tests assert on it).
+func (e *Engine) compiledPlan(src, doc string, gen uint64, opts QueryOptions, st *storage.Store, syn *stats.Synopsis) (*plan, bool, error) {
+	var key cacheKey
+	if e.cache.enabled() && !opts.NoCache {
+		key = cacheKey{doc: doc, gen: gen, fp: opts.compileOptions().Fingerprint(), query: src}
+		if p, ok := e.cache.get(key); ok {
+			e.met.cacheHits.Add(1)
+			return p, true, nil
+		}
+		e.met.cacheMisses.Add(1)
+	}
+	e.met.compilations.Add(1)
+	c, err := compile.Compile(src, opts.compileOptions(), st, syn)
+	if err != nil {
+		return nil, false, err
+	}
+	p := &plan{op: c.Plan, diagnostics: c.Diagnostics, pruned: c.Pruned}
+	if e.cache.enabled() && !opts.NoCache {
+		e.cache.put(key, p)
+	}
+	return p, false, nil
+}

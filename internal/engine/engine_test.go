@@ -1,0 +1,472 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"xqp/internal/exec"
+	"xqp/internal/storage"
+	"xqp/internal/xmark"
+	"xqp/internal/xmldoc"
+)
+
+const bibXML = `<bib>
+  <book year="1994"><title>TCP/IP Illustrated</title><author><last>Stevens</last></author><price>65.95</price></book>
+  <book year="2000"><title>Data on the Web</title><author><last>Abiteboul</last></author><price>39.95</price></book>
+</bib>`
+
+func newBibEngine(t *testing.T, cfg Config) *Engine {
+	t.Helper()
+	e := New(cfg)
+	if err := e.Register("bib.xml", strings.NewReader(bibXML)); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestQueryBasic(t *testing.T) {
+	e := newBibEngine(t, Config{})
+	res, err := e.Query(context.Background(), "bib.xml", `//book/title`, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Seq) != 2 {
+		t.Fatalf("got %d items, want 2", len(res.Seq))
+	}
+	if res.Cached {
+		t.Fatal("first execution reported Cached")
+	}
+	if res.Generation != 1 {
+		t.Fatalf("generation = %d, want 1", res.Generation)
+	}
+}
+
+func TestUnknownDocument(t *testing.T) {
+	e := newBibEngine(t, Config{})
+	_, err := e.Query(context.Background(), "nope.xml", `//a`, QueryOptions{})
+	if !errors.Is(err, ErrUnknownDocument) {
+		t.Fatalf("err = %v, want ErrUnknownDocument", err)
+	}
+	if err := e.Close("nope.xml"); !errors.Is(err, ErrUnknownDocument) {
+		t.Fatalf("Close err = %v, want ErrUnknownDocument", err)
+	}
+	if err := e.Close("bib.xml"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Query(context.Background(), "bib.xml", `//a`, QueryOptions{}); !errors.Is(err, ErrUnknownDocument) {
+		t.Fatalf("after Close err = %v, want ErrUnknownDocument", err)
+	}
+}
+
+// TestCacheHitSkipsCompilation is the tentpole acceptance check: a plan
+// cache hit must perform zero parse/translate/analyze/rewrite work,
+// observed through the pipeline-run counter.
+func TestCacheHitSkipsCompilation(t *testing.T) {
+	e := newBibEngine(t, Config{})
+	const q = `//book[price > 40.0]/title`
+	for i := 0; i < 5; i++ {
+		res, err := e.Query(context.Background(), "bib.xml", q, QueryOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantCached := i > 0; res.Cached != wantCached {
+			t.Fatalf("run %d: Cached = %v, want %v", i, res.Cached, wantCached)
+		}
+		if len(res.Seq) != 1 {
+			t.Fatalf("run %d: got %d items, want 1", i, len(res.Seq))
+		}
+	}
+	s := e.Stats()
+	if s.Compilations != 1 {
+		t.Fatalf("Compilations = %d, want 1 (cache hits must not compile)", s.Compilations)
+	}
+	if s.CacheHits != 4 || s.CacheMisses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 4/1", s.CacheHits, s.CacheMisses)
+	}
+	if s.CachedPlans != 1 {
+		t.Fatalf("CachedPlans = %d, want 1", s.CachedPlans)
+	}
+	if got := s.HitRate(); got != 0.8 {
+		t.Fatalf("HitRate = %v, want 0.8", got)
+	}
+}
+
+func TestOptionsFingerprintSeparatesPlans(t *testing.T) {
+	e := newBibEngine(t, Config{})
+	const q = `//book/title`
+	if _, err := e.Query(context.Background(), "bib.xml", q, QueryOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// Different plan-shaping flags must not share a cache slot.
+	res, err := e.Query(context.Background(), "bib.xml", q, QueryOptions{DisableRewrites: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cached {
+		t.Fatal("different options fingerprint served a cached plan")
+	}
+	// Exec-only knobs (Strategy, CostBased) share the compiled plan.
+	res, err = e.Query(context.Background(), "bib.xml", q, QueryOptions{Strategy: exec.StrategyTwigStack, CostBased: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Cached {
+		t.Fatal("exec-only option variation missed the cache")
+	}
+	if s := e.Stats(); s.Compilations != 2 {
+		t.Fatalf("Compilations = %d, want 2", s.Compilations)
+	}
+}
+
+func TestNoCacheBypasses(t *testing.T) {
+	e := newBibEngine(t, Config{})
+	for i := 0; i < 3; i++ {
+		res, err := e.Query(context.Background(), "bib.xml", `//book`, QueryOptions{NoCache: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cached {
+			t.Fatal("NoCache query served from cache")
+		}
+	}
+	if s := e.Stats(); s.Compilations != 3 || s.CachedPlans != 0 {
+		t.Fatalf("Compilations/CachedPlans = %d/%d, want 3/0", s.Compilations, s.CachedPlans)
+	}
+}
+
+func TestDisabledCache(t *testing.T) {
+	e := newBibEngine(t, Config{PlanCacheSize: -1})
+	for i := 0; i < 2; i++ {
+		res, err := e.Query(context.Background(), "bib.xml", `//book`, QueryOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cached {
+			t.Fatal("disabled cache served a plan")
+		}
+	}
+	if s := e.Stats(); s.Compilations != 2 {
+		t.Fatalf("Compilations = %d, want 2", s.Compilations)
+	}
+}
+
+// TestUpdateInvalidatesPlans: bumping the generation must force a fresh
+// compile (stale plans keyed on the old generation are never served) and
+// results must reflect the new content.
+func TestUpdateInvalidatesPlans(t *testing.T) {
+	e := newBibEngine(t, Config{})
+	const q = `//book/title`
+	res, err := e.Query(context.Background(), "bib.xml", q, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Seq) != 2 {
+		t.Fatalf("got %d titles, want 2", len(res.Seq))
+	}
+	err = e.Update("bib.xml", func(st *storage.Store) (*storage.Store, error) {
+		frag := xmldoc.MustParse(`<book year="2004"><title>XQuery</title><price>25.00</price></book>`)
+		out, _, err := st.InsertChild(st.DocumentElement(), frag)
+		return out, err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = e.Query(context.Background(), "bib.xml", q, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cached {
+		t.Fatal("post-update query served the stale plan")
+	}
+	if res.Generation != 2 {
+		t.Fatalf("generation = %d, want 2", res.Generation)
+	}
+	if len(res.Seq) != 3 {
+		t.Fatalf("got %d titles after insert, want 3", len(res.Seq))
+	}
+	if s := e.Stats(); s.Compilations != 2 {
+		t.Fatalf("Compilations = %d, want 2", s.Compilations)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	e := newBibEngine(t, Config{PlanCacheSize: 2})
+	ctx := context.Background()
+	queries := []string{`//book`, `//book/title`, `//book/price`}
+	for _, q := range queries {
+		if _, err := e.Query(ctx, "bib.xml", q, QueryOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := e.cache.len(); got != 2 {
+		t.Fatalf("cache len = %d, want 2", got)
+	}
+	// queries[0] was evicted; querying it again recompiles.
+	res, err := e.Query(ctx, "bib.xml", queries[0], QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cached {
+		t.Fatal("evicted plan served from cache")
+	}
+}
+
+func TestDocsAndStats(t *testing.T) {
+	e := newBibEngine(t, Config{})
+	e.RegisterStore("deep.xml", xmark.StoreDeep(2, 3))
+	docs := e.Docs()
+	if len(docs) != 2 || docs[0].Name != "bib.xml" || docs[1].Name != "deep.xml" {
+		t.Fatalf("Docs() = %+v", docs)
+	}
+	if docs[0].Generation != 1 || docs[0].Nodes == 0 || docs[0].Elements == 0 {
+		t.Fatalf("bib info = %+v", docs[0])
+	}
+	if _, err := e.Query(context.Background(), "bib.xml", `//book`, QueryOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	s := e.Stats()
+	if s.Served != 1 || s.Documents != 2 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if !strings.Contains(e.Var().String(), `"served":1`) {
+		t.Fatalf("expvar output missing served count: %s", e.Var().String())
+	}
+	if n := len(ExecHistBounds()); n != len(s.ExecHist)-1 {
+		t.Fatalf("hist bounds %d vs buckets %d", n, len(s.ExecHist))
+	}
+}
+
+// TestCrossDocumentQuery: doc() references resolve against the catalog,
+// and unknown URIs fail (StrictDocs) instead of silently falling back.
+func TestCrossDocumentQuery(t *testing.T) {
+	e := newBibEngine(t, Config{})
+	e.RegisterStore("wide.xml", xmark.StoreWide(4))
+	res, err := e.Query(context.Background(), "wide.xml", `doc("bib.xml")//book/title`, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Seq) != 2 {
+		t.Fatalf("cross-doc query got %d items, want 2", len(res.Seq))
+	}
+	if _, err := e.Query(context.Background(), "bib.xml", `doc("ghost.xml")//a`, QueryOptions{}); err == nil {
+		t.Fatal("doc() of unregistered URI succeeded")
+	}
+}
+
+func TestSaturation(t *testing.T) {
+	e := newBibEngine(t, Config{MaxConcurrent: 1, QueueDepth: -1})
+	// Occupy the only admission ticket: with no queue, the next query
+	// must be refused immediately rather than waiting.
+	e.tickets <- struct{}{}
+	start := time.Now()
+	_, err := e.Query(context.Background(), "bib.xml", `//book`, QueryOptions{})
+	if !errors.Is(err, ErrSaturated) {
+		t.Fatalf("err = %v, want ErrSaturated", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("saturation rejection took %v, want fast-fail", elapsed)
+	}
+	if e.Stats().Rejected != 1 {
+		t.Fatalf("Rejected = %d, want 1", e.Stats().Rejected)
+	}
+	<-e.tickets
+	if _, err := e.Query(context.Background(), "bib.xml", `//book`, QueryOptions{}); err != nil {
+		t.Fatalf("query after release: %v", err)
+	}
+}
+
+func TestQueueWaitCancellation(t *testing.T) {
+	e := New(Config{MaxConcurrent: 1, QueueDepth: 1})
+	e.RegisterStore("bib.xml", storage.MustLoad(bibXML))
+	// Fill the slot manually so the next query queues.
+	e.slots <- struct{}{}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err := e.Query(ctx, "bib.xml", `//book`, QueryOptions{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued query err = %v, want DeadlineExceeded", err)
+	}
+	<-e.slots
+	if e.Stats().Canceled != 1 {
+		t.Fatal("Canceled counter not incremented")
+	}
+}
+
+// bigDeepStore is a wide-but-shallow corpus (~1M nodes, tiny synopsis):
+// execution of a multi-descendant scan takes hundreds of milliseconds
+// while compilation stays trivial, so the deadline tests below exercise
+// cancellation *inside* the τ scan rather than around it. Built once.
+var (
+	bigDeepOnce  sync.Once
+	bigDeepStore *storage.Store
+)
+
+// scanQuery fuses into a single τ with four descendant edges.
+const scanQuery = `//section//section//section//title`
+
+func bigDeep() *storage.Store {
+	bigDeepOnce.Do(func() { bigDeepStore = xmark.StoreDeep(20000, 25) })
+	return bigDeepStore
+}
+
+// scanBaseline measures the uncancelled scan so the deadline tests have
+// a machine-calibrated reference.
+func scanBaseline(t *testing.T, e *Engine) time.Duration {
+	t.Helper()
+	start := time.Now()
+	if _, err := e.Query(context.Background(), "deep.xml", scanQuery, QueryOptions{NoCache: true}); err != nil {
+		t.Fatal(err)
+	}
+	baseline := time.Since(start)
+	if baseline < 50*time.Millisecond {
+		t.Skipf("baseline scan finished in %v: too fast to observe an early abort", baseline)
+	}
+	return baseline
+}
+
+// TestDeadlineAbortsDescendantScan proves cancellation reaches inside a
+// single long τ evaluation: the deadline fires mid-scan, the query
+// returns context.DeadlineExceeded, and it does so far sooner than the
+// uncancelled run.
+func TestDeadlineAbortsDescendantScan(t *testing.T) {
+	e := New(Config{})
+	e.RegisterStore("deep.xml", bigDeep())
+	baseline := scanBaseline(t, e)
+	deadline := baseline / 20
+	if deadline < 2*time.Millisecond {
+		deadline = 2 * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), deadline)
+	defer cancel()
+	start := time.Now()
+	_, err := e.Query(ctx, "deep.xml", scanQuery, QueryOptions{NoCache: true})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed > baseline/2 {
+		t.Fatalf("cancelled run took %v, baseline %v: deadline did not abort the scan early", elapsed, baseline)
+	}
+	if e.Stats().Canceled == 0 {
+		t.Fatal("Canceled counter not incremented")
+	}
+}
+
+func TestDefaultTimeout(t *testing.T) {
+	base := New(Config{})
+	base.RegisterStore("deep.xml", bigDeep())
+	scanBaseline(t, base) // skips on machines where the scan is instant
+	e := New(Config{DefaultTimeout: 5 * time.Millisecond})
+	e.RegisterStore("deep.xml", bigDeep())
+	_, err := e.Query(context.Background(), "deep.xml", scanQuery, QueryOptions{NoCache: true})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded from DefaultTimeout", err)
+	}
+}
+
+// TestConcurrentMixedQueries is the shared-document race test: many
+// goroutines run a mix of cached, uncached, strategy-forced, and
+// cost-based queries against one document while updates bump its
+// generation. Run under -race in CI.
+func TestConcurrentMixedQueries(t *testing.T) {
+	e := New(Config{MaxConcurrent: 8, QueueDepth: 64, TrackPages: true})
+	e.RegisterStore("auction.xml", xmark.StoreAuction(2))
+	queries := []struct {
+		q    string
+		opts QueryOptions
+	}{
+		{`//item/name`, QueryOptions{}},
+		{`//item[payment]/name`, QueryOptions{Strategy: exec.StrategyTwigStack}},
+		{`//person//name`, QueryOptions{CostBased: true}},
+		{`//item/name`, QueryOptions{NoCache: true}},
+		{`for $i in //item return $i/name`, QueryOptions{DisableRewrites: true}},
+		{`//region//item[name]`, QueryOptions{}},
+	}
+	const (
+		goroutines = 8
+		rounds     = 12
+	)
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines+1)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				mix := queries[(g+r)%len(queries)]
+				_, err := e.Query(context.Background(), "auction.xml", mix.q, mix.opts)
+				if err != nil && !errors.Is(err, ErrSaturated) {
+					errCh <- fmt.Errorf("goroutine %d round %d: %w", g, r, err)
+					return
+				}
+			}
+		}(g)
+	}
+	// Concurrent updates: generation bumps while queries are in flight.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for r := 0; r < 4; r++ {
+			err := e.Update("auction.xml", func(st *storage.Store) (*storage.Store, error) {
+				frag := xmldoc.MustParse(`<item id="x"><name>spare</name></item>`)
+				out, _, err := st.InsertChild(st.DocumentElement(), frag)
+				return out, err
+			})
+			if err != nil {
+				errCh <- fmt.Errorf("update %d: %w", r, err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	s := e.Stats()
+	if s.Served == 0 || s.Compilations == 0 {
+		t.Fatalf("suspicious snapshot: %+v", s)
+	}
+	if s.Served+s.Rejected+s.Failed+s.Canceled != goroutines*rounds {
+		t.Fatalf("query accounting off: %+v", s)
+	}
+	if s.PagesTouched == 0 {
+		t.Fatal("TrackPages on but PagesTouched = 0")
+	}
+}
+
+func TestRegisterParseError(t *testing.T) {
+	e := New(Config{})
+	if err := e.Register("bad.xml", strings.NewReader(`<a><unclosed>`)); err == nil {
+		t.Fatal("registering malformed XML succeeded")
+	}
+}
+
+func TestUpdateErrors(t *testing.T) {
+	e := newBibEngine(t, Config{})
+	if err := e.Update("ghost.xml", nil); !errors.Is(err, ErrUnknownDocument) {
+		t.Fatalf("err = %v, want ErrUnknownDocument", err)
+	}
+	err := e.Update("bib.xml", func(st *storage.Store) (*storage.Store, error) {
+		return nil, errors.New("boom")
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	err = e.Update("bib.xml", func(st *storage.Store) (*storage.Store, error) {
+		return nil, nil
+	})
+	if err == nil {
+		t.Fatal("nil store accepted")
+	}
+	// Failed updates must not bump the generation.
+	if e.Docs()[0].Generation != 1 {
+		t.Fatalf("generation = %d after failed updates, want 1", e.Docs()[0].Generation)
+	}
+}

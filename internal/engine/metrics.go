@@ -1,0 +1,151 @@
+package engine
+
+import (
+	"encoding/json"
+	"expvar"
+	"sync/atomic"
+	"time"
+)
+
+// execBuckets are the upper bounds of the execution-time histogram,
+// exponential decades from 100µs to 1s (the last bucket is +Inf).
+var execBuckets = [...]time.Duration{
+	100 * time.Microsecond,
+	time.Millisecond,
+	10 * time.Millisecond,
+	100 * time.Millisecond,
+	time.Second,
+}
+
+// metrics holds the engine's counters; all fields are atomics so the
+// query path never takes a lock to record.
+type metrics struct {
+	served         atomic.Int64
+	failed         atomic.Int64
+	canceled       atomic.Int64
+	rejected       atomic.Int64
+	cacheHits      atomic.Int64
+	cacheMisses    atomic.Int64
+	compilations   atomic.Int64
+	queueWaitNanos atomic.Int64
+	execNanos      atomic.Int64
+	execHist       [len(execBuckets) + 1]atomic.Int64
+}
+
+func (m *metrics) observeExec(d time.Duration) {
+	m.execNanos.Add(d.Nanoseconds())
+	for i, ub := range execBuckets {
+		if d <= ub {
+			m.execHist[i].Add(1)
+			return
+		}
+	}
+	m.execHist[len(execBuckets)].Add(1)
+}
+
+// Snapshot is a point-in-time copy of the engine counters.
+type Snapshot struct {
+	// Served / Failed / Canceled / Rejected partition finished queries:
+	// successful, errored, ended by cancellation or deadline, and
+	// refused at admission (ErrSaturated).
+	Served   int64 `json:"served"`
+	Failed   int64 `json:"failed"`
+	Canceled int64 `json:"canceled"`
+	Rejected int64 `json:"rejected"`
+	// CacheHits / CacheMisses count plan-cache lookups; Compilations
+	// counts actual pipeline runs (parse→translate→analyze→rewrite).
+	// Served ≥ CacheHits and Compilations ≥ CacheMisses always hold;
+	// a hit performs zero compilation work.
+	CacheHits    int64 `json:"cache_hits"`
+	CacheMisses  int64 `json:"cache_misses"`
+	Compilations int64 `json:"compilations"`
+	// CachedPlans is the current plan-cache population.
+	CachedPlans int `json:"cached_plans"`
+	// QueueWait / ExecTime are cumulative across queries.
+	QueueWait time.Duration `json:"queue_wait_nanos"`
+	ExecTime  time.Duration `json:"exec_time_nanos"`
+	// ExecHist counts executions per latency bucket; bucket i covers
+	// (ExecHistBounds[i-1], ExecHistBounds[i]], the last is overflow.
+	ExecHist [len(execBuckets) + 1]int64 `json:"exec_hist"`
+	// InFlight / Queued are instantaneous gauges.
+	InFlight int `json:"in_flight"`
+	Queued   int `json:"queued"`
+	// Documents is the catalog size; PagesTouched is the summed page
+	// accountant across documents (0 unless Config.TrackPages).
+	Documents    int   `json:"documents"`
+	PagesTouched int64 `json:"pages_touched"`
+}
+
+// ExecHistBounds reports the histogram bucket upper bounds matching
+// Snapshot.ExecHist (the final bucket is unbounded).
+func ExecHistBounds() []time.Duration {
+	b := make([]time.Duration, len(execBuckets))
+	copy(b, execBuckets[:])
+	return b
+}
+
+// HitRate is CacheHits / (CacheHits + CacheMisses), or 0 with no lookups.
+func (s Snapshot) HitRate() float64 {
+	total := s.CacheHits + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
+}
+
+// Stats returns a consistent-enough point-in-time snapshot (individual
+// counters are read atomically; cross-counter skew is bounded by
+// in-flight queries).
+func (e *Engine) Stats() Snapshot {
+	s := Snapshot{
+		Served:       e.met.served.Load(),
+		Failed:       e.met.failed.Load(),
+		Canceled:     e.met.canceled.Load(),
+		Rejected:     e.met.rejected.Load(),
+		CacheHits:    e.met.cacheHits.Load(),
+		CacheMisses:  e.met.cacheMisses.Load(),
+		Compilations: e.met.compilations.Load(),
+		CachedPlans:  e.cache.len(),
+		QueueWait:    time.Duration(e.met.queueWaitNanos.Load()),
+		ExecTime:     time.Duration(e.met.execNanos.Load()),
+		InFlight:     len(e.slots),
+		Queued:       len(e.tickets) - len(e.slots),
+	}
+	for i := range s.ExecHist {
+		s.ExecHist[i] = e.met.execHist[i].Load()
+	}
+	if s.Queued < 0 {
+		s.Queued = 0 // tickets release before slots; brief skew possible
+	}
+	e.mu.RLock()
+	s.Documents = len(e.docs)
+	docs := make([]*document, 0, len(e.docs))
+	for _, d := range e.docs {
+		docs = append(docs, d)
+	}
+	e.mu.RUnlock()
+	for _, d := range docs {
+		d.mu.RLock()
+		if d.acct != nil {
+			s.PagesTouched += d.acct.TouchCount()
+		}
+		d.mu.RUnlock()
+	}
+	return s
+}
+
+// Var adapts the engine's stats to expvar.Var; publish it with
+// expvar.Publish("xqp", e.Var()) to surface it on /debug/vars.
+func (e *Engine) Var() expvar.Var {
+	return statsVar{e}
+}
+
+type statsVar struct{ e *Engine }
+
+func (v statsVar) String() string {
+	b, err := json.Marshal(v.e.Stats())
+	if err != nil {
+		return "{}"
+	}
+	return string(b)
+}

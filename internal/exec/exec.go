@@ -55,6 +55,17 @@ type Options struct {
 	// Chooser, when non-nil and Strategy is StrategyAuto, picks the
 	// strategy per τ invocation (wired to the cost model).
 	Chooser func(st *storage.Store, g *pattern.Graph) Strategy
+	// Interrupt, when non-nil, is polled at operator boundaries, between
+	// navigation steps, and periodically inside long NoK scans; the first
+	// non-nil error aborts the evaluation with that error. Wire it to
+	// context.Context.Err to get cancellation and deadlines (the engine
+	// service does). The join-based and naive matchers are only
+	// interrupted at τ boundaries, not mid-join.
+	Interrupt func() error
+	// StrictDocs makes doc() references to unknown URIs an error instead
+	// of falling back to the default document (the legacy single-document
+	// leniency).
+	StrictDocs bool
 }
 
 // Metrics counts physical operator invocations for the experiments.
@@ -123,6 +134,11 @@ func (c *Context) WithVars(vars map[string]value.Sequence) *Context {
 
 // Eval evaluates a plan in the given context.
 func (e *Engine) Eval(op core.Op, ctx *Context) (value.Sequence, error) {
+	if e.opts.Interrupt != nil {
+		if err := e.opts.Interrupt(); err != nil {
+			return nil, err
+		}
+	}
 	switch o := op.(type) {
 	case *core.ConstOp:
 		return o.Seq, nil
@@ -266,7 +282,7 @@ func (e *Engine) resolveDoc(uri string) (*storage.Store, error) {
 	if st, ok := e.catalog[uri]; ok {
 		return st, nil
 	}
-	if e.def != nil {
+	if e.def != nil && !e.opts.StrictDocs {
 		// Unregistered URI while only the default document is known:
 		// tolerate, as the use-case queries name files like "bib.xml".
 		onlyDefault := true
@@ -450,6 +466,11 @@ func (e *Engine) matchStore(st *storage.Store, g *pattern.Graph, contexts []stor
 			strat = StrategyNoK
 		}
 	}
+	if e.opts.Interrupt != nil {
+		if err := e.opts.Interrupt(); err != nil {
+			return nil, err
+		}
+	}
 	// The join-based matchers only support root-anchored patterns; fall
 	// back to NoK otherwise.
 	rootAnchored := len(contexts) == 1 && contexts[0] == st.Root()
@@ -458,7 +479,7 @@ func (e *Engine) matchStore(st *storage.Store, g *pattern.Graph, contexts []stor
 		return naive.MatchOutput(st, g, contexts), nil
 	case strat == StrategyHybrid:
 		e.Metrics.JoinCalls += int64(g.Partition().JoinCount())
-		return nok.MatchHybrid(st, g, contexts)
+		return nok.MatchHybridInterruptible(st, g, contexts, e.opts.Interrupt)
 	case strat == StrategyTwigStack && rootAnchored:
 		e.Metrics.JoinCalls += int64(g.VertexCount() - 1)
 		return join.TwigStack(st, g).Refs(), nil
@@ -470,7 +491,7 @@ func (e *Engine) matchStore(st *storage.Store, g *pattern.Graph, contexts []stor
 		e.Metrics.JoinCalls += int64(g.VertexCount() - 1)
 		return join.TwigStack(st, g).Refs(), nil
 	default:
-		return nok.MatchOutput(st, g, contexts)
+		return nok.MatchOutputInterruptible(st, g, contexts, e.opts.Interrupt)
 	}
 }
 
@@ -510,6 +531,11 @@ func (e *Engine) evalStep(input value.Sequence, st ast.Step, ctx *Context) (valu
 	}
 	var out value.Sequence
 	for _, it := range input {
+		if e.opts.Interrupt != nil {
+			if err := e.opts.Interrupt(); err != nil {
+				return nil, err
+			}
+		}
 		n, ok := it.(value.Node)
 		if !ok {
 			return nil, &value.TypeError{Msg: fmt.Sprintf("path step over %s item", value.ItemKind(it))}

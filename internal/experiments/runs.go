@@ -434,10 +434,10 @@ func E9PageTouches(scale int) *Table {
 		g := MustGraph(q)
 		acct.Reset()
 		MatchNoK(st, g)
-		t.AddRow(q, "NoK", acct.Pages(), acct.Touches)
+		t.AddRow(q, "NoK", acct.Pages(), acct.TouchCount())
 		acct.Reset()
 		MatchTwig(st, g)
-		t.AddRow(q, "TwigStack", acct.Pages(), acct.Touches)
+		t.AddRow(q, "TwigStack", acct.Pages(), acct.TouchCount())
 	}
 	return t
 }
@@ -516,6 +516,7 @@ func RunAll() []*Table {
 		E12ContentIndex(100),
 		E13HybridStrategy(),
 		E14AnalyzerPruning(8),
+		E15Throughput(50),
 	}
 }
 

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"xqp"
+	"xqp/internal/xmark"
+)
+
+// throughputQueries is the E15 workload mix: path navigation, a twig
+// with a predicate, a descendant chain, and a FLWOR — enough plan
+// variety that the plan cache holds several entries per worker set.
+var throughputQueries = []string{
+	`/site/regions/africa/item/name`,
+	`//item[payment]/name`,
+	`//person//name`,
+	`for $i in /site/open_auctions/open_auction return $i/current`,
+}
+
+// E15Throughput measures the concurrent engine's query throughput:
+// queries/sec over a fixed batch for worker counts 1..GOMAXPROCS, with
+// the compiled-plan cache enabled and disabled. The cache-on rows show
+// the compile fraction of small-query latency that caching removes; the
+// scaling across workers shows the worker pool is not serializing
+// execution (stores and cached plans are shared read-only).
+func E15Throughput(queriesPerWorker int) *Table {
+	t := &Table{
+		ID:      "E15",
+		Title:   "engine throughput vs workers and plan cache (XMark auction, scale 2)",
+		Columns: []string{"workers", "plan cache", "queries", "wall", "queries/s", "hit rate", "compiles"},
+		Notes: []string{
+			fmt.Sprintf("GOMAXPROCS=%d; %d queries per worker over a %d-query mix",
+				runtime.GOMAXPROCS(0), queriesPerWorker, len(throughputQueries)),
+		},
+	}
+	st := xmark.StoreAuction(2)
+	workerCounts := []int{1, 2, runtime.GOMAXPROCS(0)}
+	if workerCounts[2] <= 2 {
+		workerCounts = workerCounts[:2]
+	}
+	for _, workers := range workerCounts {
+		for _, cache := range []bool{true, false} {
+			size := 0 // default (enabled)
+			if !cache {
+				size = -1
+			}
+			eng := xqp.NewEngine(xqp.EngineConfig{
+				MaxConcurrent: workers,
+				QueueDepth:    workers * len(throughputQueries),
+				PlanCacheSize: size,
+			})
+			eng.RegisterStore("auction", st)
+			total := workers * queriesPerWorker
+			var wg sync.WaitGroup
+			start := time.Now()
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					ctx := context.Background()
+					for i := 0; i < queriesPerWorker; i++ {
+						q := throughputQueries[(w+i)%len(throughputQueries)]
+						if _, err := eng.Query(ctx, "auction", q); err != nil {
+							panic(fmt.Sprintf("E15 query %q: %v", q, err))
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			wall := time.Since(start)
+			s := eng.Stats()
+			label := "on"
+			if !cache {
+				label = "off"
+			}
+			t.AddRow(workers, label, total, wall,
+				float64(total)/wall.Seconds(),
+				fmt.Sprintf("%.0f%%", s.HitRate()*100),
+				s.Compilations)
+		}
+	}
+	return t
+}

@@ -20,10 +20,18 @@ import (
 // a final top-down pass filters the chain of fragments leading to the
 // output vertex.
 func MatchHybrid(st *storage.Store, g *pattern.Graph, contexts []storage.NodeRef) ([]storage.NodeRef, error) {
+	return MatchHybridInterruptible(st, g, contexts, nil)
+}
+
+// MatchHybridInterruptible is MatchHybrid with a cancellation poll (see
+// MatchInterruptible).
+func MatchHybridInterruptible(st *storage.Store, g *pattern.Graph, contexts []storage.NodeRef, interrupt func() error) (refs []storage.NodeRef, err error) {
 	m, err := newMatcher(st, g)
 	if err != nil {
 		return nil, err
 	}
+	m.interrupt = interrupt
+	defer catchInterrupt(&err)
 	for _, absent := range m.absent {
 		if absent {
 			return nil, nil
@@ -140,6 +148,7 @@ func (h *hybrid) evalFragment(fi int, cands []storage.NodeRef) Bindings {
 	}
 	var rec func(n storage.NodeRef, v pattern.VertexID) bool
 	rec = func(n storage.NodeRef, v pattern.VertexID) bool {
+		m.poll()
 		if !m.test(n, int(v)) || !linkOK(v, n) {
 			return false
 		}

@@ -47,23 +47,75 @@ type Bindings map[pattern.VertexID][]storage.NodeRef
 // bindings of every pattern vertex. For rooted patterns pass the store
 // root as the only context; for relative patterns pass the context nodes.
 func Match(st *storage.Store, g *pattern.Graph, contexts []storage.NodeRef) (Bindings, error) {
+	return MatchInterruptible(st, g, contexts, nil)
+}
+
+// MatchInterruptible is Match with a cancellation poll: interrupt (when
+// non-nil) is consulted every pollEvery node visits, and its first
+// non-nil error aborts the scan mid-pass and is returned.
+func MatchInterruptible(st *storage.Store, g *pattern.Graph, contexts []storage.NodeRef, interrupt func() error) (b Bindings, err error) {
 	m, err := newMatcher(st, g)
 	if err != nil {
 		return nil, err
 	}
+	m.interrupt = interrupt
+	defer catchInterrupt(&err)
 	return m.run(contexts, nil), nil
 }
 
 // MatchOutput evaluates the pattern and returns only the output vertex's
 // matches in document order — the common case for path expressions.
 func MatchOutput(st *storage.Store, g *pattern.Graph, contexts []storage.NodeRef) ([]storage.NodeRef, error) {
+	return MatchOutputInterruptible(st, g, contexts, nil)
+}
+
+// MatchOutputInterruptible is MatchOutput with a cancellation poll (see
+// MatchInterruptible).
+func MatchOutputInterruptible(st *storage.Store, g *pattern.Graph, contexts []storage.NodeRef, interrupt func() error) (refs []storage.NodeRef, err error) {
 	m, err := newMatcher(st, g)
 	if err != nil {
 		return nil, err
 	}
+	m.interrupt = interrupt
+	defer catchInterrupt(&err)
 	want := []pattern.VertexID{g.Output}
 	b := m.run(contexts, want)
 	return b[g.Output], nil
+}
+
+// pollEvery is the number of node visits between interrupt polls: large
+// enough to stay off the profile, small enough that a deadline stops a
+// scan within microseconds.
+const pollEvery = 256
+
+// interruptPanic carries an interrupt error out of the matcher's
+// recursions; catchInterrupt converts it back to an error return at the
+// package boundary.
+type interruptPanic struct{ err error }
+
+func catchInterrupt(err *error) {
+	if r := recover(); r != nil {
+		ip, ok := r.(interruptPanic)
+		if !ok {
+			panic(r)
+		}
+		*err = ip.err
+	}
+}
+
+// poll checks the interrupt every pollEvery calls and aborts the matcher
+// by panicking (recovered in the public entry points).
+func (m *matcher) poll() {
+	if m.interrupt == nil {
+		return
+	}
+	m.tick++
+	if m.tick%pollEvery != 0 {
+		return
+	}
+	if err := m.interrupt(); err != nil {
+		panic(interruptPanic{err})
+	}
 }
 
 // MatchNested evaluates the pattern and nests the output matches by their
@@ -117,6 +169,10 @@ type matcher struct {
 	// small subtree (e.g. a per-binding relative pattern).
 	smask []uint64
 	base  storage.NodeRef
+	// interrupt (optional) aborts long scans; tick counts node visits
+	// between polls.
+	interrupt func() error
+	tick      int
 }
 
 func (m *matcher) s(n storage.NodeRef) uint64       { return m.smask[n-m.base] }
@@ -187,6 +243,7 @@ func (m *matcher) test(n storage.NodeRef, v int) bool {
 // computeS runs the upward pass on the subtree of n. It returns S(n) and
 // the union of S over n's proper descendants.
 func (m *matcher) computeS(n storage.NodeRef) (s, below uint64) {
+	m.poll()
 	var cover, deep uint64
 	for c := m.st.FirstChild(n); c != storage.NilRef; c = m.st.NextSibling(c) {
 		cs, cb := m.computeS(c)
@@ -248,6 +305,7 @@ func (m *matcher) runTopDown(contexts []storage.NodeRef, acc [][]storage.NodeRef
 	}
 	var rec func(n storage.NodeRef, v pattern.VertexID) bool
 	rec = func(n storage.NodeRef, v pattern.VertexID) bool {
+		m.poll()
 		if !m.test(n, int(v)) {
 			return false
 		}
@@ -357,6 +415,7 @@ func (m *matcher) run(contexts []storage.NodeRef, want []pattern.VertexID) Bindi
 	}
 	var down func(n storage.NodeRef, allowedChild, allowedDesc uint64)
 	down = func(n storage.NodeRef, allowedChild, allowedDesc uint64) {
+		m.poll()
 		bound := m.s(n) & (allowedChild | allowedDesc)
 		if bound&wantMask != 0 {
 			for v := 0; v < m.g.VertexCount(); v++ {

@@ -3,6 +3,15 @@
 // cost model (package cost) uses these estimates to choose between the
 // navigational and join-based physical plans — the chooser the paper's
 // Section 2 calls for.
+//
+// # Concurrency
+//
+// A Synopsis is immutable after Build returns: estimation walks
+// (EstimatePattern, Matchable, PathCount, ...) only read the summary
+// tree, so one synopsis may serve concurrent queries without locking.
+// When a document is updated the synopsis must be rebuilt alongside the
+// new store under the owner's exclusive lock (internal/engine does this
+// during its generation bump).
 package stats
 
 import (

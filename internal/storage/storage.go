@@ -21,6 +21,21 @@
 // An optional Accountant counts distinct storage pages touched during
 // navigation, modeling the I/O cost that the paper's experiments measure
 // (experiment E9).
+//
+// # Concurrency
+//
+// A Store is immutable after Build/LoadReader returns: every accessor is
+// a pure read (the lazily-built tag index is guarded by a sync.Once, and
+// the Accountant serializes its counters internally), so any number of
+// goroutines may query one Store concurrently without locking. The
+// update operations (DeleteSubtree, InsertChild) are copy-on-write —
+// they return a NEW Store and never modify the receiver — but swapping
+// the new store into a shared catalog requires exclusive access;
+// internal/engine serializes that swap behind a per-document RWMutex and
+// bumps the document's generation so cached plans cannot outlive the
+// store they were compiled against. The only mutating methods are
+// SetAccountant and SetPageSize, which must be called before the store
+// is shared.
 package storage
 
 import (
@@ -77,10 +92,13 @@ type Store struct {
 }
 
 // Accountant tracks distinct pages touched; attach with Store.SetAccountant.
+// It is safe for concurrent use: one accountant may observe queries from
+// many goroutines (the engine's per-document page metrics rely on this).
 type Accountant struct {
+	mu    sync.Mutex
 	pages map[int32]struct{}
-	// Touches counts every page access including repeats.
-	Touches int64
+	// touches counts every page access including repeats.
+	touches int64
 }
 
 // NewAccountant returns an empty accountant.
@@ -90,16 +108,31 @@ func NewAccountant() *Accountant {
 
 // Reset clears all counters.
 func (a *Accountant) Reset() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	a.pages = make(map[int32]struct{})
-	a.Touches = 0
+	a.touches = 0
 }
 
 // Pages reports the number of distinct pages touched since the last Reset.
-func (a *Accountant) Pages() int { return len(a.pages) }
+func (a *Accountant) Pages() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.pages)
+}
+
+// TouchCount reports every page access including repeats.
+func (a *Accountant) TouchCount() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.touches
+}
 
 func (a *Accountant) touch(page int32) {
-	a.Touches++
+	a.mu.Lock()
+	a.touches++
 	a.pages[page] = struct{}{}
+	a.mu.Unlock()
 }
 
 // SetAccountant installs (or removes, with nil) an I/O accountant.

@@ -199,11 +199,11 @@ func TestAccountant(t *testing.T) {
 	for _, bk := range s.ElementRefs("book") {
 		s.Scan(bk, func(n NodeRef, d int) bool { _ = s.StringValue(n); return true })
 	}
-	if a.Pages() == 0 || a.Touches == 0 {
+	if a.Pages() == 0 || a.TouchCount() == 0 {
 		t.Fatal("accountant recorded nothing")
 	}
 	a.Reset()
-	if a.Pages() != 0 || a.Touches != 0 {
+	if a.Pages() != 0 || a.TouchCount() != 0 {
 		t.Fatal("Reset did not clear")
 	}
 }

@@ -23,12 +23,13 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"xqp/internal/analyze"
+	"xqp/internal/compile"
 	"xqp/internal/core"
 	"xqp/internal/cost"
 	"xqp/internal/exec"
-	"xqp/internal/parser"
 	"xqp/internal/pattern"
 	"xqp/internal/rewrite"
 	"xqp/internal/stats"
@@ -77,6 +78,9 @@ type Options struct {
 	// empty-subplan pruning, pattern cardinality annotation) that normally
 	// runs between translation and rewriting (ablation).
 	DisableAnalyzer bool
+	// StrictDocs makes doc() references to unregistered documents an
+	// execution error instead of falling back to the default document.
+	StrictDocs bool
 }
 
 // Diagnostic is a static-analyzer finding (see ANALYZER.md for the codes).
@@ -150,6 +154,12 @@ func (db *Database) AddDocumentString(uri, xml string) error {
 	return db.AddDocument(uri, strings.NewReader(xml))
 }
 
+// HasDocument reports whether a document is registered under the URI.
+func (db *Database) HasDocument(uri string) bool {
+	_, ok := db.catalog[uri]
+	return ok
+}
+
 // Query is a compiled, optimized query plan.
 type Query struct {
 	Source string
@@ -171,14 +181,14 @@ type Query struct {
 // bound document: the analyzer performs structural checks only. Use
 // Database.Compile for the synopsis-aware checks.
 func Compile(src string, opts Options) (*Query, error) {
-	return compile(src, opts, nil, nil)
+	return compileQuery(src, opts, nil, nil)
 }
 
 // Compile compiles a query against the database's primary document,
 // enabling the analyzer's synopsis-based unmatchability checks and
 // pattern-cardinality annotation for the cost model.
 func (db *Database) Compile(src string, opts Options) (*Query, error) {
-	return compile(src, opts, db.store, db.synopsis())
+	return compileQuery(src, opts, db.store, db.synopsis())
 }
 
 // synopsis lazily builds (and caches) the primary document's synopsis.
@@ -189,34 +199,40 @@ func (db *Database) synopsis() *stats.Synopsis {
 	return db.syn
 }
 
-func compile(src string, opts Options, st *storage.Store, syn *stats.Synopsis) (*Query, error) {
-	e, err := parser.Parse(src)
+func compileQuery(src string, opts Options, st *storage.Store, syn *stats.Synopsis) (*Query, error) {
+	c, err := compile.Compile(src, compile.Options{
+		DisableAnalyzer: opts.DisableAnalyzer,
+		DisableRewrites: opts.DisableRewrites,
+		Rewrites:        opts.Rewrites,
+	}, st, syn)
 	if err != nil {
 		return nil, err
 	}
-	plan, err := core.Translate(e)
-	if err != nil {
-		return nil, err
-	}
-	q := &Query{Source: src, RewriteStats: &rewrite.Stats{}, opts: opts, st: st, syn: syn}
-	if !opts.DisableAnalyzer {
-		res := analyze.Analyze(plan, analyze.Options{Store: st, Synopsis: syn, Prune: true})
-		plan = res.Plan
-		q.Diagnostics = res.Diagnostics
-		q.Pruned = res.Pruned
-	}
-	if !opts.DisableRewrites {
-		ro := rewrite.All()
-		if opts.Rewrites != nil {
-			ro = *opts.Rewrites
+	return &Query{
+		Source:       src,
+		Plan:         c.Plan,
+		RewriteStats: c.RewriteStats,
+		Diagnostics:  c.Diagnostics,
+		Pruned:       c.Pruned,
+		opts:         opts,
+		st:           st,
+		syn:          syn,
+	}, nil
+}
+
+// DocURIs returns the distinct doc() URIs the compiled plan references,
+// in first-appearance order (the default document's "" is omitted).
+func (q *Query) DocURIs() []string {
+	seen := map[string]bool{}
+	var out []string
+	core.Walk(q.Plan, func(o core.Op) bool {
+		if d, ok := o.(*core.DocOp); ok && d.URI != "" && !seen[d.URI] {
+			seen[d.URI] = true
+			out = append(out, d.URI)
 		}
-		plan, q.RewriteStats = rewrite.Rewrite(plan, ro)
-	}
-	if !opts.DisableAnalyzer {
-		analyze.AnnotateGraphs(plan, st, syn)
-	}
-	q.Plan = plan
-	return q, nil
+		return true
+	})
+	return out
 }
 
 // Analyze runs the static analyzer over a query without binding a
@@ -259,6 +275,7 @@ func (db *Database) Run(q *Query) (*Result, error) {
 	eo := exec.Options{
 		Strategy:    q.opts.Strategy,
 		NoStepDedup: q.opts.NoStepDedup,
+		StrictDocs:  q.opts.StrictDocs,
 	}
 	if q.opts.CostBased && eo.Strategy == Auto {
 		if db.chooser == nil {
@@ -305,6 +322,17 @@ type Result struct {
 	Seq value.Sequence
 	// Metrics are the physical-operator counters of the run.
 	Metrics exec.Metrics
+	// Cached reports whether the plan came from an Engine's plan cache
+	// (always false for Database queries).
+	Cached bool
+	// Generation is the document generation an Engine query ran against.
+	Generation uint64
+	// QueueWait and ExecTime are filled by Engine queries: time spent
+	// waiting for a worker slot and executing the plan.
+	QueueWait time.Duration
+	ExecTime  time.Duration
+	// Diagnostics are the static analyzer's findings (Engine queries).
+	Diagnostics []Diagnostic
 }
 
 // Len reports the number of items.
@@ -350,6 +378,20 @@ func nodeXML(n value.Node) string {
 
 // Items exposes the raw item sequence.
 func (r *Result) Items() value.Sequence { return r.Seq }
+
+// XMLItems serializes each result item separately: node items as XML
+// subtrees, atomic items as text (one string per item, for API servers).
+func (r *Result) XMLItems() []string {
+	out := make([]string, len(r.Seq))
+	for i, it := range r.Seq {
+		if n, ok := it.(value.Node); ok {
+			out[i] = nodeXML(n)
+		} else {
+			out[i] = it.String()
+		}
+	}
+	return out
+}
 
 // PrettyXML serializes node items with two-space indentation (atomic
 // items print on their own lines).
