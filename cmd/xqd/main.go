@@ -17,7 +17,7 @@
 //	GET  /debug/vars                                         → expvar (incl. "xqp")
 //
 // Saturation maps to 503, unknown documents to 404, deadline expiry to
-// 504, and compile/execution errors to 400.
+// 504, compile errors to 400, and unexpected execution failures to 500.
 package main
 
 import (
@@ -32,6 +32,7 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"xqp"
@@ -107,13 +108,14 @@ func newServer(eng *xqp.Engine) http.Handler {
 	return mux
 }
 
-// publishOnce exposes the engine on the process-global expvar registry;
-// expvar panics on duplicate names, so only the first engine is
-// published (relevant in tests that build several servers).
+// publishGuard serializes publication on the process-global expvar
+// registry; expvar panics on duplicate names, so only the first engine
+// is published (relevant in tests that build several servers, possibly
+// concurrently).
+var publishGuard sync.Once
+
 func publishOnce(eng *xqp.Engine) {
-	if expvar.Get("xqp") == nil {
-		expvar.Publish("xqp", statsVar{eng})
-	}
+	publishGuard.Do(func() { expvar.Publish("xqp", statsVar{eng}) })
 }
 
 type statsVar struct{ eng *xqp.Engine }
@@ -274,8 +276,12 @@ func statusFor(err error) int {
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
 		return 499 // client closed request (nginx convention)
-	default:
+	case errors.Is(err, xqp.ErrInvalidQuery):
 		return http.StatusBadRequest
+	default:
+		// Not a recognizable client mistake: an unexpected execution
+		// failure is the server's fault.
+		return http.StatusInternalServerError
 	}
 }
 

@@ -1,7 +1,10 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -104,6 +107,27 @@ func TestQueryErrors(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("bad strategy status = %d", resp.StatusCode)
+	}
+}
+
+// TestStatusFor: client mistakes map to 4xx; anything unrecognized is an
+// internal execution failure and must report 500, not blame the client.
+func TestStatusFor(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{xqp.ErrUnknownDocument, http.StatusNotFound},
+		{xqp.ErrSaturated, http.StatusServiceUnavailable},
+		{context.DeadlineExceeded, http.StatusGatewayTimeout},
+		{context.Canceled, 499},
+		{fmt.Errorf("%w: unexpected token", xqp.ErrInvalidQuery), http.StatusBadRequest},
+		{errors.New("operator blew up"), http.StatusInternalServerError},
+	}
+	for _, c := range cases {
+		if got := statusFor(c.err); got != c.want {
+			t.Errorf("statusFor(%v) = %d, want %d", c.err, got, c.want)
+		}
 	}
 }
 

@@ -40,6 +40,9 @@ var (
 	// ErrUnknownDocument reports a query against an unregistered
 	// document name.
 	ErrUnknownDocument = engine.ErrUnknownDocument
+	// ErrInvalidQuery wraps compilation failures in the submitted query
+	// text (a client mistake, not an engine fault).
+	ErrInvalidQuery = engine.ErrInvalidQuery
 )
 
 // NewEngine creates a concurrent query service.

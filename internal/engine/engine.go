@@ -57,6 +57,10 @@ var (
 	// ErrUnknownDocument is returned for queries against unregistered
 	// document names.
 	ErrUnknownDocument = errors.New("engine: unknown document")
+	// ErrInvalidQuery wraps compilation failures (parse/translate errors
+	// in the submitted query text), distinguishing client mistakes from
+	// unexpected execution failures.
+	ErrInvalidQuery = errors.New("engine: invalid query")
 )
 
 // Config sizes the service; the zero value gives sensible defaults.
@@ -102,7 +106,9 @@ func (c Config) withDefaults() Config {
 // document is one catalog entry. The (store, syn, gen) triple is an
 // immutable snapshot: readers grab it under RLock and then run unlocked,
 // so updates never wait for in-flight queries; they swap the snapshot
-// and bump the generation under the write lock.
+// and bump the generation under the write lock. The accountant (when
+// page tracking is on) is created once per document and shared across
+// store generations, so PagesTouched stays monotonic over updates.
 type document struct {
 	name string
 	mu   sync.RWMutex
@@ -121,10 +127,15 @@ func (d *document) snapshot() (*storage.Store, *stats.Synopsis, uint64) {
 // Engine is the concurrent query service. Create with New; all methods
 // are safe for concurrent use.
 type Engine struct {
-	cfg   Config
-	mu    sync.RWMutex
-	docs  map[string]*document
-	cache *planCache
+	cfg  Config
+	mu   sync.RWMutex
+	docs map[string]*document
+	// lastGen remembers the final generation of closed documents so a
+	// re-register of the same name resumes the sequence instead of
+	// restarting at 1 — otherwise plan-cache keys (doc, gen, query, fp)
+	// compiled against the old content would collide with the new one.
+	lastGen map[string]uint64
+	cache   *planCache
 	// tickets bounds admission (executing + queued); slots bounds
 	// execution. A query holds a ticket for its whole stay and a slot
 	// only while executing.
@@ -139,6 +150,7 @@ func New(cfg Config) *Engine {
 	return &Engine{
 		cfg:     cfg,
 		docs:    map[string]*document{},
+		lastGen: map[string]uint64{},
 		cache:   newPlanCache(cfg.PlanCacheSize),
 		tickets: make(chan struct{}, cfg.MaxConcurrent+cfg.QueueDepth),
 		slots:   make(chan struct{}, cfg.MaxConcurrent),
@@ -161,22 +173,27 @@ func (e *Engine) Register(name string, r io.Reader) error {
 // name, building its synopsis. The store must not be mutated afterwards.
 func (e *Engine) RegisterStore(name string, st *storage.Store) {
 	syn := stats.Build(st)
-	var acct *storage.Accountant
-	if e.cfg.TrackPages {
-		acct = storage.NewAccountant()
-		st.SetAccountant(acct)
-	}
 	e.mu.Lock()
-	d, ok := e.docs[name]
-	if !ok {
-		d = &document{name: name}
-		e.docs[name] = d
+	defer e.mu.Unlock()
+	if d, ok := e.docs[name]; ok {
+		d.mu.Lock()
+		if d.acct != nil {
+			st.SetAccountant(d.acct) // keep PagesTouched monotonic across replacements
+		}
+		d.st, d.syn = st, syn
+		d.gen++
+		d.mu.Unlock()
+		return
 	}
-	e.mu.Unlock()
-	d.mu.Lock()
-	d.st, d.syn, d.acct = st, syn, acct
-	d.gen++
-	d.mu.Unlock()
+	// New entries are published fully initialized (a concurrent Query or
+	// Docs must never snapshot a nil store), with the generation resumed
+	// from any previously closed document of the same name.
+	d := &document{name: name, st: st, syn: syn, gen: e.lastGen[name] + 1}
+	if e.cfg.TrackPages {
+		d.acct = storage.NewAccountant()
+		st.SetAccountant(d.acct)
+	}
+	e.docs[name] = d
 }
 
 // Update applies an exclusive copy-on-write update to a document: fn
@@ -198,9 +215,8 @@ func (e *Engine) Update(name string, fn func(*storage.Store) (*storage.Store, er
 	if st == nil {
 		return fmt.Errorf("engine: update %q: fn returned nil store", name)
 	}
-	if e.cfg.TrackPages {
-		d.acct = storage.NewAccountant()
-		st.SetAccountant(d.acct)
+	if d.acct != nil {
+		st.SetAccountant(d.acct) // shared accountant: PagesTouched never drops backward
 	}
 	d.st = st
 	d.syn = stats.Build(st)
@@ -210,12 +226,18 @@ func (e *Engine) Update(name string, fn func(*storage.Store) (*storage.Store, er
 
 // Close removes a document from the catalog. Cached plans for it become
 // unreachable and age out of the LRU; in-flight queries finish normally.
+// The final generation is remembered so a later re-register of the same
+// name continues the sequence and can never be served those stale plans.
 func (e *Engine) Close(name string) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if _, ok := e.docs[name]; !ok {
+	d, ok := e.docs[name]
+	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownDocument, name)
 	}
+	d.mu.RLock()
+	e.lastGen[name] = d.gen
+	d.mu.RUnlock()
 	delete(e.docs, name)
 	return nil
 }
@@ -445,7 +467,7 @@ func (e *Engine) compiledPlan(src, doc string, gen uint64, opts QueryOptions, st
 	e.met.compilations.Add(1)
 	c, err := compile.Compile(src, opts.compileOptions(), st, syn)
 	if err != nil {
-		return nil, false, err
+		return nil, false, fmt.Errorf("%w: %w", ErrInvalidQuery, err)
 	}
 	p := &plan{op: c.Plan, diagnostics: c.Diagnostics, pruned: c.Pruned}
 	if e.cache.enabled() && !opts.NoCache {

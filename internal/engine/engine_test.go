@@ -194,6 +194,129 @@ func TestUpdateInvalidatesPlans(t *testing.T) {
 	}
 }
 
+// TestCloseReregisterDoesNotServeStalePlans: generations must stay
+// monotonic across Close + Register of the same name, or the cache key
+// (doc, gen, query, fp) would collide with plans compiled against the
+// old content — worst case a plan the analyzer pruned to provably-empty
+// against the old synopsis, returning zero rows from the new document.
+func TestCloseReregisterDoesNotServeStalePlans(t *testing.T) {
+	e := New(Config{})
+	ctx := context.Background()
+	if err := e.Register("d.xml", strings.NewReader(`<a><c/></a>`)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Query(ctx, "d.xml", `//b`, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Seq) != 0 {
+		t.Fatalf("got %d items from <a><c/></a>, want 0", len(res.Seq))
+	}
+	if err := e.Close("d.xml"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Register("d.xml", strings.NewReader(`<a><b/></a>`)); err != nil {
+		t.Fatal(err)
+	}
+	res, err = e.Query(ctx, "d.xml", `//b`, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cached {
+		t.Fatal("re-registered document served a plan cached against the old content")
+	}
+	if res.Generation <= 1 {
+		t.Fatalf("generation = %d after close + re-register, want > 1", res.Generation)
+	}
+	if len(res.Seq) != 1 {
+		t.Fatalf("got %d items from <a><b/></a>, want 1", len(res.Seq))
+	}
+}
+
+// TestPagesTouchedMonotonic: updates and re-registrations must not reset
+// the page-touch counter (rate/delta monitors rely on it never dropping).
+func TestPagesTouchedMonotonic(t *testing.T) {
+	e := New(Config{TrackPages: true})
+	ctx := context.Background()
+	if err := e.Register("bib.xml", strings.NewReader(bibXML)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Query(ctx, "bib.xml", `//book/title`, QueryOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	p1 := e.Stats().PagesTouched
+	if p1 == 0 {
+		t.Fatal("TrackPages on but PagesTouched = 0 after a query")
+	}
+	err := e.Update("bib.xml", func(st *storage.Store) (*storage.Store, error) {
+		frag := xmldoc.MustParse(`<book><title>More</title></book>`)
+		out, _, err := st.InsertChild(st.DocumentElement(), frag)
+		return out, err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 := e.Stats().PagesTouched; p2 < p1 {
+		t.Fatalf("PagesTouched dropped from %d to %d after Update", p1, p2)
+	}
+	if err := e.Register("bib.xml", strings.NewReader(bibXML)); err != nil {
+		t.Fatal(err)
+	}
+	if p3 := e.Stats().PagesTouched; p3 < p1 {
+		t.Fatalf("PagesTouched dropped from %d to %d after re-Register", p1, p3)
+	}
+	if _, err := e.Query(ctx, "bib.xml", `//book/title`, QueryOptions{NoCache: true}); err != nil {
+		t.Fatal(err)
+	}
+	if p4 := e.Stats().PagesTouched; p4 <= p1 {
+		t.Fatalf("PagesTouched = %d after post-replace query, want > %d", p4, p1)
+	}
+}
+
+// TestConcurrentRegisterAndRead races registration, close, and the read
+// paths (Query/Docs/Stats): a catalog entry must never be observable
+// with a nil store snapshot. Run under -race in CI.
+func TestConcurrentRegisterAndRead(t *testing.T) {
+	e := New(Config{TrackPages: true})
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		for i := 0; i < 40; i++ {
+			e.RegisterStore("r.xml", storage.MustLoad(bibXML))
+			if i%4 == 3 {
+				if err := e.Close("r.xml"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				_, err := e.Query(context.Background(), "r.xml", `//book`, QueryOptions{})
+				if err != nil && !errors.Is(err, ErrUnknownDocument) && !errors.Is(err, ErrSaturated) {
+					t.Error(err)
+					return
+				}
+				e.Docs()
+				e.Stats()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 func TestLRUEviction(t *testing.T) {
 	e := newBibEngine(t, Config{PlanCacheSize: 2})
 	ctx := context.Background()
@@ -438,6 +561,14 @@ func TestConcurrentMixedQueries(t *testing.T) {
 	}
 	if s.PagesTouched == 0 {
 		t.Fatal("TrackPages on but PagesTouched = 0")
+	}
+}
+
+func TestInvalidQueryError(t *testing.T) {
+	e := newBibEngine(t, Config{})
+	_, err := e.Query(context.Background(), "bib.xml", `//[`, QueryOptions{})
+	if !errors.Is(err, ErrInvalidQuery) {
+		t.Fatalf("err = %v, want ErrInvalidQuery", err)
 	}
 }
 
