@@ -6,6 +6,7 @@
 //	xq -doc bib.xml -explain '/bib/book[price < 50]'
 //	xq -doc bib.xml -check 'for $x in /bib/nosuch return $x'
 //	xq -doc site.xml -strategy twigstack '//item/name'
+//	xq -doc site.xml -cost -trace '//item/name'
 //	echo '<a><b/></a>' | xq '/a/b'
 //
 // Flags select the physical pattern-matching strategy, disable the
@@ -36,6 +37,7 @@ func run(stdin io.Reader, stdout, stderr io.Writer, argv []string) int {
 	noRewrite := fs.Bool("no-rewrites", false, "disable logical optimization")
 	noAnalyze := fs.Bool("no-analyze", false, "disable the static analyzer (diagnostics and pruning)")
 	costBased := fs.Bool("cost", false, "use the synopsis-driven cost model for strategy choice")
+	trace := fs.Bool("trace", false, "run the query and print the execution trace (EXPLAIN ANALYZE) instead of results")
 	metrics := fs.Bool("metrics", false, "print physical operator counters after the result")
 	indent := fs.Bool("indent", false, "pretty-print node results with indentation")
 	if err := fs.Parse(argv); err != nil {
@@ -67,7 +69,7 @@ func run(stdin io.Reader, stdout, stderr io.Writer, argv []string) int {
 
 	// StrictDocs: a doc() reference that cannot be resolved is an error,
 	// never a silent fallback to the default document.
-	opts := xqp.Options{DisableRewrites: *noRewrite, DisableAnalyzer: *noAnalyze, CostBased: *costBased, StrictDocs: true}
+	opts := xqp.Options{DisableRewrites: *noRewrite, DisableAnalyzer: *noAnalyze, CostBased: *costBased, Trace: *trace, StrictDocs: true}
 	switch *strategy {
 	case "auto":
 		opts.Strategy = xqp.Auto
@@ -127,6 +129,13 @@ func run(stdin io.Reader, stdout, stderr io.Writer, argv []string) int {
 	res, err := db.Run(q)
 	if err != nil {
 		return fail(err)
+	}
+	if *trace {
+		fmt.Fprintf(stdout, "%d item(s)\n", res.Len())
+		if res.Trace != nil {
+			fmt.Fprint(stdout, res.Trace.Format())
+		}
+		return 0
 	}
 	if *indent {
 		fmt.Fprintln(stdout, res.PrettyXML())

@@ -141,3 +141,21 @@ func TestUnreadableDocFile(t *testing.T) {
 		t.Errorf("stderr %q does not name the bad document", stderr)
 	}
 }
+
+func TestTraceFlag(t *testing.T) {
+	stdout, stderr, code := runXQ(t, auctionXML(t), "-cost", "-trace",
+		"//item[location][quantity]/name")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	// First line reports the item count; the rest is the operator trace
+	// with per-τ strategy records.
+	if !strings.HasPrefix(stdout, "30 item(s)\n") {
+		t.Errorf("missing count line:\n%s", stdout)
+	}
+	for _, want := range []string{"τ", "chosen=", "executed=", "est{", "actual{", "matches=30"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("trace output missing %q:\n%s", want, stdout)
+		}
+	}
+}

@@ -39,6 +39,7 @@ var registry = []struct {
 	{"E13", "hybrid NoK-fragment strategy", experiments.E13HybridStrategy},
 	{"E14", "static analyzer pruning", func() *experiments.Table { return experiments.E14AnalyzerPruning(8) }},
 	{"E15", "engine throughput vs workers/cache", func() *experiments.Table { return experiments.E15Throughput(200) }},
+	{"E16", "estimated vs actual cost accuracy", func() *experiments.Table { return experiments.E16EstimateAccuracy(8) }},
 }
 
 func main() {

@@ -10,10 +10,12 @@
 //
 //	POST /query        {"doc":"bib","query":"//book/title"}  → result JSON
 //	GET  /query?doc=bib&q=//book/title                       → same
+//	GET  /query?doc=bib&q=//book/title&trace=1&cost=1        → + execution trace
 //	GET  /docs                                               → catalog listing
 //	PUT  /docs/{name}  <XML body>                            → register/replace
 //	DELETE /docs/{name}                                      → close
 //	GET  /stats                                              → engine counters
+//	GET  /metrics                                            → Prometheus text format
 //	GET  /debug/vars                                         → expvar (incl. "xqp")
 //
 // Saturation maps to 503, unknown documents to 404, deadline expiry to
@@ -31,6 +33,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -103,9 +106,60 @@ func newServer(eng *xqp.Engine) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, eng.Stats())
 	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		writePrometheus(w, eng.Stats())
+	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	publishOnce(eng)
 	return mux
+}
+
+// writePrometheus renders the engine snapshot in the Prometheus text
+// exposition format (counters, gauges, and a cumulative latency
+// histogram), so the daemon is scrapeable without extra dependencies.
+func writePrometheus(w io.Writer, s xqp.EngineStats) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("xqp_served_total", "Queries completed successfully.", s.Served)
+	counter("xqp_failed_total", "Queries that ended in an error.", s.Failed)
+	counter("xqp_canceled_total", "Queries ended by cancellation or deadline.", s.Canceled)
+	counter("xqp_rejected_total", "Queries refused at admission (saturated).", s.Rejected)
+	counter("xqp_plan_cache_hits_total", "Plan-cache hits.", s.CacheHits)
+	counter("xqp_plan_cache_misses_total", "Plan-cache misses.", s.CacheMisses)
+	counter("xqp_compilations_total", "Full compile pipeline runs.", s.Compilations)
+	counter("xqp_strategy_fallbacks_total", "Tau dispatches where the executed strategy differed from the chooser's pick.", s.StrategyFallbacks)
+	fmt.Fprintf(w, "# HELP xqp_tau_total Tau dispatches by executed strategy.\n# TYPE xqp_tau_total counter\n")
+	for _, name := range []string{"nok", "twigstack", "pathstack", "naive", "hybrid"} {
+		fmt.Fprintf(w, "xqp_tau_total{strategy=%q} %d\n", name, s.TauByStrategy[name])
+	}
+	gauge("xqp_in_flight", "Queries currently executing.", int64(s.InFlight))
+	gauge("xqp_queued", "Queries waiting for a worker.", int64(s.Queued))
+	gauge("xqp_documents", "Registered documents.", int64(s.Documents))
+	gauge("xqp_cached_plans", "Compiled plans currently cached.", int64(s.CachedPlans))
+	fmt.Fprintf(w, "# HELP xqp_exec_seconds Query execution time.\n# TYPE xqp_exec_seconds histogram\n")
+	bounds := xqp.ExecHistBounds()
+	var cum int64
+	for i, ub := range bounds {
+		cum += s.ExecHist[i]
+		fmt.Fprintf(w, "xqp_exec_seconds_bucket{le=%q} %d\n", formatSeconds(ub), cum)
+	}
+	cum += s.ExecHist[len(bounds)]
+	fmt.Fprintf(w, "xqp_exec_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "xqp_exec_seconds_sum %g\n", s.ExecTime.Seconds())
+	fmt.Fprintf(w, "xqp_exec_seconds_count %d\n", cum)
+}
+
+func formatSeconds(d time.Duration) string {
+	return strconv.FormatFloat(d.Seconds(), 'g', -1, 64)
 }
 
 // publishGuard serializes publication on the process-global expvar
@@ -134,9 +188,12 @@ type queryRequest struct {
 	// Strategy: auto|nok|twigstack|pathstack|naive|hybrid.
 	Strategy  string `json:"strategy,omitempty"`
 	CostBased bool   `json:"cost,omitempty"`
-	NoCache   bool   `json:"no_cache,omitempty"`
-	NoRewrite bool   `json:"no_rewrites,omitempty"`
-	NoAnalyze bool   `json:"no_analyze,omitempty"`
+	// Trace attaches the per-operator execution trace (EXPLAIN ANALYZE)
+	// to the response.
+	Trace     bool `json:"trace,omitempty"`
+	NoCache   bool `json:"no_cache,omitempty"`
+	NoRewrite bool `json:"no_rewrites,omitempty"`
+	NoAnalyze bool `json:"no_analyze,omitempty"`
 	// TimeoutMS tightens (never extends) the server's default deadline.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
 }
@@ -149,6 +206,8 @@ type queryResponse struct {
 	QueueNanos  int64    `json:"queue_ns"`
 	ExecNanos   int64    `json:"exec_ns"`
 	Diagnostics []string `json:"diagnostics,omitempty"`
+	// Trace is the per-operator execution trace, present when requested.
+	Trace *xqp.TraceSpan `json:"trace,omitempty"`
 }
 
 type errorResponse struct {
@@ -159,8 +218,12 @@ func handleQuery(eng *xqp.Engine, w http.ResponseWriter, r *http.Request) {
 	var req queryRequest
 	switch r.Method {
 	case http.MethodGet:
-		req.Doc = r.URL.Query().Get("doc")
-		req.Query = r.URL.Query().Get("q")
+		q := r.URL.Query()
+		req.Doc = q.Get("doc")
+		req.Query = q.Get("q")
+		req.Strategy = q.Get("strategy")
+		req.CostBased = boolParam(q.Get("cost"))
+		req.Trace = boolParam(q.Get("trace"))
 	case http.MethodPost:
 		body, err := io.ReadAll(io.LimitReader(r.Body, maxQueryBody))
 		if err != nil {
@@ -181,6 +244,7 @@ func handleQuery(eng *xqp.Engine, w http.ResponseWriter, r *http.Request) {
 	}
 	opts := xqp.EngineQueryOptions{
 		CostBased:       req.CostBased,
+		Trace:           req.Trace,
 		NoCache:         req.NoCache,
 		DisableRewrites: req.NoRewrite,
 		DisableAnalyzer: req.NoAnalyze,
@@ -212,7 +276,20 @@ func handleQuery(eng *xqp.Engine, w http.ResponseWriter, r *http.Request) {
 	for _, d := range res.Diagnostics {
 		resp.Diagnostics = append(resp.Diagnostics, d.String())
 	}
+	if req.Trace {
+		resp.Trace = res.Trace
+	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// boolParam interprets a query-string flag: "1", "true", "yes" (any
+// case) enable it; everything else, including absence, does not.
+func boolParam(s string) bool {
+	switch strings.ToLower(s) {
+	case "1", "true", "yes":
+		return true
+	}
+	return false
 }
 
 func handleDocs(eng *xqp.Engine, w http.ResponseWriter, r *http.Request) {

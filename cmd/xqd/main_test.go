@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -218,6 +219,76 @@ func TestDocFlagParsing(t *testing.T) {
 	for _, bad := range []string{"", "nopath", "=x", "n="} {
 		if err := f.Set(bad); err == nil {
 			t.Errorf("Set(%q) accepted", bad)
+		}
+	}
+}
+
+func TestQueryTrace(t *testing.T) {
+	srv := newTestServer(t)
+	var resp queryResponse
+	getJSON(t, srv.URL+"/query?doc=bib&q="+`//book/title`+"&trace=1&cost=1", http.StatusOK, &resp)
+	if resp.Count != 2 {
+		t.Fatalf("count = %d", resp.Count)
+	}
+	if resp.Trace == nil {
+		t.Fatal("trace requested but absent")
+	}
+	var recs []*xqp.TraceStrategyRecord
+	resp.Trace.Visit(func(s *xqp.TraceSpan) { recs = append(recs, s.Strategies...) })
+	if len(recs) == 0 {
+		t.Fatal("trace carried no strategy records")
+	}
+	r := recs[0]
+	if r.Estimate == nil {
+		t.Errorf("strategy record lost the cost estimate: %+v", r)
+	}
+	if r.Matches != 2 {
+		t.Errorf("τ matches = %d, want 2", r.Matches)
+	}
+	// The raw JSON must spell strategies by name (greppable contract,
+	// exercised by the CI smoke test).
+	raw, err := http.Get(srv.URL + "/query?doc=bib&q=" + `//book/title` + "&trace=1&cost=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Body.Close()
+	b, _ := io.ReadAll(raw.Body)
+	if !strings.Contains(string(b), `"chosen"`) {
+		t.Errorf("trace JSON lacks \"chosen\": %s", b)
+	}
+	// Without trace=1 the response stays lean.
+	var lean queryResponse
+	getJSON(t, srv.URL+"/query?doc=bib&q="+`//book/title`, http.StatusOK, &lean)
+	if lean.Trace != nil {
+		t.Error("trace present without trace=1")
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+	getJSON(t, srv.URL+"/query?doc=bib&q="+`//book/title`+"&cost=1", http.StatusOK, nil)
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	body := string(b)
+	for _, want := range []string{
+		"xqp_served_total 1",
+		"xqp_tau_total{strategy=",
+		"xqp_strategy_fallbacks_total",
+		`xqp_exec_seconds_bucket{le="+Inf"} 1`,
+		"xqp_exec_seconds_count 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
 		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"io"
 	"strings"
+	"time"
 
 	"xqp/internal/engine"
 	"xqp/internal/storage"
@@ -28,6 +29,10 @@ type EngineQueryOptions = engine.QueryOptions
 
 // EngineStats is a point-in-time snapshot of an Engine's counters.
 type EngineStats = engine.Snapshot
+
+// ExecHistBounds reports the latency-histogram bucket upper bounds
+// matching EngineStats.ExecHist (the final bucket is unbounded).
+func ExecHistBounds() []time.Duration { return engine.ExecHistBounds() }
 
 // DocInfo describes one catalog entry of an Engine.
 type DocInfo = engine.DocInfo
@@ -100,6 +105,7 @@ func (e *Engine) QueryWith(ctx context.Context, doc, src string, opts EngineQuer
 	return &Result{
 		Seq:         res.Seq,
 		Metrics:     res.Metrics,
+		Trace:       res.Trace,
 		Cached:      res.Cached,
 		Generation:  res.Generation,
 		QueueWait:   res.QueueWait,

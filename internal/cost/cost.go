@@ -27,7 +27,11 @@ import (
 )
 
 // Tunable per-unit weights, calibrated roughly on the bundled benchmarks;
-// only their ratios matter to the choice.
+// only their ratios matter to the choice. Accuracy is tracked by
+// experiment E16 (estimated vs actual, read out of execution traces):
+// on the auction corpus at scale 8 the output-cardinality q-error is
+// mean 1.04 / max 1.23 over the standard query mix, i.e. estimates stay
+// within a ~25% factor of the actuals (see EXPERIMENTS.md).
 const (
 	// nokPerNode is the cost of visiting one document node in the NoK
 	// upward pass.
@@ -127,11 +131,18 @@ func (m *Model) Estimate(g *pattern.Graph) Estimate {
 	return e
 }
 
-// Choose picks the cheapest strategy for the pattern.
-func (m *Model) Choose(g *pattern.Graph) exec.Strategy {
-	e := m.Estimate(g)
+// Choose picks the cheapest strategy the executor can actually run.
+// rootAnchored reports whether the τ context is exactly the document
+// root: the holistic join matchers only run there, so for any other
+// context only NoK and Hybrid compete — the model must never recommend
+// a plan the executor would silently replace.
+func (m *Model) Choose(g *pattern.Graph, rootAnchored bool) exec.Strategy {
+	return chooseFrom(m.Estimate(g), g, rootAnchored)
+}
+
+func chooseFrom(e Estimate, g *pattern.Graph, rootAnchored bool) exec.Strategy {
 	switch {
-	case e.Join <= e.NoK && e.Join <= e.Hybrid:
+	case rootAnchored && e.Join <= e.NoK && e.Join <= e.Hybrid:
 		if g.IsPath() {
 			return exec.StrategyPathStack
 		}
@@ -143,18 +154,17 @@ func (m *Model) Choose(g *pattern.Graph) exec.Strategy {
 	}
 }
 
-// Chooser adapts the model to the executor's per-τ callback. Synopses are
-// cached per store.
-func Chooser() func(st *storage.Store, g *pattern.Graph) exec.Strategy {
-	models := map[*storage.Store]*Model{}
-	return func(st *storage.Store, g *pattern.Graph) exec.Strategy {
-		m, ok := models[st]
-		if !ok {
-			m = NewModel(st)
-			models[st] = m
-		}
-		return m.Choose(g)
-	}
+// Choice evaluates the model once and returns the strategy together
+// with the estimate it was decided from, in the shape the executor's
+// Options.Chooser hook and trace strategy records expect.
+func (m *Model) Choice(g *pattern.Graph, rootAnchored bool) exec.Choice {
+	e := m.Estimate(g)
+	return exec.Choice{Strategy: chooseFrom(e, g, rootAnchored), Estimate: e.ForExec()}
+}
+
+// ForExec converts the estimate to the executor's trace record shape.
+func (e Estimate) ForExec() *exec.CostEstimate {
+	return &exec.CostEstimate{NoK: e.NoK, Join: e.Join, Hybrid: e.Hybrid, OutputCard: e.OutputCard}
 }
 
 // String renders an estimate.

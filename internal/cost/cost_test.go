@@ -42,14 +42,14 @@ func TestSelectivityDrivesChoice(t *testing.T) {
 	// A very selective pattern (rare tags): joins scan tiny streams and
 	// must beat a full-document NoK scan.
 	selective := graphOf(t, "//profile/interest")
-	if got := m.Choose(selective); got == exec.StrategyNoK {
+	if got := m.Choose(selective, true); got == exec.StrategyNoK {
 		e := m.Estimate(selective)
 		t.Fatalf("selective pattern chose NoK: %s", e)
 	}
 	// A pattern touching a huge fraction of the document (wildcards)
 	// must prefer the single NoK scan.
 	broad := graphOf(t, "/site/*/*/*")
-	if got := m.Choose(broad); got != exec.StrategyNoK {
+	if got := m.Choose(broad, true); got != exec.StrategyNoK {
 		e := m.Estimate(broad)
 		t.Fatalf("broad pattern chose %v: %s", got, e)
 	}
@@ -59,23 +59,44 @@ func TestChoosePathVsTwig(t *testing.T) {
 	st := xmark.StoreAuction(4)
 	m := NewModel(st)
 	p := graphOf(t, "//profile/interest")
-	if got := m.Choose(p); got != exec.StrategyPathStack {
+	if got := m.Choose(p, true); got != exec.StrategyPathStack {
 		t.Fatalf("path pattern chose %v", got)
 	}
 	tw := graphOf(t, "//person[profile]/homepage")
-	if got := m.Choose(tw); got == exec.StrategyPathStack {
+	if got := m.Choose(tw, true); got == exec.StrategyPathStack {
 		t.Fatalf("branching pattern chose PathStack")
 	}
 }
 
-func TestChooserCachesSynopses(t *testing.T) {
-	ch := Chooser()
+func TestChooseRespectsAnchoring(t *testing.T) {
+	// The join matchers only run for root-anchored contexts; for any other
+	// context the model must never recommend them, however cheap the
+	// streams look — otherwise the executor would silently override it.
+	st := xmark.StoreAuction(4)
+	m := NewModel(st)
+	g := graphOf(t, "//profile/interest")
+	if got := m.Choose(g, true); got != exec.StrategyPathStack {
+		t.Fatalf("anchored selective pattern chose %v, want PathStack", got)
+	}
+	switch got := m.Choose(g, false); got {
+	case exec.StrategyPathStack, exec.StrategyTwigStack:
+		t.Fatalf("unanchored context chose join strategy %v", got)
+	}
+}
+
+func TestChoiceCarriesEstimate(t *testing.T) {
 	st := xmark.StoreBib(1)
+	m := NewModel(st)
 	g := graphOf(t, "/bib/book")
-	s1 := ch(st, g)
-	s2 := ch(st, g)
-	if s1 != s2 {
-		t.Fatal("chooser not deterministic")
+	c := m.Choice(g, true)
+	if c.Estimate == nil {
+		t.Fatal("Choice dropped the estimate")
+	}
+	if c.Estimate.NoK <= 0 || c.Estimate.Join <= 0 || c.Estimate.Hybrid <= 0 {
+		t.Fatalf("degenerate estimate in choice: %+v", c.Estimate)
+	}
+	if c.Strategy != chooseFrom(m.Estimate(g), g, true) {
+		t.Fatal("Choice strategy disagrees with Choose")
 	}
 }
 

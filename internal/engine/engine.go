@@ -298,6 +298,10 @@ type QueryOptions struct {
 	// NoCache bypasses the plan cache for this query (both lookup and
 	// fill) without disabling it engine-wide.
 	NoCache bool
+	// Trace collects an execution trace into Result.Trace. It does not
+	// shape the compiled plan, so it is deliberately not part of the
+	// plan-cache key (a traced query can hit a plan cached untraced).
+	Trace bool
 }
 
 func (o QueryOptions) compileOptions() compile.Options {
@@ -333,6 +337,8 @@ type Result struct {
 	ExecTime  time.Duration
 	// Diagnostics are the static analyzer's findings for the plan.
 	Diagnostics []analyze.Diagnostic
+	// Trace is the execution trace (nil unless QueryOptions.Trace).
+	Trace *exec.Span
 }
 
 // Query compiles (or fetches from cache) and executes src against the
@@ -404,16 +410,27 @@ func (e *Engine) run(ctx context.Context, doc, src string, opts QueryOptions, wa
 		Strategy:   opts.Strategy,
 		StrictDocs: true,
 		Interrupt:  ctx.Err,
+		Trace:      opts.Trace,
 	}
-	if opts.CostBased && eo.Strategy == exec.StrategyAuto {
-		// Per-query chooser over the snapshot synopsis: cost.Chooser's
-		// shared memo map is not safe across concurrent queries.
+	if opts.CostBased || opts.Trace {
+		// Model over the snapshot synopsis (immutable, so shared safely
+		// across this query's τ dispatches).
 		model := cost.NewModelWith(st, syn)
-		eo.Chooser = func(cs *storage.Store, g *pattern.Graph) exec.Strategy {
-			if cs != st {
-				return exec.StrategyNoK // secondary doc() targets: no synopsis at hand
+		if opts.CostBased && eo.Strategy == exec.StrategyAuto {
+			eo.Chooser = func(cs *storage.Store, g *pattern.Graph, rootAnchored bool) exec.Choice {
+				if cs != st {
+					return exec.Choice{Strategy: exec.StrategyNoK} // secondary doc() targets: no synopsis at hand
+				}
+				return model.Choice(g, rootAnchored)
 			}
-			return model.Choose(g)
+		}
+		if opts.Trace {
+			eo.Estimator = func(cs *storage.Store, g *pattern.Graph) *exec.CostEstimate {
+				if cs != st {
+					return nil
+				}
+				return model.Estimate(g).ForExec()
+			}
 		}
 	}
 	ex := exec.New(st, eo)
@@ -437,12 +454,19 @@ func (e *Engine) run(ctx context.Context, doc, src string, opts QueryOptions, wa
 	seq, err := ex.Eval(p.op, exec.Root())
 	elapsed := time.Since(start)
 	e.met.observeExec(elapsed)
+	e.met.strategyFallbacks.Add(ex.Metrics.StrategyFallbacks)
+	for i := range ex.Metrics.TauByStrategy {
+		if n := ex.Metrics.TauByStrategy[i]; n != 0 {
+			e.met.tauByStrategy[i].Add(n)
+		}
+	}
 	if err != nil {
 		return nil, err
 	}
 	return &Result{
 		Seq:         seq,
 		Metrics:     ex.Metrics,
+		Trace:       ex.Trace(),
 		Cached:      cached,
 		Generation:  gen,
 		QueueWait:   wait,

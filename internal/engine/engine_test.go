@@ -601,3 +601,77 @@ func TestUpdateErrors(t *testing.T) {
 		t.Fatalf("generation = %d after failed updates, want 1", e.Docs()[0].Generation)
 	}
 }
+
+func TestQueryTraceAndStrategyMetrics(t *testing.T) {
+	e := newBibEngine(t, Config{})
+	res, err := e.Query(context.Background(), "bib.xml", `//book/title`,
+		QueryOptions{CostBased: true, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil {
+		t.Fatal("no trace with Trace option")
+	}
+	var recs []*exec.StrategyRecord
+	res.Trace.Visit(func(s *exec.Span) { recs = append(recs, s.Strategies...) })
+	if len(recs) == 0 {
+		t.Fatal("trace carried no strategy records")
+	}
+	if recs[0].Estimate == nil {
+		t.Error("cost-based trace lost the estimate")
+	}
+	if recs[0].Matches != 2 {
+		t.Errorf("τ matches = %d, want 2", recs[0].Matches)
+	}
+	// Per-strategy dispatch counts surface in the snapshot.
+	s := e.Stats()
+	var total int64
+	for _, n := range s.TauByStrategy {
+		total += n
+	}
+	if total == 0 {
+		t.Fatalf("TauByStrategy empty: %+v", s)
+	}
+	// A traced re-run hits the plan cache: Trace must not fragment the
+	// cache key.
+	res2, err := e.Query(context.Background(), "bib.xml", `//book/title`,
+		QueryOptions{CostBased: true, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Cached {
+		t.Error("traced re-run missed the plan cache")
+	}
+	// An untraced run with otherwise equal options shares the plan too,
+	// and returns no trace.
+	res3, err := e.Query(context.Background(), "bib.xml", `//book/title`,
+		QueryOptions{CostBased: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res3.Cached {
+		t.Error("untraced run missed the plan cache")
+	}
+	if res3.Trace != nil {
+		t.Error("trace present without the option")
+	}
+}
+
+func TestStrategyFallbackMetric(t *testing.T) {
+	e := newBibEngine(t, Config{})
+	// Forcing TwigStack onto per-binding dispatches (non-root contexts)
+	// demotes them to NoK; the engine counters must record it.
+	_, err := e.Query(context.Background(), "bib.xml",
+		`for $b in /bib/book return $b/author/last`,
+		QueryOptions{Strategy: exec.StrategyTwigStack})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := e.Stats()
+	if s.StrategyFallbacks == 0 {
+		t.Fatalf("StrategyFallbacks = 0: %+v", s)
+	}
+	if s.TauByStrategy["nok"] == 0 {
+		t.Fatalf("fallback dispatches not tallied: %+v", s.TauByStrategy)
+	}
+}

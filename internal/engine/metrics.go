@@ -5,6 +5,8 @@ import (
 	"expvar"
 	"sync/atomic"
 	"time"
+
+	"xqp/internal/exec"
 )
 
 // execBuckets are the upper bounds of the execution-time histogram,
@@ -30,6 +32,11 @@ type metrics struct {
 	queueWaitNanos atomic.Int64
 	execNanos      atomic.Int64
 	execHist       [len(execBuckets) + 1]atomic.Int64
+	// tauByStrategy counts τ dispatches by the strategy actually executed;
+	// strategyFallbacks counts dispatches where that differed from the
+	// chooser's pick (see exec.Metrics).
+	tauByStrategy     [exec.NumStrategies]atomic.Int64
+	strategyFallbacks atomic.Int64
 }
 
 func (m *metrics) observeExec(d time.Duration) {
@@ -67,6 +74,13 @@ type Snapshot struct {
 	// ExecHist counts executions per latency bucket; bucket i covers
 	// (ExecHistBounds[i-1], ExecHistBounds[i]], the last is overflow.
 	ExecHist [len(execBuckets) + 1]int64 `json:"exec_hist"`
+	// TauByStrategy counts τ (tree-pattern match) dispatches by the
+	// strategy actually executed, keyed by strategy name; zero-count
+	// strategies are omitted. StrategyFallbacks counts dispatches where
+	// the executed strategy differed from the cost chooser's pick (e.g.
+	// a join plan demoted because the context was not root-anchored).
+	TauByStrategy     map[string]int64 `json:"tau_by_strategy,omitempty"`
+	StrategyFallbacks int64            `json:"strategy_fallbacks"`
 	// InFlight / Queued are instantaneous gauges.
 	InFlight int `json:"in_flight"`
 	Queued   int `json:"queued"`
@@ -110,9 +124,19 @@ func (e *Engine) Stats() Snapshot {
 		ExecTime:     time.Duration(e.met.execNanos.Load()),
 		InFlight:     len(e.slots),
 		Queued:       len(e.tickets) - len(e.slots),
+
+		StrategyFallbacks: e.met.strategyFallbacks.Load(),
 	}
 	for i := range s.ExecHist {
 		s.ExecHist[i] = e.met.execHist[i].Load()
+	}
+	for i := range e.met.tauByStrategy {
+		if n := e.met.tauByStrategy[i].Load(); n != 0 {
+			if s.TauByStrategy == nil {
+				s.TauByStrategy = make(map[string]int64)
+			}
+			s.TauByStrategy[exec.Strategy(i).String()] = n
+		}
 	}
 	if s.Queued < 0 {
 		s.Queued = 0 // tickets release before slots; brief skew possible

@@ -8,6 +8,7 @@ package exec
 
 import (
 	"fmt"
+	"time"
 
 	"xqp/internal/ast"
 	"xqp/internal/core"
@@ -16,6 +17,7 @@ import (
 	"xqp/internal/nok"
 	"xqp/internal/pattern"
 	"xqp/internal/storage"
+	"xqp/internal/tally"
 	"xqp/internal/value"
 )
 
@@ -53,8 +55,20 @@ type Options struct {
 	// pipelined evaluation (experiment E6). Never enable in production.
 	NoStepDedup bool
 	// Chooser, when non-nil and Strategy is StrategyAuto, picks the
-	// strategy per τ invocation (wired to the cost model).
-	Chooser func(st *storage.Store, g *pattern.Graph) Strategy
+	// strategy per τ invocation (wired to the cost model). rootAnchored
+	// reports whether the context is exactly the document root — the
+	// executor can only run the holistic join matchers there, so a
+	// model must not recommend them for other contexts.
+	Chooser func(st *storage.Store, g *pattern.Graph, rootAnchored bool) Choice
+	// Estimator, when non-nil and tracing, supplies cost estimates for
+	// strategy records even when no Chooser is installed (so a trace
+	// shows estimated-vs-actual without changing the executed plan).
+	// It is not consulted for strategy choice.
+	Estimator func(st *storage.Store, g *pattern.Graph) *CostEstimate
+	// Trace enables execution-trace collection: each top-level Eval
+	// builds a Span tree (see Trace()) mirroring the operator tree,
+	// with per-τ strategy records and actual-work counters.
+	Trace bool
 	// Interrupt, when non-nil, is polled at operator boundaries, between
 	// navigation steps, and periodically inside long NoK scans; the first
 	// non-nil error aborts the evaluation with that error. Wire it to
@@ -68,6 +82,10 @@ type Options struct {
 	StrictDocs bool
 }
 
+// NumStrategies is the number of Strategy values (for per-strategy
+// counter arrays).
+const NumStrategies = 6
+
 // Metrics counts physical operator invocations for the experiments.
 type Metrics struct {
 	TPMCalls  int64 // τ evaluations
@@ -76,6 +94,13 @@ type Metrics struct {
 	CtorCalls int64 // γ evaluations
 	EnvLeaves int64 // total FLWOR bindings enumerated
 	PredEvals int64 // predicate evaluations
+	// StrategyFallbacks counts τ dispatches where the chosen strategy
+	// could not run (join matchers on a non-root-anchored context,
+	// PathStack on a branching pattern) and another was executed.
+	StrategyFallbacks int64
+	// TauByStrategy counts τ dispatches per *executed* strategy,
+	// indexed by Strategy (TauByStrategy[StrategyAuto] stays 0).
+	TauByStrategy [NumStrategies]int64
 }
 
 // Engine evaluates plans against a catalog of documents.
@@ -87,6 +112,9 @@ type Engine struct {
 	Metrics Metrics
 	// predPlans caches predicate AST translations.
 	predPlans map[ast.Expr]core.Op
+	// tr collects the execution trace when Options.Trace is set; reset
+	// at each top-level Eval.
+	tr *traceState
 }
 
 // New returns an Engine whose default document is def (may be nil if all
@@ -132,8 +160,22 @@ func (c *Context) WithVars(vars map[string]value.Sequence) *Context {
 	return &nc
 }
 
-// Eval evaluates a plan in the given context.
+// Eval evaluates a plan in the given context. With Options.Trace set it
+// additionally records a Span per operator (see Trace); each top-level
+// call (the outermost recursion) starts a fresh trace.
 func (e *Engine) Eval(op core.Op, ctx *Context) (value.Sequence, error) {
+	if !e.opts.Trace {
+		return e.eval(op, ctx)
+	}
+	parent := e.enterSpan(op)
+	start := time.Now()
+	seq, err := e.eval(op, ctx)
+	e.exitSpan(e.tr.cur, parent, start, len(seq))
+	return seq, err
+}
+
+// eval is the untraced evaluation dispatch.
+func (e *Engine) eval(op core.Op, ctx *Context) (value.Sequence, error) {
 	if e.opts.Interrupt != nil {
 		if err := e.opts.Interrupt(); err != nil {
 			return nil, err
@@ -445,10 +487,17 @@ func (e *Engine) evalTPM(o *core.TPMOp, ctx *Context) (value.Sequence, error) {
 		perStore[n.Store] = append(perStore[n.Store], n.Ref)
 	}
 	var out value.Sequence
+	tracing := e.opts.Trace && e.tr != nil && e.tr.cur != nil
+	if tracing {
+		e.tr.cur.In += int64(len(input))
+	}
 	for _, st := range stores {
-		refs, err := e.matchStore(st, o.Graph, perStore[st])
+		refs, rec, err := e.matchStore(st, o.Graph, perStore[st])
 		if err != nil {
 			return nil, err
+		}
+		if tracing && rec != nil {
+			e.tr.cur.Strategies = append(e.tr.cur.Strategies, rec)
 		}
 		for _, r := range refs {
 			out = append(out, value.Node{Store: st, Ref: r})
@@ -457,42 +506,83 @@ func (e *Engine) evalTPM(o *core.TPMOp, ctx *Context) (value.Sequence, error) {
 	return out, nil
 }
 
-func (e *Engine) matchStore(st *storage.Store, g *pattern.Graph, contexts []storage.NodeRef) ([]storage.NodeRef, error) {
-	strat := e.opts.Strategy
-	if strat == StrategyAuto {
+// matchStore runs one τ dispatch against a single store. It decides the
+// strategy first (consulting the chooser with the context's anchoring,
+// so a cost model never recommends a plan the executor cannot run),
+// records any remaining fallback explicitly (Metrics.StrategyFallbacks
+// plus the trace's strategy record — never a silent override), and
+// counts the executed strategy in Metrics.TauByStrategy. The returned
+// record is nil unless tracing.
+func (e *Engine) matchStore(st *storage.Store, g *pattern.Graph, contexts []storage.NodeRef) ([]storage.NodeRef, *StrategyRecord, error) {
+	// The holistic join matchers evaluate the pattern from the document
+	// root; they can only serve a τ whose context is exactly the root.
+	rootAnchored := len(contexts) == 1 && contexts[0] == st.Root()
+	chosen := e.opts.Strategy
+	var est *CostEstimate
+	if chosen == StrategyAuto {
 		if e.opts.Chooser != nil {
-			strat = e.opts.Chooser(st, g)
+			c := e.opts.Chooser(st, g, rootAnchored)
+			chosen, est = c.Strategy, c.Estimate
 		} else {
-			strat = StrategyNoK
+			chosen = StrategyNoK
 		}
+	}
+	if est == nil && e.opts.Trace && e.opts.Estimator != nil {
+		est = e.opts.Estimator(st, g)
 	}
 	if e.opts.Interrupt != nil {
 		if err := e.opts.Interrupt(); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
-	// The join-based matchers only support root-anchored patterns; fall
-	// back to NoK otherwise.
-	rootAnchored := len(contexts) == 1 && contexts[0] == st.Root()
+	executed, reason := chosen, ""
 	switch {
-	case strat == StrategyNaive:
-		return naive.MatchOutput(st, g, contexts), nil
-	case strat == StrategyHybrid:
-		e.Metrics.JoinCalls += int64(g.Partition().JoinCount())
-		return nok.MatchHybridInterruptible(st, g, contexts, e.opts.Interrupt)
-	case strat == StrategyTwigStack && rootAnchored:
-		e.Metrics.JoinCalls += int64(g.VertexCount() - 1)
-		return join.TwigStack(st, g).Refs(), nil
-	case strat == StrategyPathStack && rootAnchored:
-		if g.IsPath() {
-			e.Metrics.JoinCalls += int64(g.VertexCount() - 1)
-			return join.PathStack(st, g).Refs(), nil
-		}
-		e.Metrics.JoinCalls += int64(g.VertexCount() - 1)
-		return join.TwigStack(st, g).Refs(), nil
-	default:
-		return nok.MatchOutputInterruptible(st, g, contexts, e.opts.Interrupt)
+	case (chosen == StrategyTwigStack || chosen == StrategyPathStack) && !rootAnchored:
+		executed, reason = StrategyNoK, "context not root-anchored"
+	case chosen == StrategyPathStack && !g.IsPath():
+		executed, reason = StrategyTwigStack, "pattern branches"
 	}
+	if executed != chosen {
+		e.Metrics.StrategyFallbacks++
+	}
+	e.Metrics.TauByStrategy[executed]++
+	var rec *StrategyRecord
+	var sink *tally.Counters
+	if e.opts.Trace {
+		rec = &StrategyRecord{
+			Chosen:   chosen,
+			Executed: executed,
+			Fallback: executed != chosen,
+			Reason:   reason,
+			Estimate: est,
+			Contexts: len(contexts),
+		}
+		sink = &rec.Actual
+	}
+	var refs []storage.NodeRef
+	var err error
+	switch executed {
+	case StrategyNaive:
+		refs = naive.MatchOutputCounted(st, g, contexts, sink)
+	case StrategyHybrid:
+		e.Metrics.JoinCalls += int64(g.Partition().JoinCount())
+		refs, err = nok.MatchHybridCounted(st, g, contexts, e.opts.Interrupt, sink)
+	case StrategyTwigStack:
+		e.Metrics.JoinCalls += int64(g.VertexCount() - 1)
+		refs = join.TwigStackCounted(st, g, sink).Refs()
+	case StrategyPathStack:
+		e.Metrics.JoinCalls += int64(g.VertexCount() - 1)
+		refs = join.PathStackCounted(st, g, sink).Refs()
+	default:
+		refs, err = nok.MatchOutputCounted(st, g, contexts, e.opts.Interrupt, sink)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	if rec != nil {
+		rec.Matches = len(refs)
+	}
+	return refs, rec, nil
 }
 
 // evalPath evaluates a πs-chain step by step: the unfused fallback for

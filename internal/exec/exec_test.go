@@ -10,6 +10,7 @@ import (
 	"xqp/internal/pattern"
 	"xqp/internal/rewrite"
 	"xqp/internal/storage"
+	"xqp/internal/tally"
 	"xqp/internal/value"
 )
 
@@ -83,9 +84,12 @@ func TestStrategyFallbacks(t *testing.T) {
 func TestChooserInvoked(t *testing.T) {
 	st := storage.MustLoad(bibXML)
 	called := 0
-	e := New(st, Options{Strategy: StrategyAuto, Chooser: func(s *storage.Store, g *pattern.Graph) Strategy {
+	e := New(st, Options{Strategy: StrategyAuto, Chooser: func(s *storage.Store, g *pattern.Graph, rootAnchored bool) Choice {
 		called++
-		return StrategyNoK
+		if !rootAnchored {
+			t.Error("root path context not reported as root-anchored")
+		}
+		return Choice{Strategy: StrategyNoK}
 	}})
 	ex, _ := parser.Parse(`/bib/book`)
 	plan, _ := core.Translate(ex)
@@ -437,5 +441,179 @@ func TestMetricsJoinCallsHybrid(t *testing.T) {
 	run(t, e, `//book//last`)
 	if e.Metrics.JoinCalls == 0 {
 		t.Error("hybrid did not record join calls")
+	}
+}
+
+func TestTraceShape(t *testing.T) {
+	e := engine(t, Options{Trace: true})
+	got := run(t, e, `for $b in /bib/book return $b/author/last`)
+	tr := e.Trace()
+	if tr == nil {
+		t.Fatal("Trace() nil with Options.Trace set")
+	}
+	// The root span reflects the top-level operator: one call whose
+	// output is the final result.
+	if tr.Calls != 1 || tr.Out != int64(len(got)) {
+		t.Fatalf("root span calls=%d out=%d, want 1/%d", tr.Calls, tr.Out, len(got))
+	}
+	// τ spans carry strategy records whose matches sum to the work the
+	// dispatches produced; every record reports an executed strategy.
+	var taus, matches int
+	tr.Visit(func(s *Span) {
+		for _, r := range s.Strategies {
+			taus++
+			matches += r.Matches
+			if r.Executed == StrategyAuto {
+				t.Errorf("span %q: executed strategy unresolved", s.Label)
+			}
+			if r.Contexts <= 0 {
+				t.Errorf("span %q: contexts = %d", s.Label, r.Contexts)
+			}
+		}
+	})
+	if taus == 0 {
+		t.Fatal("no strategy records in trace")
+	}
+	if matches < len(got) {
+		t.Errorf("τ matches total %d < result size %d", matches, len(got))
+	}
+	// Re-evaluated operators aggregate: the FLWOR return expression spans
+	// count calls, they do not duplicate nodes. The span count is bounded
+	// by the number of distinct plan operators.
+	ops := 0
+	tr.Visit(func(*Span) { ops++ })
+	if ops > 32 {
+		t.Errorf("span tree exploded: %d spans", ops)
+	}
+	// Format renders every span and strategy line.
+	f := tr.Format()
+	if !strings.Contains(f, "· strategy chosen=") {
+		t.Errorf("Format lacks strategy line:\n%s", f)
+	}
+	// A fresh Eval resets the trace rather than accumulating into it.
+	run(t, e, `/bib/book`)
+	if tr2 := e.Trace(); tr2 == tr {
+		t.Error("second Eval did not produce a fresh trace")
+	}
+}
+
+func TestTraceOffByDefault(t *testing.T) {
+	e := engine(t, Options{})
+	run(t, e, `/bib/book`)
+	if e.Trace() != nil {
+		t.Fatal("trace collected without Options.Trace")
+	}
+}
+
+func TestFallbackRecorded(t *testing.T) {
+	// Forcing a join strategy onto a non-root-anchored dispatch (the
+	// per-binding $b/author/last) must record the demotion: counter,
+	// per-strategy tally, and trace record all tell the truth.
+	e := engine(t, Options{Strategy: StrategyTwigStack, Trace: true})
+	got := run(t, e, `for $b in /bib/book return $b/author/last`)
+	if len(got) != 3 {
+		t.Fatalf("results = %d, want 3", len(got))
+	}
+	if e.Metrics.StrategyFallbacks == 0 {
+		t.Error("StrategyFallbacks not counted")
+	}
+	if e.Metrics.TauByStrategy[StrategyNoK] == 0 {
+		t.Error("fallback dispatches not tallied under NoK")
+	}
+	var found bool
+	e.Trace().Visit(func(s *Span) {
+		for _, r := range s.Strategies {
+			if r.Fallback {
+				found = true
+				if r.Chosen != StrategyTwigStack || r.Executed != StrategyNoK {
+					t.Errorf("fallback record %s→%s, want twigstack→nok", r.Chosen, r.Executed)
+				}
+				if r.Reason == "" {
+					t.Error("fallback without reason")
+				}
+			}
+		}
+	})
+	if !found {
+		t.Error("no fallback strategy record in trace")
+	}
+}
+
+func TestTraceActualsMatchStrategy(t *testing.T) {
+	// Each strategy family reports the counters it actually exercises:
+	// navigation counts nodes, joins count stream elements and solutions.
+	for _, tc := range []struct {
+		strat  Strategy
+		checks func(t *testing.T, c tally.Counters)
+	}{
+		{StrategyNoK, func(t *testing.T, c tally.Counters) {
+			if c.NodesVisited == 0 {
+				t.Error("NoK visited no nodes")
+			}
+		}},
+		{StrategyTwigStack, func(t *testing.T, c tally.Counters) {
+			if c.StreamElems == 0 || c.Solutions == 0 {
+				t.Errorf("TwigStack counters %+v", c)
+			}
+		}},
+		{StrategyNaive, func(t *testing.T, c tally.Counters) {
+			if c.NodesVisited == 0 {
+				t.Error("naive visited no nodes")
+			}
+		}},
+	} {
+		e := engine(t, Options{Strategy: tc.strat, Trace: true})
+		got := run(t, e, `/bib/book[author]/title`)
+		if len(got) != 2 {
+			t.Fatalf("%v: results = %d, want 2", tc.strat, len(got))
+		}
+		var rec *StrategyRecord
+		e.Trace().Visit(func(s *Span) {
+			for _, r := range s.Strategies {
+				rec = r
+			}
+		})
+		if rec == nil {
+			t.Fatalf("%v: no strategy record", tc.strat)
+		}
+		if rec.Executed != tc.strat {
+			t.Fatalf("%v: executed %v", tc.strat, rec.Executed)
+		}
+		if rec.Matches != 2 {
+			t.Errorf("%v: matches = %d, want 2", tc.strat, rec.Matches)
+		}
+		tc.checks(t, rec.Actual)
+	}
+}
+
+func TestTraceMirrorsPlan(t *testing.T) {
+	// Every span label is the label of a plan operator: the trace tree is
+	// a (sub)tree of the Explain tree — operators can be skipped (not
+	// evaluated), never invented.
+	e := engine(t, Options{Trace: true})
+	ex, err := parser.Parse(`for $b in /bib/book where $b/price < 50 return $b/title`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := core.Translate(ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, _ = rewrite.Rewrite(plan, rewrite.All())
+	if _, err := e.Eval(plan, Root()); err != nil {
+		t.Fatal(err)
+	}
+	labels := map[string]bool{}
+	core.Walk(plan, func(op core.Op) bool {
+		labels[op.Label()] = true
+		return true
+	})
+	e.Trace().Visit(func(s *Span) {
+		if !labels[s.Label] {
+			t.Errorf("span %q has no plan operator", s.Label)
+		}
+	})
+	if e.Trace().Label != plan.Label() {
+		t.Errorf("root span %q != plan root %q", e.Trace().Label, plan.Label())
 	}
 }

@@ -268,7 +268,7 @@ func E4Selectivity() *Table {
 			winner = "join"
 		}
 		choice := "NoK"
-		if c := model.Choose(g); c != exec.StrategyNoK {
+		if c := model.Choose(g, true); c != exec.StrategyNoK {
 			choice = "join"
 		}
 		agree := "yes"
@@ -517,6 +517,7 @@ func RunAll() []*Table {
 		E13HybridStrategy(),
 		E14AnalyzerPruning(8),
 		E15Throughput(50),
+		E16EstimateAccuracy(4),
 	}
 }
 

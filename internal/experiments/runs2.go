@@ -147,6 +147,78 @@ func E14AnalyzerPruning(scale int) *Table {
 	return t
 }
 
+// E16EstimateAccuracy compares the cost model's estimated output
+// cardinalities against the actual match counts observed by the
+// execution-trace layer (Options.Trace), over the auction corpus. The
+// error metric is the q-error max(est/act, act/est), the standard
+// factor-off measure for cardinality estimators; estimates and actuals
+// come from the same run, read out of the per-τ strategy records.
+// Claim: the synopsis-driven estimates stay within a small constant
+// factor on path patterns, which is what makes the strategy choice in
+// E4 reliable.
+func E16EstimateAccuracy(scale int) *Table {
+	t := &Table{ID: "E16", Title: fmt.Sprintf("Estimated vs actual cardinality/work (auction scale %d)", scale),
+		Columns: []string{"query", "strategy", "est card", "actual", "q-error", "nodes", "stream", "sols"}}
+	db := xqp.FromStore(xmark.StoreAuction(scale))
+	queries := []string{
+		"/site/regions/*/item/name",
+		"//profile/interest",
+		"//item[location][quantity]/name",
+		"//open_auction[bidder]//increase",
+		"//person/name",
+		"//listitem//text",
+	}
+	var qerrs []float64
+	for _, q := range queries {
+		res, err := db.QueryWith(q, xqp.Options{CostBased: true, Trace: true})
+		if err != nil {
+			panic(err)
+		}
+		var rec *xqp.TraceStrategyRecord
+		res.Trace.Visit(func(s *xqp.TraceSpan) {
+			for _, r := range s.Strategies {
+				if rec == nil {
+					rec = r
+				}
+			}
+		})
+		if rec == nil || rec.Estimate == nil {
+			panic("E16: trace carried no strategy record for " + q)
+		}
+		qe := qerror(rec.Estimate.OutputCard, float64(rec.Matches))
+		qerrs = append(qerrs, qe)
+		t.AddRow(q, rec.Executed.String(),
+			fmt.Sprintf("%.0f", rec.Estimate.OutputCard), rec.Matches,
+			fmt.Sprintf("%.2f", qe),
+			rec.Actual.NodesVisited, rec.Actual.StreamElems, rec.Actual.Solutions)
+	}
+	var sum, max float64
+	for _, qe := range qerrs {
+		sum += qe
+		if qe > max {
+			max = qe
+		}
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("q-error = max(est/act, act/est); mean %.2f, max %.2f over %d queries",
+			sum/float64(len(qerrs)), max, len(qerrs)))
+	return t
+}
+
+// qerror is the symmetric factor-off error, ≥ 1, guarding zeros.
+func qerror(est, act float64) float64 {
+	if est < 1 {
+		est = 1
+	}
+	if act < 1 {
+		act = 1
+	}
+	if est > act {
+		return est / act
+	}
+	return act / est
+}
+
 func firstLine(s string) string {
 	if i := strings.IndexByte(s, '\n'); i >= 0 {
 		return s[:i] + " …"

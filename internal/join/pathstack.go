@@ -3,6 +3,7 @@ package join
 import (
 	"xqp/internal/pattern"
 	"xqp/internal/storage"
+	"xqp/internal/tally"
 )
 
 // stackEntry is one element on a vertex stack, with a pointer to the top
@@ -22,6 +23,13 @@ type stackEntry struct {
 // of the path) in document order. Parent-child edges are verified during
 // solution enumeration (the stacks themselves encode only containment).
 func PathStack(st *storage.Store, g *pattern.Graph) Stream {
+	return PathStackCounted(st, g, nil)
+}
+
+// PathStackCounted is PathStack reporting actual work into c (when
+// non-nil): stream elements consumed by the merge pass and chain
+// solutions enumerated from the stacks.
+func PathStackCounted(st *storage.Store, g *pattern.Graph, c *tally.Counters) Stream {
 	if !g.IsPath() {
 		panic("join: PathStack requires a non-branching pattern")
 	}
@@ -90,6 +98,12 @@ func PathStack(st *storage.Store, g *pattern.Graph) Stream {
 			}
 			stacks[leaf] = stacks[leaf][:len(stacks[leaf])-1]
 		}
+	}
+	if c != nil {
+		for _, cur := range curs {
+			c.StreamElems += int64(cur.pos)
+		}
+		c.Solutions += int64(len(out))
 	}
 	sortStream(out)
 	return out

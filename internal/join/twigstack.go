@@ -7,6 +7,7 @@ import (
 
 	"xqp/internal/pattern"
 	"xqp/internal/storage"
+	"xqp/internal/tally"
 )
 
 const maxStart = int32(1<<31 - 1)
@@ -22,9 +23,25 @@ const maxStart = int32(1<<31 - 1)
 // It returns the distinct matches of the pattern's output vertex in
 // document order.
 func TwigStack(st *storage.Store, g *pattern.Graph) Stream {
+	return TwigStackCounted(st, g, nil)
+}
+
+// TwigStackCounted is TwigStack reporting actual work into c (when
+// non-nil): stream elements consumed by the coordinated cursors and
+// intermediate root-to-leaf path solutions materialized for the merge.
+func TwigStackCounted(st *storage.Store, g *pattern.Graph, c *tally.Counters) Stream {
 	t := newTwig(st, g)
 	t.run()
-	return t.merge()
+	out := t.merge()
+	if c != nil {
+		for _, cur := range t.curs {
+			c.StreamElems += int64(cur.pos)
+		}
+		for _, l := range t.leaves {
+			c.Solutions += int64(len(t.sols[l]))
+		}
+	}
+	return out
 }
 
 type twig struct {

@@ -14,6 +14,7 @@ import (
 
 	"xqp/internal/pattern"
 	"xqp/internal/storage"
+	"xqp/internal/tally"
 )
 
 type evaluator struct {
@@ -22,6 +23,9 @@ type evaluator struct {
 	contexts map[storage.NodeRef]bool
 	downMemo map[key]bool
 	bindMemo map[key]bool
+	// visits counts constraint tests (the navigational work actually
+	// performed, memo hits excluded) for execution traces.
+	visits int64
 }
 
 type key struct {
@@ -32,6 +36,12 @@ type key struct {
 // MatchOutput returns the output-vertex matches of the pattern graph in
 // document order, evaluated by brute-force navigation.
 func MatchOutput(st *storage.Store, g *pattern.Graph, contexts []storage.NodeRef) []storage.NodeRef {
+	return MatchOutputCounted(st, g, contexts, nil)
+}
+
+// MatchOutputCounted is MatchOutput reporting actual work into c (when
+// non-nil): every un-memoized constraint test counts as a node visit.
+func MatchOutputCounted(st *storage.Store, g *pattern.Graph, contexts []storage.NodeRef, c *tally.Counters) []storage.NodeRef {
 	e := &evaluator{
 		st:       st,
 		g:        g,
@@ -39,8 +49,8 @@ func MatchOutput(st *storage.Store, g *pattern.Graph, contexts []storage.NodeRef
 		downMemo: map[key]bool{},
 		bindMemo: map[key]bool{},
 	}
-	for _, c := range contexts {
-		e.contexts[c] = true
+	for _, ctx := range contexts {
+		e.contexts[ctx] = true
 	}
 	var out []storage.NodeRef
 	for n := storage.NodeRef(0); int(n) < st.NodeCount(); n++ {
@@ -49,12 +59,16 @@ func MatchOutput(st *storage.Store, g *pattern.Graph, contexts []storage.NodeRef
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	if c != nil {
+		c.NodesVisited += e.visits
+	}
 	return out
 }
 
 // test applies the vertex's node test and value predicates; the anchor
 // (vertex 0) additionally requires the node to be a context node.
 func (e *evaluator) test(n storage.NodeRef, v pattern.VertexID) bool {
+	e.visits++
 	if v == 0 && !e.contexts[n] {
 		return false
 	}

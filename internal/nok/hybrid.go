@@ -6,6 +6,7 @@ import (
 	"xqp/internal/join"
 	"xqp/internal/pattern"
 	"xqp/internal/storage"
+	"xqp/internal/tally"
 	"xqp/internal/vocab"
 )
 
@@ -25,12 +26,23 @@ func MatchHybrid(st *storage.Store, g *pattern.Graph, contexts []storage.NodeRef
 
 // MatchHybridInterruptible is MatchHybrid with a cancellation poll (see
 // MatchInterruptible).
-func MatchHybridInterruptible(st *storage.Store, g *pattern.Graph, contexts []storage.NodeRef, interrupt func() error) (refs []storage.NodeRef, err error) {
+func MatchHybridInterruptible(st *storage.Store, g *pattern.Graph, contexts []storage.NodeRef, interrupt func() error) ([]storage.NodeRef, error) {
+	return MatchHybridCounted(st, g, contexts, interrupt, nil)
+}
+
+// MatchHybridCounted is MatchHybridInterruptible reporting actual work
+// into c (when non-nil): nodes visited by fragment navigation, stream
+// elements fed into the glue structural joins, and the intermediate
+// solutions those joins produce.
+func MatchHybridCounted(st *storage.Store, g *pattern.Graph, contexts []storage.NodeRef, interrupt func() error, c *tally.Counters) (refs []storage.NodeRef, err error) {
 	m, err := newMatcher(st, g)
 	if err != nil {
 		return nil, err
 	}
 	m.interrupt = interrupt
+	if c != nil {
+		defer func() { c.NodesVisited += m.visits }()
+	}
 	defer catchInterrupt(&err)
 	for _, absent := range m.absent {
 		if absent {
@@ -56,7 +68,13 @@ func MatchHybridInterruptible(st *storage.Store, g *pattern.Graph, contexts []st
 		linkFrom := h.linkSource(prev, cur)
 		b := h.evalFragment(prev, roots)
 		fromRefs := b[linkFrom]
+		if c != nil {
+			c.StreamElems += int64(len(fromRefs) + len(h.validRoots[cur]))
+		}
 		roots = intersectDescendants(st, fromRefs, h.validRoots[cur])
+		if c != nil {
+			c.Solutions += int64(len(roots))
+		}
 	}
 	final := h.evalFragment(chain[len(chain)-1], roots)
 	return final[g.Output], nil

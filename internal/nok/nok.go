@@ -31,6 +31,7 @@ import (
 	"xqp/internal/ast"
 	"xqp/internal/pattern"
 	"xqp/internal/storage"
+	"xqp/internal/tally"
 	"xqp/internal/value"
 	"xqp/internal/vocab"
 	"xqp/internal/xmldoc"
@@ -71,12 +72,22 @@ func MatchOutput(st *storage.Store, g *pattern.Graph, contexts []storage.NodeRef
 
 // MatchOutputInterruptible is MatchOutput with a cancellation poll (see
 // MatchInterruptible).
-func MatchOutputInterruptible(st *storage.Store, g *pattern.Graph, contexts []storage.NodeRef, interrupt func() error) (refs []storage.NodeRef, err error) {
+func MatchOutputInterruptible(st *storage.Store, g *pattern.Graph, contexts []storage.NodeRef, interrupt func() error) ([]storage.NodeRef, error) {
+	return MatchOutputCounted(st, g, contexts, interrupt, nil)
+}
+
+// MatchOutputCounted is MatchOutputInterruptible reporting the actual
+// work into c (when non-nil): every document node visited by the
+// matcher's passes counts toward c.NodesVisited.
+func MatchOutputCounted(st *storage.Store, g *pattern.Graph, contexts []storage.NodeRef, interrupt func() error, c *tally.Counters) (refs []storage.NodeRef, err error) {
 	m, err := newMatcher(st, g)
 	if err != nil {
 		return nil, err
 	}
 	m.interrupt = interrupt
+	if c != nil {
+		defer func() { c.NodesVisited += m.visits }()
+	}
 	defer catchInterrupt(&err)
 	want := []pattern.VertexID{g.Output}
 	b := m.run(contexts, want)
@@ -103,14 +114,16 @@ func catchInterrupt(err *error) {
 	}
 }
 
-// poll checks the interrupt every pollEvery calls and aborts the matcher
-// by panicking (recovered in the public entry points).
+// poll counts one node visit and checks the interrupt every pollEvery
+// visits, aborting the matcher by panicking (recovered in the public
+// entry points). The visit count doubles as the NodesVisited actual for
+// execution traces.
 func (m *matcher) poll() {
+	m.visits++
 	if m.interrupt == nil {
 		return
 	}
-	m.tick++
-	if m.tick%pollEvery != 0 {
+	if m.visits%pollEvery != 0 {
 		return
 	}
 	if err := m.interrupt(); err != nil {
@@ -169,10 +182,10 @@ type matcher struct {
 	// small subtree (e.g. a per-binding relative pattern).
 	smask []uint64
 	base  storage.NodeRef
-	// interrupt (optional) aborts long scans; tick counts node visits
-	// between polls.
+	// interrupt (optional) aborts long scans; visits counts node visits
+	// (poll cadence and the traces' NodesVisited actual).
 	interrupt func() error
-	tick      int
+	visits    int64
 }
 
 func (m *matcher) s(n storage.NodeRef) uint64       { return m.smask[n-m.base] }

@@ -1,0 +1,29 @@
+// Package tally defines the per-operator actual-work counters that the
+// physical matchers (nok, join, naive) report into execution traces. It
+// sits below every other engine package so that the matchers can fill
+// counters without importing the executor (which imports them).
+package tally
+
+// Counters accumulates the actual work one τ evaluation performed, in
+// the units the cost model estimates: document nodes visited by
+// navigation, stream elements pushed through join stacks, and
+// intermediate path solutions materialized by merge phases.
+type Counters struct {
+	// NodesVisited counts document nodes touched by navigational passes
+	// (NoK upward/downward/top-down scans, naive constraint tests).
+	NodesVisited int64 `json:"nodes_visited"`
+	// StreamElems counts tag-stream elements consumed by join cursors
+	// (TwigStack/PathStack advances, Stack-Tree join inputs).
+	StreamElems int64 `json:"stream_elems"`
+	// Solutions counts intermediate path solutions materialized and
+	// merged (TwigStack per-leaf solutions, PathStack chain outputs,
+	// hybrid fragment-glue join outputs).
+	Solutions int64 `json:"solutions"`
+}
+
+// Add accumulates d into c.
+func (c *Counters) Add(d Counters) {
+	c.NodesVisited += d.NodesVisited
+	c.StreamElems += d.StreamElems
+	c.Solutions += d.Solutions
+}

@@ -23,6 +23,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"xqp/internal/analyze"
@@ -81,17 +82,33 @@ type Options struct {
 	// StrictDocs makes doc() references to unregistered documents an
 	// execution error instead of falling back to the default document.
 	StrictDocs bool
+	// Trace collects an execution trace (EXPLAIN ANALYZE): Result.Trace
+	// holds a span tree mirroring the physical operator tree, with
+	// per-operator wall time and cardinalities and per-τ strategy
+	// records (estimates, chosen vs. executed strategy, actual work).
+	Trace bool
 }
 
 // Diagnostic is a static-analyzer finding (see ANALYZER.md for the codes).
 type Diagnostic = analyze.Diagnostic
 
 // Database holds a primary document and a catalog of named documents.
+//
+// Concurrency: a Database is safe for concurrent use. Queries
+// (Compile/Run/Query/QueryWith, including cost-based ones) may run in
+// parallel with each other and with catalog mutations (AddDocument);
+// each query snapshots the catalog at Run time. Cost models and
+// synopses are built eagerly when a document is loaded (Open,
+// AddDocument), never lazily on the query path, so the read path takes
+// only a read lock.
 type Database struct {
+	mu      sync.RWMutex
 	store   *storage.Store
 	catalog map[string]*storage.Store
-	chooser func(*storage.Store, *pattern.Graph) exec.Strategy
-	syn     *stats.Synopsis
+	// models holds one cost model (store + synopsis) per registered
+	// store, keyed by identity; entries are dropped when a catalog URI
+	// is replaced, so closed stores are not retained.
+	models map[*storage.Store]*cost.Model
 }
 
 // Open loads the primary document from r.
@@ -125,11 +142,19 @@ func OpenFile(path string) (*Database, error) {
 	return db, nil
 }
 
-// FromStore wraps an existing document store.
+// FromStore wraps an existing document store, building its synopsis and
+// cost model up front.
 func FromStore(st *storage.Store) *Database {
-	db := &Database{store: st, catalog: map[string]*storage.Store{}}
-	if st != nil && st.URI != "" {
-		db.catalog[st.URI] = st
+	db := &Database{
+		store:   st,
+		catalog: map[string]*storage.Store{},
+		models:  map[*storage.Store]*cost.Model{},
+	}
+	if st != nil {
+		db.models[st] = cost.NewModel(st)
+		if st.URI != "" {
+			db.catalog[st.URI] = st
+		}
 	}
 	return db
 }
@@ -138,14 +163,22 @@ func FromStore(st *storage.Store) *Database {
 // advanced integrations).
 func (db *Database) Store() *storage.Store { return db.store }
 
-// AddDocument registers an additional document under a URI for doc().
+// AddDocument registers an additional document under a URI for doc(),
+// building its synopsis and cost model. Replacing a URI releases the
+// previous store's model.
 func (db *Database) AddDocument(uri string, r io.Reader) error {
 	st, err := storage.LoadReader(r)
 	if err != nil {
 		return err
 	}
 	st.URI = uri
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if old, ok := db.catalog[uri]; ok && old != db.store {
+		delete(db.models, old)
+	}
 	db.catalog[uri] = st
+	db.models[st] = cost.NewModel(st)
 	return nil
 }
 
@@ -156,6 +189,8 @@ func (db *Database) AddDocumentString(uri, xml string) error {
 
 // HasDocument reports whether a document is registered under the URI.
 func (db *Database) HasDocument(uri string) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	_, ok := db.catalog[uri]
 	return ok
 }
@@ -191,12 +226,40 @@ func (db *Database) Compile(src string, opts Options) (*Query, error) {
 	return compileQuery(src, opts, db.store, db.synopsis())
 }
 
-// synopsis lazily builds (and caches) the primary document's synopsis.
+// synopsis returns the primary document's synopsis (built at load time;
+// nil without a primary document).
 func (db *Database) synopsis() *stats.Synopsis {
-	if db.syn == nil && db.store != nil {
-		db.syn = stats.Build(db.store)
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if m, ok := db.models[db.store]; ok {
+		return m.Synopsis()
 	}
-	return db.syn
+	return nil
+}
+
+// choice is the executor's cost-based chooser hook: it resolves the
+// model for the τ's store under a read lock. Stores without a model
+// (γ-constructed temporaries) run NoK.
+func (db *Database) choice(st *storage.Store, g *pattern.Graph, rootAnchored bool) exec.Choice {
+	db.mu.RLock()
+	m := db.models[st]
+	db.mu.RUnlock()
+	if m == nil {
+		return exec.Choice{Strategy: exec.StrategyNoK}
+	}
+	return m.Choice(g, rootAnchored)
+}
+
+// estimate is the executor's trace estimator hook: cost estimates for
+// strategy records without influencing the executed strategy.
+func (db *Database) estimate(st *storage.Store, g *pattern.Graph) *exec.CostEstimate {
+	db.mu.RLock()
+	m := db.models[st]
+	db.mu.RUnlock()
+	if m == nil {
+		return nil
+	}
+	return m.Estimate(g).ForExec()
 }
 
 func compileQuery(src string, opts Options, st *storage.Store, syn *stats.Synopsis) (*Query, error) {
@@ -270,28 +333,37 @@ func (q *Query) ExplainAnnotated() string {
 	})
 }
 
-// Run executes a compiled query against the database.
+// Run executes a compiled query against the database. Safe for
+// concurrent use: each run gets its own executor over a catalog
+// snapshot, and the shared cost models are read-only after load.
 func (db *Database) Run(q *Query) (*Result, error) {
 	eo := exec.Options{
 		Strategy:    q.opts.Strategy,
 		NoStepDedup: q.opts.NoStepDedup,
 		StrictDocs:  q.opts.StrictDocs,
+		Trace:       q.opts.Trace,
 	}
 	if q.opts.CostBased && eo.Strategy == Auto {
-		if db.chooser == nil {
-			db.chooser = cost.Chooser()
-		}
-		eo.Chooser = db.chooser
+		eo.Chooser = db.choice
 	}
-	eng := exec.New(db.store, eo)
+	if q.opts.Trace {
+		eo.Estimator = db.estimate
+	}
+	db.mu.RLock()
+	catalog := make(map[string]*storage.Store, len(db.catalog))
 	for uri, st := range db.catalog {
+		catalog[uri] = st
+	}
+	db.mu.RUnlock()
+	eng := exec.New(db.store, eo)
+	for uri, st := range catalog {
 		eng.AddDocument(uri, st)
 	}
 	seq, err := eng.Eval(q.Plan, exec.Root())
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Seq: seq, Metrics: eng.Metrics}, nil
+	return &Result{Seq: seq, Metrics: eng.Metrics, Trace: eng.Trace()}, nil
 }
 
 // Query compiles and runs a query with default options.
@@ -317,6 +389,21 @@ func (db *Database) Explain(src string) (string, error) {
 	return q.Explain(), nil
 }
 
+// ExplainAnalyze compiles and executes a query with tracing and the
+// cost model enabled, and renders the execution trace: per operator the
+// call count, output cardinality and wall time, and per τ the cost
+// estimates, chosen and executed strategies, and actual work counters.
+func (db *Database) ExplainAnalyze(src string) (string, error) {
+	res, err := db.QueryWith(src, Options{CostBased: true, Trace: true})
+	if err != nil {
+		return "", err
+	}
+	if res.Trace == nil {
+		return "", fmt.Errorf("xqp: no trace collected")
+	}
+	return res.Trace.Format(), nil
+}
+
 // Result is a query result: a sequence of items.
 type Result struct {
 	Seq value.Sequence
@@ -333,7 +420,19 @@ type Result struct {
 	ExecTime  time.Duration
 	// Diagnostics are the static analyzer's findings (Engine queries).
 	Diagnostics []Diagnostic
+	// Trace is the execution trace (nil unless Options.Trace /
+	// EngineQueryOptions.Trace was set): a span tree mirroring the
+	// physical operator tree; see TraceSpan.
+	Trace *TraceSpan
 }
+
+// TraceSpan is one node of an execution trace; see Options.Trace and
+// Database.ExplainAnalyze.
+type TraceSpan = exec.Span
+
+// TraceStrategyRecord documents one τ dispatch inside a trace: the cost
+// estimates, the chosen vs. executed strategy, and actual work.
+type TraceStrategyRecord = exec.StrategyRecord
 
 // Len reports the number of items.
 func (r *Result) Len() int { return len(r.Seq) }
