@@ -7,6 +7,7 @@
 //	xq -doc bib.xml -check 'for $x in /bib/nosuch return $x'
 //	xq -doc site.xml -strategy twigstack '//item/name'
 //	xq -doc site.xml -cost -trace '//item/name'
+//	xq -doc site.xml -j 4 '//item/name'
 //	echo '<a><b/></a>' | xq '/a/b'
 //
 // Flags select the physical pattern-matching strategy, disable the
@@ -40,6 +41,7 @@ func run(stdin io.Reader, stdout, stderr io.Writer, argv []string) int {
 	trace := fs.Bool("trace", false, "run the query and print the execution trace (EXPLAIN ANALYZE) instead of results")
 	metrics := fs.Bool("metrics", false, "print physical operator counters after the result")
 	indent := fs.Bool("indent", false, "pretty-print node results with indentation")
+	workers := fs.Int("j", 0, "worker budget for partitioned pattern matching (0 or 1: serial, -1: one per CPU)")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
@@ -69,7 +71,7 @@ func run(stdin io.Reader, stdout, stderr io.Writer, argv []string) int {
 
 	// StrictDocs: a doc() reference that cannot be resolved is an error,
 	// never a silent fallback to the default document.
-	opts := xqp.Options{DisableRewrites: *noRewrite, DisableAnalyzer: *noAnalyze, CostBased: *costBased, Trace: *trace, StrictDocs: true}
+	opts := xqp.Options{DisableRewrites: *noRewrite, DisableAnalyzer: *noAnalyze, CostBased: *costBased, Trace: *trace, StrictDocs: true, Parallelism: *workers}
 	switch *strategy {
 	case "auto":
 		opts.Strategy = xqp.Auto

@@ -7,9 +7,12 @@
 //	xqbench                  # run every experiment at default scales
 //	xqbench -run E2,E4       # run selected experiments
 //	xqbench -list            # list experiment ids
+//	xqbench -run E17 -json BENCH_parallel.json
+//	                         # also record the raw tables as JSON
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -40,11 +43,14 @@ var registry = []struct {
 	{"E14", "static analyzer pruning", func() *experiments.Table { return experiments.E14AnalyzerPruning(8) }},
 	{"E15", "engine throughput vs workers/cache", func() *experiments.Table { return experiments.E15Throughput(200) }},
 	{"E16", "estimated vs actual cost accuracy", func() *experiments.Table { return experiments.E16EstimateAccuracy(8) }},
+	{"E17", "parallel vs serial pattern matching", func() *experiments.Table { return experiments.E17Parallel([]int{4, 8, 16}, 4) }},
+	{"E17B", "serial stability after partition hooks", func() *experiments.Table { return experiments.E17SerialRegression(8) }},
 }
 
 func main() {
 	runFlag := flag.String("run", "", "comma-separated experiment ids (default: all)")
 	list := flag.Bool("list", false, "list experiments and exit")
+	jsonPath := flag.String("json", "", "also write the ran tables to this file as JSON")
 	flag.Parse()
 
 	if *list {
@@ -60,16 +66,28 @@ func main() {
 			want[strings.ToUpper(strings.TrimSpace(id))] = true
 		}
 	}
-	ran := 0
+	var tables []*experiments.Table
 	for _, e := range registry {
 		if len(want) > 0 && !want[e.id] {
 			continue
 		}
-		fmt.Println(e.run().Format())
-		ran++
+		t := e.run()
+		fmt.Println(t.Format())
+		tables = append(tables, t)
 	}
-	if ran == 0 {
+	if len(tables) == 0 {
 		fmt.Fprintf(os.Stderr, "xqbench: no experiment matches %q (use -list)\n", *runFlag)
 		os.Exit(1)
+	}
+	if *jsonPath != "" {
+		out, err := json.MarshalIndent(tables, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xqbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, append(out, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "xqbench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -11,6 +11,7 @@
 //	POST /query        {"doc":"bib","query":"//book/title"}  → result JSON
 //	GET  /query?doc=bib&q=//book/title                       → same
 //	GET  /query?doc=bib&q=//book/title&trace=1&cost=1        → + execution trace
+//	GET  /query?doc=bib&q=//book/title&parallel=4            → partitioned τ execution
 //	GET  /docs                                               → catalog listing
 //	PUT  /docs/{name}  <XML body>                            → register/replace
 //	DELETE /docs/{name}                                      → close
@@ -137,6 +138,8 @@ func writePrometheus(w io.Writer, s xqp.EngineStats) {
 	counter("xqp_plan_cache_misses_total", "Plan-cache misses.", s.CacheMisses)
 	counter("xqp_compilations_total", "Full compile pipeline runs.", s.Compilations)
 	counter("xqp_strategy_fallbacks_total", "Tau dispatches where the executed strategy differed from the chooser's pick.", s.StrategyFallbacks)
+	counter("xqp_tau_parallel_total", "Tau dispatches that fanned out over partitions.", s.ParallelTau)
+	counter("xqp_parallel_fallbacks_total", "Tau dispatches where requested parallelism fell back to serial.", s.ParallelFallbacks)
 	fmt.Fprintf(w, "# HELP xqp_tau_total Tau dispatches by executed strategy.\n# TYPE xqp_tau_total counter\n")
 	for _, name := range []string{"nok", "twigstack", "pathstack", "naive", "hybrid"} {
 		fmt.Fprintf(w, "xqp_tau_total{strategy=%q} %d\n", name, s.TauByStrategy[name])
@@ -196,6 +199,9 @@ type queryRequest struct {
 	NoAnalyze bool `json:"no_analyze,omitempty"`
 	// TimeoutMS tightens (never extends) the server's default deadline.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// Parallel is the worker budget for partitioned pattern matching
+	// (0 or 1: serial; N>1: up to N workers; -1: one per CPU).
+	Parallel int `json:"parallel,omitempty"`
 }
 
 type queryResponse struct {
@@ -224,6 +230,14 @@ func handleQuery(eng *xqp.Engine, w http.ResponseWriter, r *http.Request) {
 		req.Strategy = q.Get("strategy")
 		req.CostBased = boolParam(q.Get("cost"))
 		req.Trace = boolParam(q.Get("trace"))
+		if p := q.Get("parallel"); p != "" {
+			n, err := strconv.Atoi(p)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, "bad parallel value: "+p)
+				return
+			}
+			req.Parallel = n
+		}
 	case http.MethodPost:
 		body, err := io.ReadAll(io.LimitReader(r.Body, maxQueryBody))
 		if err != nil {
@@ -248,6 +262,7 @@ func handleQuery(eng *xqp.Engine, w http.ResponseWriter, r *http.Request) {
 		NoCache:         req.NoCache,
 		DisableRewrites: req.NoRewrite,
 		DisableAnalyzer: req.NoAnalyze,
+		Parallelism:     req.Parallel,
 	}
 	var ok bool
 	if opts.Strategy, ok = parseStrategy(req.Strategy); !ok {

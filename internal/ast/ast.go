@@ -104,7 +104,7 @@ func (t NodeTest) String() string {
 		return "comment()"
 	case TestPI:
 		if t.Name != "" {
-			return fmt.Sprintf("processing-instruction(%q)", t.Name)
+			return "processing-instruction(" + QuoteString(t.Name) + ")"
 		}
 		return "processing-instruction()"
 	}
@@ -193,7 +193,14 @@ func (p *PathExpr) String() string {
 type StringLit struct{ Val string }
 
 func (*StringLit) exprNode()        {}
-func (s *StringLit) String() string { return fmt.Sprintf("%q", s.Val) }
+func (s *StringLit) String() string { return QuoteString(s.Val) }
+
+// QuoteString renders s as an XQuery string literal: the delimiting
+// quote is escaped by doubling (there are no backslash escapes in
+// XQuery, so Go's %q would emit unparseable syntax).
+func QuoteString(s string) string {
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
 
 // NumberLit is a numeric literal (stored as float64; integral values keep
 // integer semantics downstream).

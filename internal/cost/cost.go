@@ -19,6 +19,7 @@ package cost
 
 import (
 	"fmt"
+	"runtime"
 
 	"xqp/internal/exec"
 	"xqp/internal/pattern"
@@ -47,6 +48,24 @@ const (
 	// joinSetup is the fixed cost per structural join (stream open,
 	// stack setup).
 	joinSetup = 64.0
+	// parSetup is the fixed cost of planning a parallel τ dispatch:
+	// frontier selection, goroutine pool spin-up, and the merge
+	// machinery. It keeps small documents serial, where fan-out
+	// overhead would dominate the matching itself.
+	parSetup = 4000.0
+	// parPerPartition is the per-partition task overhead (task handoff,
+	// per-worker matcher state).
+	parPerPartition = 48.0
+	// parMergePerMatch is the per-match cost of merging partial
+	// solution lists back into document order (sort + dedup).
+	parMergePerMatch = 0.5
+	// parScanShare is the fraction of the join matchers' stream cost
+	// that parallelizes (the per-vertex tag scans; the coordinated
+	// stack merge stays serial).
+	parScanShare = 0.5
+	// parPartitionsPerWorker mirrors the matcher's partition
+	// oversizing (nok.partitionsPerWorker).
+	parPartitionsPerWorker = 4
 )
 
 // Estimate holds the modeled costs for one pattern.
@@ -160,6 +179,63 @@ func chooseFrom(e Estimate, g *pattern.Graph, rootAnchored bool) exec.Strategy {
 func (m *Model) Choice(g *pattern.Graph, rootAnchored bool) exec.Choice {
 	e := m.Estimate(g)
 	return exec.Choice{Strategy: chooseFrom(e, g, rootAnchored), Estimate: e.ForExec()}
+}
+
+// ChoiceParallel is Choice with a parallelism verdict for an executor
+// worker budget: after picking the cheapest strategy it compares that
+// strategy's partitioned-variant estimate (estimated partitions ×
+// per-partition work + merge cost) against the serial one. The modeled
+// speedup divides by the machine's actual cores — min(workers,
+// runtime.NumCPU()) — so on a single-core host the model never prefers
+// the parallel variant even under a large worker budget.
+func (m *Model) ChoiceParallel(g *pattern.Graph, rootAnchored bool, workers int) exec.Choice {
+	e := m.Estimate(g)
+	s := chooseFrom(e, g, rootAnchored)
+	ch := exec.Choice{Strategy: s, Estimate: e.ForExec()}
+	if workers > 1 {
+		switch s {
+		case exec.StrategyTwigStack, exec.StrategyPathStack:
+			ch.Parallel = e.JoinParallel(workers) < e.Join
+		case exec.StrategyHybrid:
+			// The hybrid matcher has no parallel mode.
+		default:
+			ch.Parallel = e.NoKParallel(workers) < e.NoK
+		}
+	}
+	return ch
+}
+
+// NoKParallel models the partitioned NoK matcher under a worker
+// budget: the upward and downward passes divide across the effective
+// cores, plus fixed planning, per-partition task, and document-order
+// merge costs.
+func (e Estimate) NoKParallel(workers int) float64 {
+	parts := float64(workers * parPartitionsPerWorker)
+	return e.NoK/float64(effectiveWorkers(workers)) +
+		parSetup + parPerPartition*parts + parMergePerMatch*e.OutputCard
+}
+
+// JoinParallel models PathStack/TwigStack with parallel per-vertex
+// stream scans: only the scan share of the stream cost divides across
+// cores; the coordinated stack merge stays serial (Amdahl's law in
+// one line).
+func (e Estimate) JoinParallel(workers int) float64 {
+	eff := float64(effectiveWorkers(workers))
+	scan := joinPerElem * e.StreamTotal * parScanShare
+	return e.Join - scan + scan/eff +
+		parSetup + parPerPartition*eff + parMergePerMatch*e.OutputCard
+}
+
+// effectiveWorkers bounds the modeled speedup by the hardware: extra
+// goroutines beyond the core count cannot make the scan any faster.
+func effectiveWorkers(workers int) int {
+	if n := runtime.NumCPU(); workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
 }
 
 // ForExec converts the estimate to the executor's trace record shape.

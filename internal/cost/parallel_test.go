@@ -1,0 +1,81 @@
+package cost
+
+import (
+	"runtime"
+	"testing"
+
+	"xqp/internal/exec"
+	"xqp/internal/xmark"
+)
+
+func TestEffectiveWorkersBound(t *testing.T) {
+	if got := effectiveWorkers(0); got != 1 {
+		t.Errorf("effectiveWorkers(0) = %d, want 1", got)
+	}
+	if got := effectiveWorkers(1); got != 1 {
+		t.Errorf("effectiveWorkers(1) = %d, want 1", got)
+	}
+	if got := effectiveWorkers(100000); got != runtime.NumCPU() {
+		t.Errorf("effectiveWorkers(1e5) = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+}
+
+// TestParallelEstimateOverhead: the modeled parallel cost is strictly
+// above the ideal split — fan-out always pays setup, per-partition, and
+// merge terms, so small documents stay serial.
+func TestParallelEstimateOverhead(t *testing.T) {
+	m := NewModel(xmark.StoreAuction(4))
+	e := m.Estimate(graphOf(t, "//parlist//text"))
+	for _, w := range []int{2, 4, 8, 64} {
+		eff := float64(effectiveWorkers(w))
+		if got := e.NoKParallel(w); got <= e.NoK/eff {
+			t.Errorf("NoKParallel(%d) = %.0f, not above ideal split %.0f", w, got, e.NoK/eff)
+		}
+		// Only the scan share of the join cost parallelizes (the stack
+		// merge is serial), so the parallel estimate keeps the full
+		// merge cost: it can never drop below the non-scan remainder.
+		scan := joinPerElem * e.StreamTotal * parScanShare
+		if got := e.JoinParallel(w); got <= e.Join-scan {
+			t.Errorf("JoinParallel(%d) = %.0f, below serial remainder %.0f", w, got, e.Join-scan)
+		}
+	}
+}
+
+// TestChoiceParallelConsistent: the Parallel verdict is exactly the
+// comparison of the chosen strategy's partitioned estimate against its
+// serial one — recomputed here independently — and a serial worker
+// budget never fans out. On a single-core host the verdict is always
+// serial: the modeled speedup divides by min(workers, NumCPU) = 1 and
+// the overhead terms decide.
+func TestChoiceParallelConsistent(t *testing.T) {
+	m := NewModel(xmark.StoreAuction(4))
+	for _, q := range []string{"//parlist//text", "//item/name", "/site/regions//item", "//people/person"} {
+		g := graphOf(t, q)
+		for _, rooted := range []bool{true, false} {
+			for _, w := range []int{0, 1, 2, 4, 16} {
+				ch := m.ChoiceParallel(g, rooted, w)
+				if base := m.Choice(g, rooted); ch.Strategy != base.Strategy {
+					t.Errorf("%s: ChoiceParallel changed the strategy: %v vs %v", q, ch.Strategy, base.Strategy)
+				}
+				e := m.Estimate(g)
+				want := false
+				if w > 1 {
+					switch ch.Strategy {
+					case exec.StrategyTwigStack, exec.StrategyPathStack:
+						want = e.JoinParallel(w) < e.Join
+					case exec.StrategyHybrid:
+						want = false
+					default:
+						want = e.NoKParallel(w) < e.NoK
+					}
+				}
+				if ch.Parallel != want {
+					t.Errorf("%s (rooted=%v, w=%d): Parallel = %v, want %v", q, rooted, w, ch.Parallel, want)
+				}
+				if runtime.NumCPU() == 1 && ch.Parallel {
+					t.Errorf("%s: parallel verdict on a single-core host", q)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,174 @@
+// Package difftest is the cross-strategy differential harness: it runs
+// a corpus of queries over the deterministic xmark generator families
+// and checks that every physical configuration — NoK, Hybrid,
+// PathStack, TwigStack, naive, the cost-based chooser, and the
+// partitioned parallel variants of each — produces byte-identical
+// serialized results.
+//
+// The reference evaluation is the serial naive matcher: it is the
+// simplest implementation (memoized structural recursion, no shared
+// state, no reordering), so any disagreement points at the optimized
+// matcher, not the oracle. The library half (this file) is shared by
+// the differential test, the race hammer, and the FuzzMatchEquivalence
+// fuzz target.
+package difftest
+
+import (
+	"fmt"
+
+	"xqp"
+	"xqp/internal/storage"
+	"xqp/internal/xmark"
+)
+
+// Query is one corpus entry.
+type Query struct {
+	Name string
+	Src  string
+}
+
+// Config is one execution configuration under differential test.
+type Config struct {
+	Name string
+	Opts xqp.Options
+}
+
+// Reference is the oracle configuration every other one must agree
+// with: the serial naive matcher.
+func Reference() Config {
+	return Config{Name: "naive", Opts: xqp.Options{Strategy: xqp.Naive}}
+}
+
+// Configs returns the execution configurations compared against the
+// reference. Forced strategies rely on the executor's documented
+// fallbacks (a join matcher on a non-root-anchored context demotes to
+// NoK, PathStack on a branching pattern to TwigStack), so every
+// configuration is valid for every corpus query. The parallel variants
+// request explicit worker budgets, which the executor honors regardless
+// of the host's core count — that keeps the partitioned code paths
+// exercised even on single-core CI.
+func Configs() []Config {
+	return []Config{
+		{Name: "nok", Opts: xqp.Options{Strategy: xqp.NoK}},
+		{Name: "nok-j2", Opts: xqp.Options{Strategy: xqp.NoK, Parallelism: 2}},
+		{Name: "nok-j4", Opts: xqp.Options{Strategy: xqp.NoK, Parallelism: 4}},
+		{Name: "nok-j8", Opts: xqp.Options{Strategy: xqp.NoK, Parallelism: 8}},
+		{Name: "naive-j4", Opts: xqp.Options{Strategy: xqp.Naive, Parallelism: 4}},
+		{Name: "hybrid", Opts: xqp.Options{Strategy: xqp.Hybrid}},
+		{Name: "twigstack", Opts: xqp.Options{Strategy: xqp.TwigStack}},
+		{Name: "twigstack-j4", Opts: xqp.Options{Strategy: xqp.TwigStack, Parallelism: 4}},
+		{Name: "pathstack", Opts: xqp.Options{Strategy: xqp.PathStack}},
+		{Name: "pathstack-j4", Opts: xqp.Options{Strategy: xqp.PathStack, Parallelism: 4}},
+		{Name: "auto-cost", Opts: xqp.Options{CostBased: true}},
+		{Name: "auto-cost-j4", Opts: xqp.Options{CostBased: true, Parallelism: 4}},
+	}
+}
+
+// Families lists the generator families with corpora.
+var Families = []string{"bib", "auction", "deep", "wide"}
+
+// Store materializes a generator family at a scale. The deep family
+// maps scale to more recursive <section> chains at a fixed depth; wide
+// maps it to root fan-out.
+func Store(family string, scale int) *storage.Store {
+	switch family {
+	case "bib":
+		return xmark.StoreBib(scale)
+	case "auction":
+		return xmark.StoreAuction(scale)
+	case "deep":
+		return xmark.StoreDeep(4*scale, 12)
+	case "wide":
+		return xmark.StoreWide(200 * scale)
+	default:
+		panic(fmt.Sprintf("difftest: unknown family %q", family))
+	}
+}
+
+// Queries returns the corpus for a family: absolute and descendant
+// paths, structural and value predicates, attribute steps, wildcards,
+// and FLWOR expressions.
+func Queries(family string) []Query {
+	switch family {
+	case "bib":
+		return []Query{
+			{"abs-titles", `/bib/book/title`},
+			{"desc-last", `//book/author/last`},
+			{"price-pred", `/bib/book[price < 50]/title`},
+			{"value-pred", `//book[author/last = "Last1"]/title`},
+			{"editor-pred", `/bib/book[editor]/title`},
+			{"affiliation", `//editor/affiliation`},
+			{"attr-pred", `/bib/book[@year = 1990]/title`},
+			{"attr-step", `/bib/book/@year`},
+			{"wildcard", `/bib/book/*`},
+			{"flwor-where", `for $b in /bib/book where $b/price > 60 return $b/title`},
+			{"flwor-ctor", `for $b in /bib/book return <e>{count($b/author)}</e>`},
+		}
+	case "auction":
+		return []Query{
+			{"all-names", `/site/regions//item/name`},
+			{"desc-names", `//item/name`},
+			{"parlist-text", `//parlist//text`},
+			{"nested-listitem", `//listitem//parlist/listitem/text`},
+			{"keyword-pred", `//item[location = "asia"]/name`},
+			{"profile-pred", `/site/people/person[profile]/name`},
+			{"homepage-email", `//person[homepage]/emailaddress`},
+			{"bidder-current", `//open_auction[bidder]/current`},
+			{"increase", `//bidder/increase`},
+			{"initial-path", `/site/open_auctions/open_auction/initial`},
+			{"wildcard-region", `/site/regions/*/item/quantity`},
+			{"attr-pred", `//item[@id = "item_asia_3"]/name`},
+			{"attr-step", `//incategory/@category`},
+			{"flwor-where", `for $a in //open_auction where $a/initial > 50 return $a/current`},
+			{"flwor-ctor", `for $i in /site/regions//item return <i>{$i/name/text()}</i>`},
+		}
+	case "deep":
+		return []Query{
+			{"title", `//section/title`},
+			{"nested", `//section/section//title`},
+			{"anchored", `/doc/section//title`},
+			{"level-pred", `//section[@level = "3"]//title`},
+		}
+	case "wide":
+		return []Query{
+			{"entries", `/list/entry`},
+			{"attr-step", `//entry/@n`},
+			{"attr-pred", `/list/entry[@n = "7"]`},
+		}
+	default:
+		panic(fmt.Sprintf("difftest: unknown family %q", family))
+	}
+}
+
+// Run executes src on db under one configuration and returns the
+// serialized result — the byte string compared across configurations.
+func Run(db *xqp.Database, src string, opts xqp.Options) (string, error) {
+	res, err := db.QueryWith(src, opts)
+	if err != nil {
+		return "", err
+	}
+	return res.XML(), nil
+}
+
+// Check runs src under the reference and every configuration and
+// demands byte-identical output; the returned error names the first
+// disagreeing configuration and shows both serializations. Shared by
+// TestDifferential and the FuzzMatchEquivalence target.
+func Check(db *xqp.Database, src string) error {
+	ref := Reference()
+	want, err := Run(db, src, ref.Opts)
+	if err != nil {
+		return fmt.Errorf("%s: %w", ref.Name, err)
+	}
+	for _, cfg := range Configs() {
+		got, err := Run(db, src, cfg.Opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", cfg.Name, err)
+		}
+		if got != want {
+			return fmt.Errorf("%s disagrees with %s on %q:\n  %s: %q\n  %s: %q",
+				cfg.Name, ref.Name, src, cfg.Name, got, ref.Name, want)
+		}
+	}
+	return nil
+}

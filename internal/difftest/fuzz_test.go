@@ -1,0 +1,63 @@
+package difftest
+
+import (
+	"testing"
+	"unicode/utf8"
+
+	"xqp"
+)
+
+// fuzzDB is the document the equivalence fuzzer queries: small enough
+// that even the naive reference evaluates any corpus-shaped query in
+// microseconds, with enough structural variety (nested authors/editors,
+// attributes, text) to give the matchers distinct work. Shared across
+// fuzz executions — the Database is immutable and concurrency-safe.
+var fuzzDB = xqp.FromStore(Store("bib", 1))
+
+// FuzzMatchEquivalence feeds arbitrary query text through every
+// execution configuration and demands agreement with the serial naive
+// reference. Inputs the reference cannot compile or evaluate are
+// skipped — the property under test is cross-strategy equivalence, not
+// parser robustness (FuzzParseQuery covers that). Seed corpus:
+// testdata/fuzz/FuzzMatchEquivalence.
+func FuzzMatchEquivalence(f *testing.F) {
+	for _, q := range Queries("bib") {
+		f.Add(q.Src)
+	}
+	f.Add(`//book[price > 20]/author[last]/first`)
+	f.Add(`/bib//last`)
+	f.Add(`for $a in //author for $e in //editor return ($a/last, $e/last)`)
+	f.Fuzz(func(t *testing.T, src string) {
+		if !utf8.ValidString(src) || len(src) > 96 {
+			return
+		}
+		// Bound range expressions: `1 to 10000000` and nested loops over
+		// wide ranges are legitimate queries but not equivalence fodder,
+		// and they can eat the fuzz budget materializing sequences.
+		digits := 0
+		for _, r := range src {
+			if r >= '0' && r <= '9' {
+				if digits++; digits > 3 {
+					return
+				}
+			} else {
+				digits = 0
+			}
+		}
+		ref := Reference()
+		want, err := Run(fuzzDB, src, ref.Opts)
+		if err != nil {
+			return // not a runnable query; nothing to compare
+		}
+		for _, cfg := range Configs() {
+			got, err := Run(fuzzDB, src, cfg.Opts)
+			if err != nil {
+				t.Fatalf("%s failed on %q where %s succeeded: %v", cfg.Name, src, ref.Name, err)
+			}
+			if got != want {
+				t.Fatalf("%s disagrees with %s on %q:\n  %s: %q\n  %s: %q",
+					cfg.Name, ref.Name, src, cfg.Name, got, ref.Name, want)
+			}
+		}
+	})
+}

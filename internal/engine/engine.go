@@ -302,6 +302,11 @@ type QueryOptions struct {
 	// shape the compiled plan, so it is deliberately not part of the
 	// plan-cache key (a traced query can hit a plan cached untraced).
 	Trace bool
+	// Parallelism is the worker budget for partitioned τ execution
+	// (0 or 1: serial; N>1: up to N workers; negative: one per CPU).
+	// Like Trace it shapes only physical execution, never the compiled
+	// plan, so it is not part of the plan-cache key either.
+	Parallelism int
 }
 
 func (o QueryOptions) compileOptions() compile.Options {
@@ -407,10 +412,11 @@ func (e *Engine) run(ctx context.Context, doc, src string, opts QueryOptions, wa
 	}
 
 	eo := exec.Options{
-		Strategy:   opts.Strategy,
-		StrictDocs: true,
-		Interrupt:  ctx.Err,
-		Trace:      opts.Trace,
+		Strategy:    opts.Strategy,
+		StrictDocs:  true,
+		Interrupt:   ctx.Err,
+		Trace:       opts.Trace,
+		Parallelism: opts.Parallelism,
 	}
 	if opts.CostBased || opts.Trace {
 		// Model over the snapshot synopsis (immutable, so shared safely
@@ -421,7 +427,7 @@ func (e *Engine) run(ctx context.Context, doc, src string, opts QueryOptions, wa
 				if cs != st {
 					return exec.Choice{Strategy: exec.StrategyNoK} // secondary doc() targets: no synopsis at hand
 				}
-				return model.Choice(g, rootAnchored)
+				return model.ChoiceParallel(g, rootAnchored, opts.Parallelism)
 			}
 		}
 		if opts.Trace {
@@ -455,6 +461,8 @@ func (e *Engine) run(ctx context.Context, doc, src string, opts QueryOptions, wa
 	elapsed := time.Since(start)
 	e.met.observeExec(elapsed)
 	e.met.strategyFallbacks.Add(ex.Metrics.StrategyFallbacks)
+	e.met.parallelTau.Add(ex.Metrics.ParallelTau)
+	e.met.parallelFallbacks.Add(ex.Metrics.ParallelFallbacks)
 	for i := range ex.Metrics.TauByStrategy {
 		if n := ex.Metrics.TauByStrategy[i]; n != 0 {
 			e.met.tauByStrategy[i].Add(n)

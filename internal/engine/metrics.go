@@ -37,6 +37,11 @@ type metrics struct {
 	// chooser's pick (see exec.Metrics).
 	tauByStrategy     [exec.NumStrategies]atomic.Int64
 	strategyFallbacks atomic.Int64
+	// parallelTau counts τ dispatches that actually fanned out over
+	// partitions; parallelFallbacks counts dispatches where parallelism
+	// was requested but execution fell back to serial.
+	parallelTau       atomic.Int64
+	parallelFallbacks atomic.Int64
 }
 
 func (m *metrics) observeExec(d time.Duration) {
@@ -81,6 +86,13 @@ type Snapshot struct {
 	// a join plan demoted because the context was not root-anchored).
 	TauByStrategy     map[string]int64 `json:"tau_by_strategy,omitempty"`
 	StrategyFallbacks int64            `json:"strategy_fallbacks"`
+	// ParallelTau counts τ dispatches that fanned out over partitions;
+	// ParallelFallbacks counts dispatches where a requested parallel
+	// execution fell back to serial (single partition, unsupported
+	// matcher, or a cost-model veto never reaches here — only runtime
+	// fallbacks are counted).
+	ParallelTau       int64 `json:"parallel_tau"`
+	ParallelFallbacks int64 `json:"parallel_fallbacks"`
 	// InFlight / Queued are instantaneous gauges.
 	InFlight int `json:"in_flight"`
 	Queued   int `json:"queued"`
@@ -126,6 +138,8 @@ func (e *Engine) Stats() Snapshot {
 		Queued:       len(e.tickets) - len(e.slots),
 
 		StrategyFallbacks: e.met.strategyFallbacks.Load(),
+		ParallelTau:       e.met.parallelTau.Load(),
+		ParallelFallbacks: e.met.parallelFallbacks.Load(),
 	}
 	for i := range s.ExecHist {
 		s.ExecHist[i] = e.met.execHist[i].Load()

@@ -8,6 +8,7 @@ package exec
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"xqp/internal/ast"
@@ -50,6 +51,15 @@ func (s Strategy) String() string {
 // Options configures an Engine.
 type Options struct {
 	Strategy Strategy
+	// Parallelism bounds the intra-query worker pool for τ dispatch:
+	// 0 and 1 evaluate serially, N > 1 partitions pattern matching
+	// across up to N goroutines, and a negative value resolves to
+	// runtime.NumCPU(). With a cost-model Chooser installed the model
+	// still decides serial vs parallel per dispatch (Choice.Parallel);
+	// a forced strategy parallelizes unconditionally. Explicit values
+	// above NumCPU are honored (capped at MaxParallelism) so the
+	// partitioned machinery stays exercisable on small machines.
+	Parallelism int
 	// NoStepDedup disables document-order deduplication between path
 	// steps, reproducing the worst-case exponential behaviour of purely
 	// pipelined evaluation (experiment E6). Never enable in production.
@@ -101,6 +111,32 @@ type Metrics struct {
 	// TauByStrategy counts τ dispatches per *executed* strategy,
 	// indexed by Strategy (TauByStrategy[StrategyAuto] stays 0).
 	TauByStrategy [NumStrategies]int64
+	// ParallelTau counts τ dispatches that fanned out over partitions;
+	// ParallelFallbacks counts dispatches where parallelism was
+	// requested but the matcher ran serially (no useful partitioning,
+	// or the strategy has no parallel mode).
+	ParallelTau       int64
+	ParallelFallbacks int64
+}
+
+// MaxParallelism is the hard cap on Options.Parallelism: a backstop
+// against absurd worker pools, far above any useful fan-out.
+const MaxParallelism = 64
+
+// workers resolves Options.Parallelism to the worker bound for one τ
+// dispatch (1 means serial).
+func (e *Engine) workers() int {
+	p := e.opts.Parallelism
+	if p < 0 {
+		p = runtime.NumCPU()
+	}
+	if p > MaxParallelism {
+		p = MaxParallelism
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
 }
 
 // Engine evaluates plans against a catalog of documents.
@@ -518,11 +554,16 @@ func (e *Engine) matchStore(st *storage.Store, g *pattern.Graph, contexts []stor
 	// root; they can only serve a τ whose context is exactly the root.
 	rootAnchored := len(contexts) == 1 && contexts[0] == st.Root()
 	chosen := e.opts.Strategy
+	workers := e.workers()
+	wantParallel := workers > 1
 	var est *CostEstimate
 	if chosen == StrategyAuto {
 		if e.opts.Chooser != nil {
 			c := e.opts.Chooser(st, g, rootAnchored)
 			chosen, est = c.Strategy, c.Estimate
+			// The model decides serial vs parallel for the strategy it
+			// picked; the worker budget only bounds the pool.
+			wantParallel = wantParallel && c.Parallel
 		} else {
 			chosen = StrategyNoK
 		}
@@ -561,26 +602,78 @@ func (e *Engine) matchStore(st *storage.Store, g *pattern.Graph, contexts []stor
 	}
 	var refs []storage.NodeRef
 	var err error
+	// ranParallel/parReason/partitions record the parallel outcome: a
+	// requested fan-out that found no useful partitioning (or a strategy
+	// without a parallel mode) falls back to serial with a reason —
+	// never silently.
+	ranParallel := false
+	parReason := ""
+	var partitions []tally.Partition
 	switch executed {
 	case StrategyNaive:
-		refs = naive.MatchOutputCounted(st, g, contexts, sink)
+		if wantParallel {
+			refs, partitions, parReason = naive.MatchOutputParallel(st, g, contexts, workers, sink)
+			ranParallel = parReason == ""
+		} else {
+			refs = naive.MatchOutputCounted(st, g, contexts, sink)
+		}
 	case StrategyHybrid:
 		e.Metrics.JoinCalls += int64(g.Partition().JoinCount())
+		if wantParallel {
+			parReason = "hybrid matcher has no parallel mode"
+		}
 		refs, err = nok.MatchHybridCounted(st, g, contexts, e.opts.Interrupt, sink)
 	case StrategyTwigStack:
 		e.Metrics.JoinCalls += int64(g.VertexCount() - 1)
-		refs = join.TwigStackCounted(st, g, sink).Refs()
+		if wantParallel && g.VertexCount() > 2 {
+			streams, parts := join.VertexStreamsParallel(st, g, workers)
+			partitions, ranParallel = parts, true
+			refs = join.TwigStackStreamsCounted(st, g, streams, sink).Refs()
+		} else {
+			if wantParallel {
+				parReason = "single vertex stream"
+			}
+			refs = join.TwigStackCounted(st, g, sink).Refs()
+		}
 	case StrategyPathStack:
 		e.Metrics.JoinCalls += int64(g.VertexCount() - 1)
-		refs = join.PathStackCounted(st, g, sink).Refs()
+		if wantParallel && g.VertexCount() > 2 {
+			streams, parts := join.VertexStreamsParallel(st, g, workers)
+			partitions, ranParallel = parts, true
+			refs = join.PathStackStreamsCounted(st, g, streams, sink).Refs()
+		} else {
+			if wantParallel {
+				parReason = "single vertex stream"
+			}
+			refs = join.PathStackCounted(st, g, sink).Refs()
+		}
 	default:
-		refs, err = nok.MatchOutputCounted(st, g, contexts, e.opts.Interrupt, sink)
+		if wantParallel {
+			var pres nok.ParallelResult
+			refs, pres, err = nok.MatchOutputParallel(st, g, contexts, workers, e.opts.Interrupt, sink)
+			ranParallel, parReason, partitions = pres.Parallel(), pres.Fallback, pres.Partitions
+		} else {
+			refs, err = nok.MatchOutputCounted(st, g, contexts, e.opts.Interrupt, sink)
+		}
 	}
 	if err != nil {
 		return nil, nil, err
 	}
+	if wantParallel {
+		if ranParallel {
+			e.Metrics.ParallelTau++
+		} else {
+			e.Metrics.ParallelFallbacks++
+		}
+	}
 	if rec != nil {
 		rec.Matches = len(refs)
+		rec.Parallel = ranParallel
+		rec.ParallelReason = parReason
+		rec.Partitions = partitions
+		if wantParallel {
+			rec.Workers = workers
+		}
 	}
 	return refs, rec, nil
 }

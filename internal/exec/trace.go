@@ -29,6 +29,12 @@ type Choice struct {
 	// Estimate is nil when the chooser had no model for the store (e.g.
 	// a γ-constructed temporary document).
 	Estimate *CostEstimate
+	// Parallel asks for the partitioned parallel variant of the chosen
+	// strategy; the cost model sets it when the modeled parallel cost
+	// (partitions × per-partition work + merge) beats the serial one.
+	// It only takes effect when the executor has a worker budget
+	// (Options.Parallelism > 1).
+	Parallel bool
 }
 
 // StrategyRecord documents one τ dispatch: what the chooser said, what
@@ -52,6 +58,15 @@ type StrategyRecord struct {
 	Matches  int `json:"matches"`
 	// Actual is the work the matcher counted (see package tally).
 	Actual tally.Counters `json:"actual"`
+	// Parallel reports whether the dispatch fanned out over partitions.
+	// Workers is the worker bound when parallelism was requested (0
+	// otherwise); ParallelReason explains a fallback to serial ("single
+	// partition", "hybrid matcher has no parallel mode"); Partitions
+	// holds the per-partition spans, in document order.
+	Parallel       bool              `json:"parallel,omitempty"`
+	Workers        int               `json:"workers,omitempty"`
+	ParallelReason string            `json:"parallel_reason,omitempty"`
+	Partitions     []tally.Partition `json:"partitions,omitempty"`
 }
 
 // MarshalJSON renders strategies by name, so trace JSON reads
@@ -124,8 +139,17 @@ func (s *Span) Format() string {
 				fmt.Fprintf(&b, " est{nok=%.0f join=%.0f hybrid=%.0f card=%.1f}",
 					r.Estimate.NoK, r.Estimate.Join, r.Estimate.Hybrid, r.Estimate.OutputCard)
 			}
+			if r.Parallel {
+				fmt.Fprintf(&b, " parallel{workers=%d partitions=%d}", r.Workers, len(r.Partitions))
+			} else if r.ParallelReason != "" {
+				fmt.Fprintf(&b, " parallel=off (%s)", r.ParallelReason)
+			}
 			fmt.Fprintf(&b, " actual{nodes=%d stream=%d sols=%d} contexts=%d matches=%d\n",
 				r.Actual.NodesVisited, r.Actual.StreamElems, r.Actual.Solutions, r.Contexts, r.Matches)
+			for _, p := range r.Partitions {
+				fmt.Fprintf(&b, "%s    · partition %s@%d nodes=%d matches=%d wall=%s\n",
+					pad, p.Kind, p.Root, p.Nodes, p.Matches, p.Dur.Round(time.Microsecond))
+			}
 		}
 		for _, c := range sp.Children {
 			walk(c, depth+1)

@@ -66,6 +66,8 @@ func TestExperimentsSmoke(t *testing.T) {
 		{"E12", func() *Table { return E12ContentIndex(2) }},
 		{"E13", E13HybridStrategy},
 		{"E14", func() *Table { return E14AnalyzerPruning(1) }},
+		{"E17", func() *Table { return E17Parallel([]int{1}, 2) }},
+		{"E17b", func() *Table { return E17SerialRegression(1) }},
 	}
 	for _, r := range runs {
 		r := r

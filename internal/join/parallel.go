@@ -1,0 +1,79 @@
+package join
+
+import (
+	"sync"
+	"time"
+
+	"xqp/internal/pattern"
+	"xqp/internal/storage"
+	"xqp/internal/tally"
+)
+
+// VertexStreamsParallel builds the per-vertex tag streams feeding the
+// holistic join matchers concurrently, one stream per pattern vertex on
+// a pool of up to workers goroutines (the store's tag index is
+// immutable, so the scans share it without locks). The stack phase
+// itself stays serial — it is a single coordinated merge — so this
+// parallelizes exactly the scan-dominated part of PathStack/TwigStack.
+//
+// streams[0] is nil (the anchor stream depends on the caller's
+// context); parts records one partition span per vertex stream, with
+// Root holding the vertex id.
+func VertexStreamsParallel(st *storage.Store, g *pattern.Graph, workers int) (streams []Stream, parts []tally.Partition) {
+	n := g.VertexCount()
+	streams = make([]Stream, n)
+	parts = make([]tally.Partition, n-1)
+	if workers > n-1 {
+		workers = n - 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for v := range next {
+				t0 := time.Now()
+				streams[v] = VertexStream(st, g.Vertices[v])
+				parts[v-1] = tally.Partition{
+					Root:    int64(v),
+					Kind:    "stream",
+					Nodes:   int64(len(streams[v])),
+					Matches: int64(len(streams[v])),
+					Dur:     time.Since(t0),
+				}
+			}
+		}()
+	}
+	for v := 1; v < n; v++ {
+		next <- v
+	}
+	close(next)
+	wg.Wait()
+	return streams, parts
+}
+
+// TwigStackStreamsCounted is TwigStackCounted over prebuilt per-vertex
+// streams (as produced by VertexStreamsParallel); a nil streams slice
+// scans inline.
+func TwigStackStreamsCounted(st *storage.Store, g *pattern.Graph, streams []Stream, c *tally.Counters) Stream {
+	t := newTwigStreams(st, g, streams)
+	t.run()
+	out := t.merge()
+	if c != nil {
+		for _, cur := range t.curs {
+			c.StreamElems += int64(cur.pos)
+		}
+		for _, l := range t.leaves {
+			c.Solutions += int64(len(t.sols[l]))
+		}
+	}
+	return out
+}
+
+// PathStackStreamsCounted is PathStackCounted over prebuilt per-vertex
+// streams (as produced by VertexStreamsParallel); a nil streams slice
+// scans inline.
+func PathStackStreamsCounted(st *storage.Store, g *pattern.Graph, streams []Stream, c *tally.Counters) Stream {
+	return pathStack(st, g, streams, c)
+}

@@ -30,6 +30,13 @@ func PathStack(st *storage.Store, g *pattern.Graph) Stream {
 // non-nil): stream elements consumed by the merge pass and chain
 // solutions enumerated from the stacks.
 func PathStackCounted(st *storage.Store, g *pattern.Graph, c *tally.Counters) Stream {
+	return pathStack(st, g, nil, c)
+}
+
+// pathStack is the PathStack merge over prebuilt per-vertex streams
+// (indexed by vertex id, as from VertexStreamsParallel); a nil streams
+// slice scans them inline.
+func pathStack(st *storage.Store, g *pattern.Graph, streams []Stream, c *tally.Counters) Stream {
 	if !g.IsPath() {
 		panic("join: PathStack requires a non-branching pattern")
 	}
@@ -52,7 +59,11 @@ func PathStackCounted(st *storage.Store, g *pattern.Graph, c *tally.Counters) St
 		} else {
 			_, rel := g.Parent(v)
 			rels[i] = rel
-			curs[i] = NewCursor(VertexStream(st, g.Vertices[v]))
+			if streams != nil {
+				curs[i] = NewCursor(streams[v])
+			} else {
+				curs[i] = NewCursor(VertexStream(st, g.Vertices[v]))
+			}
 		}
 	}
 	leaf := n - 1

@@ -30,18 +30,7 @@ func TwigStack(st *storage.Store, g *pattern.Graph) Stream {
 // non-nil): stream elements consumed by the coordinated cursors and
 // intermediate root-to-leaf path solutions materialized for the merge.
 func TwigStackCounted(st *storage.Store, g *pattern.Graph, c *tally.Counters) Stream {
-	t := newTwig(st, g)
-	t.run()
-	out := t.merge()
-	if c != nil {
-		for _, cur := range t.curs {
-			c.StreamElems += int64(cur.pos)
-		}
-		for _, l := range t.leaves {
-			c.Solutions += int64(len(t.sols[l]))
-		}
-	}
-	return out
+	return TwigStackStreamsCounted(st, g, nil, c)
 }
 
 type twig struct {
@@ -58,6 +47,12 @@ type twig struct {
 }
 
 func newTwig(st *storage.Store, g *pattern.Graph) *twig {
+	return newTwigStreams(st, g, nil)
+}
+
+// newTwigStreams builds the twig state over prebuilt per-vertex streams;
+// a nil streams slice scans them inline (the serial path).
+func newTwigStreams(st *storage.Store, g *pattern.Graph, streams []Stream) *twig {
 	n := g.VertexCount()
 	t := &twig{
 		g:      g,
@@ -74,7 +69,11 @@ func newTwig(st *storage.Store, g *pattern.Graph) *twig {
 		p, rel := g.Parent(pattern.VertexID(v))
 		t.parent[v] = p
 		t.rel[v] = rel
-		t.curs[v] = NewCursor(VertexStream(st, g.Vertices[v]))
+		if streams != nil {
+			t.curs[v] = NewCursor(streams[v])
+		} else {
+			t.curs[v] = NewCursor(VertexStream(st, g.Vertices[v]))
+		}
 	}
 	for v := 0; v < n; v++ {
 		if len(g.Children[v]) == 0 {

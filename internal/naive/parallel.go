@@ -1,0 +1,89 @@
+package naive
+
+import (
+	"sync"
+	"time"
+
+	"xqp/internal/pattern"
+	"xqp/internal/storage"
+	"xqp/internal/tally"
+)
+
+// MatchOutputParallel is MatchOutputCounted with the candidate scan
+// partitioned into contiguous pre-order ranges evaluated on up to
+// workers goroutines. Each worker owns its evaluator and memo tables
+// (the shared context set is read-only), and an evaluator may navigate
+// outside its own range while proving a candidate — ranges bound the
+// candidates tested, not the navigation. Ranges are disjoint and
+// increasing, so results concatenate in document order without
+// deduplication. fallback is non-empty (and parts nil) when the match
+// ran serially instead.
+func MatchOutputParallel(st *storage.Store, g *pattern.Graph, contexts []storage.NodeRef, workers int, c *tally.Counters) (refs []storage.NodeRef, parts []tally.Partition, fallback string) {
+	n := st.NodeCount()
+	if workers < 2 {
+		return MatchOutputCounted(st, g, contexts, c), nil, "workers < 2"
+	}
+	nTasks := workers * 4
+	if nTasks > n {
+		nTasks = n
+	}
+	if nTasks < 2 {
+		return MatchOutputCounted(st, g, contexts, c), nil, "single partition"
+	}
+	ctxSet := map[storage.NodeRef]bool{}
+	for _, ctx := range contexts {
+		ctxSet[ctx] = true
+	}
+	type rangeRes struct {
+		refs   []storage.NodeRef
+		visits int64
+		dur    time.Duration
+	}
+	res := make([]rangeRes, nTasks)
+	lo := func(i int) storage.NodeRef { return storage.NodeRef(i * n / nTasks) }
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers && w < nTasks; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				t0 := time.Now()
+				e := &evaluator{
+					st:       st,
+					g:        g,
+					contexts: ctxSet,
+					downMemo: map[key]bool{},
+					bindMemo: map[key]bool{},
+				}
+				var out []storage.NodeRef
+				for n := lo(i); n < lo(i+1); n++ {
+					if e.bind(n, g.Output) {
+						out = append(out, n)
+					}
+				}
+				res[i] = rangeRes{refs: out, visits: e.visits, dur: time.Since(t0)}
+			}
+		}()
+	}
+	for i := 0; i < nTasks; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	parts = make([]tally.Partition, nTasks)
+	for i := range res {
+		refs = append(refs, res[i].refs...)
+		parts[i] = tally.Partition{
+			Root:    int64(lo(i)),
+			Kind:    "range",
+			Nodes:   int64(lo(i+1) - lo(i)),
+			Matches: int64(len(res[i].refs)),
+			Dur:     res[i].dur,
+		}
+		if c != nil {
+			c.NodesVisited += res[i].visits
+		}
+	}
+	return refs, parts, ""
+}

@@ -263,6 +263,15 @@ func (m *matcher) computeS(n storage.NodeRef) (s, below uint64) {
 		cover |= cs
 		deep |= cs | cb
 	}
+	s = m.vertexSet(n, cover, deep)
+	m.setS(n, s)
+	return s, deep
+}
+
+// vertexSet computes S(n) from the child cover and proper-descendant
+// union: the per-node test step of the upward pass, shared by the
+// recursive computeS and the parallel matcher's spine stitching.
+func (m *matcher) vertexSet(n storage.NodeRef, cover, deep uint64) (s uint64) {
 	for v := range m.g.Vertices {
 		if m.absent[v] {
 			continue
@@ -279,8 +288,7 @@ func (m *matcher) computeS(n storage.NodeRef) (s, below uint64) {
 			s |= 1 << uint(v)
 		}
 	}
-	m.setS(n, s)
-	return s, deep
+	return s
 }
 
 // anchorS computes S for the subtree of a context node and reports
@@ -316,34 +324,6 @@ func (m *matcher) runTopDown(contexts []storage.NodeRef, acc [][]storage.NodeRef
 			return
 		}
 	}
-	var rec func(n storage.NodeRef, v pattern.VertexID) bool
-	rec = func(n storage.NodeRef, v pattern.VertexID) bool {
-		m.poll()
-		if !m.test(n, int(v)) {
-			return false
-		}
-		kids := m.g.Children[v]
-		ok := true
-		for _, e := range kids {
-			found := false
-			for c := m.st.FirstChild(n); c != storage.NilRef; c = m.st.NextSibling(c) {
-				if rec(c, e.To) {
-					found = true
-				}
-			}
-			if !found {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			acc[v] = append(acc[v], n)
-			return true
-		}
-		// Roll back any bindings recorded below this failed node.
-		m.rollback(acc, v, n)
-		return false
-	}
 	for _, ctx := range contexts {
 		// The anchor matches the context node itself; check its pattern
 		// children below the context.
@@ -351,7 +331,7 @@ func (m *matcher) runTopDown(contexts []storage.NodeRef, acc [][]storage.NodeRef
 		for _, e := range m.g.Children[0] {
 			found := false
 			for c := m.st.FirstChild(ctx); c != storage.NilRef; c = m.st.NextSibling(c) {
-				if rec(c, e.To) {
+				if m.topDown(c, e.To, acc) {
 					found = true
 				}
 			}
@@ -366,6 +346,39 @@ func (m *matcher) runTopDown(contexts []storage.NodeRef, acc [][]storage.NodeRef
 			m.rollback(acc, 0, ctx)
 		}
 	}
+}
+
+// topDown evaluates the child-only pattern's vertex v at node n,
+// recording tentative bindings into acc and rolling back the subtree's
+// recordings when an ancestor constraint fails. It is the recursive
+// step of runTopDown, factored as a method so the parallel matcher can
+// evaluate disjoint chunks of a context's children independently.
+func (m *matcher) topDown(n storage.NodeRef, v pattern.VertexID, acc [][]storage.NodeRef) bool {
+	m.poll()
+	if !m.test(n, int(v)) {
+		return false
+	}
+	kids := m.g.Children[v]
+	ok := true
+	for _, e := range kids {
+		found := false
+		for c := m.st.FirstChild(n); c != storage.NilRef; c = m.st.NextSibling(c) {
+			if m.topDown(c, e.To, acc) {
+				found = true
+			}
+		}
+		if !found {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		acc[v] = append(acc[v], n)
+		return true
+	}
+	// Roll back any bindings recorded below this failed node.
+	m.rollback(acc, v, n)
+	return false
 }
 
 // rollback removes bindings of v's pattern descendants that lie inside
@@ -403,9 +416,6 @@ func (m *matcher) run(contexts []storage.NodeRef, want []pattern.VertexID) Bindi
 	// only arise across overlapping contexts; collect into flat slices
 	// and sort+dedup at the end instead of paying per-node map costs.
 	acc := make([][]storage.NodeRef, m.g.VertexCount())
-	record := func(v pattern.VertexID, n storage.NodeRef) {
-		acc[v] = append(acc[v], n)
-	}
 	if m.childOnly() {
 		// Single NoK fragment: top-down navigation over matching paths
 		// only, no global passes.
@@ -413,57 +423,71 @@ func (m *matcher) run(contexts []storage.NodeRef, want []pattern.VertexID) Bindi
 		return m.finish(acc, wantMask)
 	}
 	// Size the S window to the context subtrees.
-	if len(contexts) > 0 {
-		lo, hi := contexts[0], contexts[0]
-		for _, c := range contexts {
-			if c < lo {
-				lo = c
-			}
-			if end := c + storage.NodeRef(m.st.SubtreeSize(c)); end > hi {
-				hi = end
-			}
-		}
-		m.base = lo
-		m.smask = make([]uint64, hi-lo)
-	}
-	var down func(n storage.NodeRef, allowedChild, allowedDesc uint64)
-	down = func(n storage.NodeRef, allowedChild, allowedDesc uint64) {
-		m.poll()
-		bound := m.s(n) & (allowedChild | allowedDesc)
-		if bound&wantMask != 0 {
-			for v := 0; v < m.g.VertexCount(); v++ {
-				if bound&wantMask&(1<<uint(v)) != 0 {
-					record(pattern.VertexID(v), n)
-				}
-			}
-		}
-		var nextChild uint64
-		nextDesc := allowedDesc
-		for v := 0; v < m.g.VertexCount(); v++ {
-			if bound&(1<<uint(v)) != 0 {
-				nextChild |= m.childMask[v]
-				nextDesc |= m.descMask[v]
-			}
-		}
-		if nextChild == 0 && nextDesc == 0 {
-			return
-		}
-		for c := m.st.FirstChild(n); c != storage.NilRef; c = m.st.NextSibling(c) {
-			down(c, nextChild, nextDesc)
-		}
-	}
+	m.sizeWindow(contexts)
 	for _, ctx := range contexts {
 		if !m.anchorS(ctx) {
 			continue
 		}
 		if wantMask&1 != 0 {
-			record(0, ctx) // the anchor binds at the context node itself
+			acc[0] = append(acc[0], ctx) // the anchor binds at the context node itself
 		}
 		for c := m.st.FirstChild(ctx); c != storage.NilRef; c = m.st.NextSibling(c) {
-			down(c, m.childMask[0], m.descMask[0])
+			m.down(c, m.childMask[0], m.descMask[0], wantMask, acc, nil)
 		}
 	}
 	return m.finish(acc, wantMask)
+}
+
+// sizeWindow allocates the S window covering the context subtrees.
+func (m *matcher) sizeWindow(contexts []storage.NodeRef) {
+	if len(contexts) == 0 {
+		return
+	}
+	lo, hi := contexts[0], contexts[0]
+	for _, c := range contexts {
+		if c < lo {
+			lo = c
+		}
+		if end := c + storage.NodeRef(m.st.SubtreeSize(c)); end > hi {
+			hi = end
+		}
+	}
+	m.base = lo
+	m.smask = make([]uint64, hi-lo)
+}
+
+// down is the downward pre-order pass of run, factored as a method so
+// the parallel matcher can resume it per partition. cut, when non-nil,
+// intercepts recursion into a child c with the masks it would receive;
+// returning true claims the subtree (the parallel matcher enqueues it
+// as a partition task instead of descending).
+func (m *matcher) down(n storage.NodeRef, allowedChild, allowedDesc, wantMask uint64, acc [][]storage.NodeRef, cut func(c storage.NodeRef, ac, ad uint64) bool) {
+	m.poll()
+	bound := m.s(n) & (allowedChild | allowedDesc)
+	if bound&wantMask != 0 {
+		for v := 0; v < m.g.VertexCount(); v++ {
+			if bound&wantMask&(1<<uint(v)) != 0 {
+				acc[v] = append(acc[v], n)
+			}
+		}
+	}
+	var nextChild uint64
+	nextDesc := allowedDesc
+	for v := 0; v < m.g.VertexCount(); v++ {
+		if bound&(1<<uint(v)) != 0 {
+			nextChild |= m.childMask[v]
+			nextDesc |= m.descMask[v]
+		}
+	}
+	if nextChild == 0 && nextDesc == 0 {
+		return
+	}
+	for c := m.st.FirstChild(n); c != storage.NilRef; c = m.st.NextSibling(c) {
+		if cut != nil && cut(c, nextChild, nextDesc) {
+			continue
+		}
+		m.down(c, nextChild, nextDesc, wantMask, acc, cut)
+	}
 }
 
 // finish sorts and dedups the per-vertex bindings (contexts may overlap

@@ -1,0 +1,556 @@
+package nok
+
+// Parallel intra-query tree-pattern matching: the τ operator evaluated
+// over disjoint partitions of the balanced-parentheses store on a
+// bounded goroutine pool.
+//
+// The store's pre-order numbering makes a subtree a contiguous ref
+// range [n, n+SubtreeSize(n)), so disjoint subtrees partition both the
+// document and the matcher's S-bitmask window without locks: workers
+// share one smask array and write disjoint slices of it. Three
+// partitioning modes cover the matcher's shapes:
+//
+//   - one context, descendant edges (global passes): a *frontier* of
+//     subtree roots is carved out of the context's subtree by
+//     repeatedly splitting the largest subtree into its children. The
+//     upward pass runs per frontier subtree in parallel; the few nodes
+//     above the frontier (the spine: the context plus every split
+//     node) are stitched serially from the partition summaries; the
+//     downward pass walks the spine serially and fans out again at the
+//     frontier roots.
+//   - one context, child-only pattern: the context's children are
+//     chunked; each chunk navigates top-down independently, and the
+//     per-edge "found" witnesses are combined across chunks before the
+//     anchor is accepted.
+//   - many contexts: the context list is chunked and each chunk runs
+//     the full serial matcher. Contexts may be nested, so matches
+//     reachable from two contexts can straddle a chunk boundary — the
+//     merge must sort and deduplicate, never just concatenate.
+//
+// Partial results merge back into document order; per-partition spans
+// are reported for execution traces.
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xqp/internal/pattern"
+	"xqp/internal/storage"
+	"xqp/internal/tally"
+)
+
+const (
+	// partitionsPerWorker oversizes the partition count relative to the
+	// worker pool so uneven subtrees still keep every worker busy.
+	partitionsPerWorker = 4
+	// maxSplitRounds bounds the frontier refinement: degenerate chain
+	// documents would otherwise move one node per round forever.
+	maxSplitRounds = 64
+	// maxFrontier bounds the frontier size against pathologically wide
+	// nodes (a root with a million children).
+	maxFrontier = 1 << 14
+)
+
+// ParallelResult describes how MatchOutputParallel executed.
+type ParallelResult struct {
+	// Workers is the goroutine bound the match ran under.
+	Workers int
+	// Partitions holds one record per partition task, in document order.
+	// It is nil exactly when the match fell back to serial execution.
+	Partitions []tally.Partition
+	// Fallback is the reason the match ran serially; empty when the
+	// parallel path executed.
+	Fallback string
+}
+
+// Parallel reports whether the parallel path actually executed.
+func (r ParallelResult) Parallel() bool { return r.Partitions != nil }
+
+// MatchOutputParallel is MatchOutputCounted evaluated over partitions
+// of the store on a pool of up to workers goroutines. interrupt (when
+// non-nil) must be safe for concurrent use — every worker polls it,
+// exactly like the engine's context-backed interrupts. Results are
+// identical to the serial matcher: merged into document order with
+// boundary duplicates removed. When no useful partitioning exists the
+// match runs serially and the result records the reason.
+func MatchOutputParallel(st *storage.Store, g *pattern.Graph, contexts []storage.NodeRef, workers int, interrupt func() error, c *tally.Counters) (refs []storage.NodeRef, pr ParallelResult, err error) {
+	m, err := newMatcher(st, g)
+	if err != nil {
+		return nil, ParallelResult{Workers: workers}, err
+	}
+	m.interrupt = interrupt
+	if c != nil {
+		defer func() { c.NodesVisited += m.visits }()
+	}
+	defer catchInterrupt(&err)
+	if workers < 2 {
+		refs, pr = m.serialOutput(contexts, workers, "workers < 2")
+		return refs, pr, nil
+	}
+	if len(contexts) == 0 {
+		return nil, ParallelResult{Workers: workers, Fallback: "no context nodes"}, nil
+	}
+	for _, absent := range m.absent {
+		if absent {
+			// Some vertex's tag does not occur in this document: the
+			// pattern cannot match anywhere, no passes needed.
+			return nil, ParallelResult{Workers: workers, Fallback: "pattern tag absent from document"}, nil
+		}
+	}
+	if len(contexts) > 1 {
+		return m.runContextChunks(contexts, workers)
+	}
+	if m.childOnly() {
+		return m.runChildChunks(contexts[0], workers)
+	}
+	return m.runFrontier(contexts[0], workers)
+}
+
+// serialOutput runs the serial matcher and tags the result with the
+// fallback reason.
+func (m *matcher) serialOutput(contexts []storage.NodeRef, workers int, reason string) ([]storage.NodeRef, ParallelResult) {
+	b := m.run(contexts, []pattern.VertexID{m.g.Output})
+	return b[m.g.Output], ParallelResult{Workers: workers, Fallback: reason}
+}
+
+// runContextChunks evaluates a multi-context τ by chunking the context
+// list: each chunk runs the full serial matcher on a worker. The merge
+// sorts and deduplicates because nested contexts may land in different
+// chunks yet produce the same matches (their subtrees overlap), so a
+// plain concatenation would double-report boundary matches.
+func (m *matcher) runContextChunks(contexts []storage.NodeRef, workers int) ([]storage.NodeRef, ParallelResult, error) {
+	want := []pattern.VertexID{m.g.Output}
+	nTasks := workers * partitionsPerWorker
+	if nTasks > len(contexts) {
+		nTasks = len(contexts)
+	}
+	bounds := chunkBounds(len(contexts), nTasks)
+	type chunkRes struct {
+		w    matcher
+		refs []storage.NodeRef
+		dur  time.Duration
+	}
+	res := make([]*chunkRes, nTasks)
+	err := runTasks(workers, nTasks, func(i int) {
+		t0 := time.Now()
+		r := &chunkRes{w: *m}
+		r.w.smask, r.w.base = nil, 0
+		b := r.w.run(contexts[bounds[i]:bounds[i+1]], want)
+		r.refs = b[m.g.Output]
+		r.dur = time.Since(t0)
+		res[i] = r
+	})
+	parts := make([]tally.Partition, 0, nTasks)
+	var out []storage.NodeRef
+	for i, r := range res {
+		if r == nil {
+			continue // task aborted by an interrupt
+		}
+		m.visits += r.w.visits
+		chunk := contexts[bounds[i]:bounds[i+1]]
+		parts = append(parts, tally.Partition{
+			Root:    int64(chunk[0]),
+			Kind:    "contexts",
+			Nodes:   int64(len(chunk)),
+			Matches: int64(len(r.refs)),
+			Dur:     r.dur,
+		})
+		out = append(out, r.refs...)
+	}
+	if err != nil {
+		return nil, ParallelResult{Workers: workers}, err
+	}
+	return mergeSorted(out), ParallelResult{Workers: workers, Partitions: parts}, nil
+}
+
+// runChildChunks evaluates a child-only pattern at a single context by
+// chunking the context's children into contiguous groups of near-equal
+// subtree size. Each group navigates top-down independently, recording
+// which of the anchor's pattern edges it witnessed; the anchor matches
+// only if every edge is witnessed by some group, so the combination
+// step — not any single worker — decides whether the recorded bindings
+// survive.
+func (m *matcher) runChildChunks(ctx storage.NodeRef, workers int) ([]storage.NodeRef, ParallelResult, error) {
+	edges := m.g.Children[0]
+	var kids []storage.NodeRef
+	for c := m.st.FirstChild(ctx); c != storage.NilRef; c = m.st.NextSibling(c) {
+		kids = append(kids, c)
+	}
+	if len(edges) == 0 || len(kids) < 2 {
+		refs, pr := m.serialOutput([]storage.NodeRef{ctx}, workers, "single partition")
+		return refs, pr, nil
+	}
+	groups := groupBySize(m.st, kids, workers*partitionsPerWorker)
+	if len(groups) < 2 {
+		refs, pr := m.serialOutput([]storage.NodeRef{ctx}, workers, "single partition")
+		return refs, pr, nil
+	}
+	type childRes struct {
+		w     matcher
+		acc   [][]storage.NodeRef
+		found []bool
+		dur   time.Duration
+	}
+	res := make([]*childRes, len(groups))
+	err := runTasks(workers, len(groups), func(i int) {
+		t0 := time.Now()
+		r := &childRes{
+			w:     *m,
+			acc:   make([][]storage.NodeRef, m.g.VertexCount()),
+			found: make([]bool, len(edges)),
+		}
+		for _, kid := range kids[groups[i][0]:groups[i][1]] {
+			for ei, e := range edges {
+				if r.w.topDown(kid, e.To, r.acc) {
+					r.found[ei] = true
+				}
+			}
+		}
+		r.dur = time.Since(t0)
+		res[i] = r
+	})
+	if err != nil {
+		for _, r := range res {
+			if r != nil {
+				m.visits += r.w.visits
+			}
+		}
+		return nil, ParallelResult{Workers: workers}, err
+	}
+	allFound := true
+	for ei := range edges {
+		found := false
+		for _, r := range res {
+			found = found || r.found[ei]
+		}
+		if !found {
+			allFound = false
+			break
+		}
+	}
+	var out []storage.NodeRef
+	parts := make([]tally.Partition, len(groups))
+	for i, r := range res {
+		m.visits += r.w.visits
+		var nodes int64
+		for _, kid := range kids[groups[i][0]:groups[i][1]] {
+			nodes += int64(m.st.SubtreeSize(kid))
+		}
+		matches := 0
+		if allFound {
+			matches = len(r.acc[m.g.Output])
+			out = append(out, r.acc[m.g.Output]...)
+		}
+		parts[i] = tally.Partition{
+			Root:    int64(kids[groups[i][0]]),
+			Kind:    "children",
+			Nodes:   nodes,
+			Matches: int64(matches),
+			Dur:     r.dur,
+		}
+	}
+	if allFound && m.g.Output == 0 {
+		out = append(out, ctx)
+	}
+	return mergeSorted(out), ParallelResult{Workers: workers, Partitions: parts}, nil
+}
+
+// downTask is a suspended downward-pass recursion at a frontier root:
+// the masks are exactly what the serial pass would have recursed with.
+type downTask struct {
+	n      storage.NodeRef
+	ac, ad uint64
+}
+
+// runFrontier evaluates a general (descendant-edge) pattern at a single
+// context with frontier decomposition: parallel upward pass per frontier
+// subtree, serial spine stitching, then a downward pass that runs
+// serially over the spine and fans out again at the frontier roots.
+func (m *matcher) runFrontier(ctx storage.NodeRef, workers int) ([]storage.NodeRef, ParallelResult, error) {
+	target := workers * partitionsPerWorker
+	frontier, spine := m.pickFrontier(ctx, target)
+	if len(frontier) < 2 {
+		refs, pr := m.serialOutput([]storage.NodeRef{ctx}, workers, "single partition")
+		return refs, pr, nil
+	}
+	groups := groupBySize(m.st, frontier, target)
+	if len(groups) < 2 {
+		refs, pr := m.serialOutput([]storage.NodeRef{ctx}, workers, "single partition")
+		return refs, pr, nil
+	}
+	// One S window covers the whole context subtree; frontier subtrees
+	// are disjoint ref ranges, so workers write disjoint slices of it.
+	m.base = ctx
+	m.smask = make([]uint64, m.st.SubtreeSize(ctx))
+
+	// Phase 1: upward pass per frontier subtree, in parallel. belows[i]
+	// is the S-union over frontier[i]'s proper descendants, needed when
+	// the spine is stitched.
+	type taskState struct {
+		w   matcher
+		acc [][]storage.NodeRef
+		dur time.Duration
+	}
+	states := make([]*taskState, len(groups))
+	belows := make([]uint64, len(frontier))
+	err := runTasks(workers, len(groups), func(i int) {
+		t0 := time.Now()
+		ts := &taskState{w: *m}
+		for j := groups[i][0]; j < groups[i][1]; j++ {
+			_, below := ts.w.computeS(frontier[j])
+			belows[j] = below
+		}
+		ts.dur = time.Since(t0)
+		states[i] = ts
+	})
+	if err != nil {
+		for _, ts := range states {
+			if ts != nil {
+				m.visits += ts.w.visits
+			}
+		}
+		return nil, ParallelResult{Workers: workers}, err
+	}
+
+	// Phase 2: stitch the spine serially. Every child of a spine node is
+	// a spine node or a frontier root, so processing spine nodes in
+	// descending pre-order (descendants first) has all child summaries
+	// available.
+	frontIdx := make(map[storage.NodeRef]int, len(frontier))
+	for i, f := range frontier {
+		frontIdx[f] = i
+	}
+	sort.Slice(spine, func(i, j int) bool { return spine[i] > spine[j] })
+	spineBelow := make(map[storage.NodeRef]uint64, len(spine))
+	for _, n := range spine {
+		m.poll()
+		var cover, deep uint64
+		for c := m.st.FirstChild(n); c != storage.NilRef; c = m.st.NextSibling(c) {
+			cs := m.s(c)
+			cb, ok := spineBelow[c]
+			if !ok {
+				cb = belows[frontIdx[c]]
+			}
+			cover |= cs
+			deep |= cs | cb
+		}
+		m.setS(n, m.vertexSet(n, cover, deep))
+		spineBelow[n] = deep
+	}
+
+	finishParts := func() []tally.Partition {
+		parts := make([]tally.Partition, len(groups))
+		for i, gr := range groups {
+			ts := states[i]
+			var nodes int64
+			for j := gr[0]; j < gr[1]; j++ {
+				nodes += int64(m.st.SubtreeSize(frontier[j]))
+			}
+			matches := 0
+			if ts.acc != nil {
+				matches = len(ts.acc[m.g.Output])
+			}
+			parts[i] = tally.Partition{
+				Root:    int64(frontier[gr[0]]),
+				Kind:    "subtree",
+				Nodes:   nodes,
+				Matches: int64(matches),
+				Dur:     ts.dur,
+			}
+			m.visits += ts.w.visits
+		}
+		return parts
+	}
+
+	if m.s(ctx)&1 == 0 {
+		// The anchor's downward constraints fail at the context: no
+		// matches anywhere, skip the downward pass.
+		return nil, ParallelResult{Workers: workers, Partitions: finishParts()}, nil
+	}
+
+	// Phase 3: downward pass. The spine walk runs serially, suspending
+	// at frontier roots; the suspended recursions then run in parallel,
+	// grouped exactly like phase 1.
+	wantMask := uint64(1) << uint(m.g.Output)
+	groupOf := make([]int, len(frontier))
+	for gi, gr := range groups {
+		for j := gr[0]; j < gr[1]; j++ {
+			groupOf[j] = gi
+		}
+	}
+	taskOf := make([][]downTask, len(groups))
+	cut := func(c storage.NodeRef, ac, ad uint64) bool {
+		fi, ok := frontIdx[c]
+		if !ok {
+			return false
+		}
+		taskOf[groupOf[fi]] = append(taskOf[groupOf[fi]], downTask{n: c, ac: ac, ad: ad})
+		return true
+	}
+	topAcc := make([][]storage.NodeRef, m.g.VertexCount())
+	if wantMask&1 != 0 {
+		topAcc[0] = append(topAcc[0], ctx)
+	}
+	for c := m.st.FirstChild(ctx); c != storage.NilRef; c = m.st.NextSibling(c) {
+		if cut(c, m.childMask[0], m.descMask[0]) {
+			continue
+		}
+		m.down(c, m.childMask[0], m.descMask[0], wantMask, topAcc, cut)
+	}
+	err = runTasks(workers, len(groups), func(i int) {
+		ts := states[i]
+		t0 := time.Now()
+		ts.acc = make([][]storage.NodeRef, m.g.VertexCount())
+		for _, dt := range taskOf[i] {
+			ts.w.down(dt.n, dt.ac, dt.ad, wantMask, ts.acc, nil)
+		}
+		ts.dur += time.Since(t0)
+	})
+	if err != nil {
+		for _, ts := range states {
+			if ts != nil {
+				m.visits += ts.w.visits
+			}
+		}
+		return nil, ParallelResult{Workers: workers}, err
+	}
+	out := append([]storage.NodeRef(nil), topAcc[m.g.Output]...)
+	for _, ts := range states {
+		out = append(out, ts.acc[m.g.Output]...)
+	}
+	return mergeSorted(out), ParallelResult{Workers: workers, Partitions: finishParts()}, nil
+}
+
+// pickFrontier selects disjoint subtree roots covering ctx's subtree
+// minus a small residual spine: starting from ctx's children, the
+// largest oversized subtree is repeatedly split into its children until
+// every subtree is at most a fair share of the total or the refinement
+// bounds hit. The returned frontier is in document order; spine holds
+// ctx and every split node (exactly the nodes above the frontier).
+func (m *matcher) pickFrontier(ctx storage.NodeRef, target int) (frontier, spine []storage.NodeRef) {
+	spine = append(spine, ctx)
+	for c := m.st.FirstChild(ctx); c != storage.NilRef; c = m.st.NextSibling(c) {
+		frontier = append(frontier, c)
+	}
+	fair := m.st.SubtreeSize(ctx)/target + 1
+	for round := 0; round < maxSplitRounds && len(frontier) < maxFrontier; round++ {
+		best, bestSize := -1, fair
+		for i, f := range frontier {
+			if s := m.st.SubtreeSize(f); s > bestSize && m.st.FirstChild(f) != storage.NilRef {
+				best, bestSize = i, s
+			}
+		}
+		if best < 0 {
+			break
+		}
+		split := frontier[best]
+		frontier = append(frontier[:best], frontier[best+1:]...)
+		spine = append(spine, split)
+		for c := m.st.FirstChild(split); c != storage.NilRef; c = m.st.NextSibling(c) {
+			frontier = append(frontier, c)
+		}
+	}
+	sortRefs(frontier)
+	return frontier, spine
+}
+
+// groupBySize splits doc-ordered disjoint subtree roots into at most k
+// contiguous groups of near-equal total subtree size.
+func groupBySize(st *storage.Store, roots []storage.NodeRef, k int) [][2]int {
+	var total int64
+	for _, r := range roots {
+		total += int64(st.SubtreeSize(r))
+	}
+	budget := total/int64(k) + 1
+	var groups [][2]int
+	start := 0
+	var acc int64
+	for i, r := range roots {
+		acc += int64(st.SubtreeSize(r))
+		if acc >= budget {
+			groups = append(groups, [2]int{start, i + 1})
+			start, acc = i+1, 0
+		}
+	}
+	if start < len(roots) {
+		groups = append(groups, [2]int{start, len(roots)})
+	}
+	return groups
+}
+
+// chunkBounds splits n items into k contiguous chunks of near-equal
+// count, returning the k+1 boundary indices.
+func chunkBounds(n, k int) []int {
+	b := make([]int, k+1)
+	for i := 0; i <= k; i++ {
+		b[i] = i * n / k
+	}
+	return b
+}
+
+// mergeSorted restores document order over concatenated per-partition
+// results. Partitions over disjoint subtrees concatenate cleanly, but
+// nested contexts chunked onto different workers produce overlapping —
+// even identical — matches, and post-order recordings arrive unsorted;
+// both cases take the sort+dedup path.
+func mergeSorted(refs []storage.NodeRef) []storage.NodeRef {
+	if sortedUnique(refs) {
+		return refs
+	}
+	sortRefs(refs)
+	return dedupRefs(refs)
+}
+
+// runTasks executes n tasks on a bounded pool of up to workers
+// goroutines, converting an interrupt raised inside any task back into
+// its error. Tasks must index disjoint state; the pool join publishes
+// their writes to the caller.
+func runTasks(workers, n int, task func(i int)) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		var err error
+		func() {
+			defer catchInterrupt(&err)
+			for i := 0; i < n; i++ {
+				task(i)
+			}
+		}()
+		return err
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var mu sync.Mutex
+	var first error
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				var err error
+				func() {
+					defer catchInterrupt(&err)
+					task(i)
+				}()
+				if err != nil {
+					mu.Lock()
+					if first == nil {
+						first = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}

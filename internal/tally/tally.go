@@ -4,6 +4,8 @@
 // counters without importing the executor (which imports them).
 package tally
 
+import "time"
+
 // Counters accumulates the actual work one τ evaluation performed, in
 // the units the cost model estimates: document nodes visited by
 // navigation, stream elements pushed through join stacks, and
@@ -26,4 +28,27 @@ func (c *Counters) Add(d Counters) {
 	c.NodesVisited += d.NodesVisited
 	c.StreamElems += d.StreamElems
 	c.Solutions += d.Solutions
+}
+
+// Partition records one unit of a parallel τ dispatch's fan-out for
+// execution traces: a subtree range matched by one worker task, a chunk
+// of context nodes, or one per-vertex stream scan. It lives here for
+// the same reason Counters does — the matchers fill it, the executor
+// (which imports them) renders it.
+type Partition struct {
+	// Root anchors the partition in the document: the subtree root of a
+	// range partition, the first context node of a chunk, or the pattern
+	// vertex id of a stream scan (see Kind). -1 when empty.
+	Root int64 `json:"root"`
+	// Kind tags the partition flavour: "subtree", "contexts", "children",
+	// "range", or "stream".
+	Kind string `json:"kind"`
+	// Nodes is the partition's input size: subtree nodes covered, context
+	// nodes in the chunk, range width, or stream elements scanned.
+	Nodes int64 `json:"nodes"`
+	// Matches counts output matches (or stream elements) produced.
+	Matches int64 `json:"matches"`
+	// Dur is the partition's own wall time (tasks run concurrently, so
+	// partitions sum to at most workers × the parent's inclusive time).
+	Dur time.Duration `json:"wall_ns"`
 }

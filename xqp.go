@@ -87,6 +87,12 @@ type Options struct {
 	// per-operator wall time and cardinalities and per-τ strategy
 	// records (estimates, chosen vs. executed strategy, actual work).
 	Trace bool
+	// Parallelism bounds the intra-query worker pool for pattern
+	// matching: 0 and 1 evaluate serially, N > 1 partitions τ across up
+	// to N goroutines, negative resolves to runtime.NumCPU(). With
+	// CostBased set the model still decides serial vs parallel per
+	// dispatch; a forced Strategy parallelizes unconditionally.
+	Parallelism int
 }
 
 // Diagnostic is a static-analyzer finding (see ANALYZER.md for the codes).
@@ -239,15 +245,16 @@ func (db *Database) synopsis() *stats.Synopsis {
 
 // choice is the executor's cost-based chooser hook: it resolves the
 // model for the τ's store under a read lock. Stores without a model
-// (γ-constructed temporaries) run NoK.
-func (db *Database) choice(st *storage.Store, g *pattern.Graph, rootAnchored bool) exec.Choice {
+// (γ-constructed temporaries) run NoK. workers is the query's worker
+// budget, so the model can weigh serial against partitioned variants.
+func (db *Database) choice(st *storage.Store, g *pattern.Graph, rootAnchored bool, workers int) exec.Choice {
 	db.mu.RLock()
 	m := db.models[st]
 	db.mu.RUnlock()
 	if m == nil {
 		return exec.Choice{Strategy: exec.StrategyNoK}
 	}
-	return m.Choice(g, rootAnchored)
+	return m.ChoiceParallel(g, rootAnchored, workers)
 }
 
 // estimate is the executor's trace estimator hook: cost estimates for
@@ -342,9 +349,13 @@ func (db *Database) Run(q *Query) (*Result, error) {
 		NoStepDedup: q.opts.NoStepDedup,
 		StrictDocs:  q.opts.StrictDocs,
 		Trace:       q.opts.Trace,
+		Parallelism: q.opts.Parallelism,
 	}
 	if q.opts.CostBased && eo.Strategy == Auto {
-		eo.Chooser = db.choice
+		workers := q.opts.Parallelism
+		eo.Chooser = func(st *storage.Store, g *pattern.Graph, rootAnchored bool) exec.Choice {
+			return db.choice(st, g, rootAnchored, workers)
+		}
 	}
 	if q.opts.Trace {
 		eo.Estimator = db.estimate
