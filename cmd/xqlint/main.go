@@ -1,26 +1,24 @@
-// Command xqlint enforces this repository's own source invariants using
-// only the standard library (go/ast, go/parser):
-//
-//  1. no panic in executor hot paths: internal/exec must not call panic
-//     outside must*-helpers (a query error must surface as an error value,
-//     never crash the engine);
-//  2. exported API is documented: every exported package-level function,
-//     method and type in non-main packages carries a doc comment.
+// Command xqlint is the fast, syntax-only subset of the xqvet suite
+// (see cmd/xqvet): it parses every package under a directory without
+// type-checking and runs the syntactic analyzers — no panic in executor
+// hot paths, exported API documented. It exists for editor hooks and
+// pre-commit use where xqvet's full type-check is too slow; CI runs the
+// complete suite via cmd/xqvet.
 //
 // Usage: xqlint [dir]  (default "."; walks every non-test .go file,
-// skipping testdata). Exits 1 when violations are found. CI runs it on
-// every push.
+// skipping testdata). Exits 1 when violations are found.
 package main
 
 import (
 	"fmt"
-	"go/ast"
-	"go/parser"
 	"go/token"
 	"io/fs"
 	"os"
 	"path/filepath"
 	"strings"
+
+	"xqp/internal/lint"
+	"xqp/internal/lint/analyzers"
 )
 
 func main() {
@@ -42,112 +40,65 @@ func main() {
 	}
 }
 
-// lintTree walks root and lints every non-test Go file.
+// lintTree parses every package directory under root (syntax only, no
+// type-checking) and applies the syntactic analyzers of the xqvet
+// suite, returning rendered file:line:col diagnostics.
 func lintTree(root string) ([]string, error) {
-	var violations []string
 	fset := token.NewFileSet()
+	var pkgs []*lint.Package
 	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
 			return err
 		}
-		if d.IsDir() {
-			name := d.Name()
-			if name == "testdata" || strings.HasPrefix(name, ".") && path != root {
-				return filepath.SkipDir
-			}
+		if !d.IsDir() {
 			return nil
 		}
-		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+		name := d.Name()
+		if name == "testdata" || (strings.HasPrefix(name, ".") && path != root) || strings.HasPrefix(name, "_") {
+			return filepath.SkipDir
+		}
+		if !dirHasGoFiles(path) {
 			return nil
 		}
-		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		files, pkgName, err := lint.ParseDir(fset, path)
 		if err != nil {
 			return err
 		}
-		violations = append(violations, lintFile(fset, path, f)...)
+		pkgs = append(pkgs, &lint.Package{
+			PkgPath: filepath.ToSlash(path),
+			Name:    pkgName,
+			Dir:     path,
+			Fset:    fset,
+			Files:   files,
+		})
 		return nil
 	})
-	return violations, err
-}
-
-func lintFile(fset *token.FileSet, path string, f *ast.File) []string {
+	if err != nil {
+		return nil, err
+	}
+	diags, err := lint.Run(pkgs, analyzers.Syntactic())
+	if err != nil {
+		return nil, err
+	}
 	var violations []string
-	report := func(pos token.Pos, format string, args ...any) {
-		violations = append(violations,
-			fmt.Sprintf("%s: %s", fset.Position(pos), fmt.Sprintf(format, args...)))
+	for _, d := range diags {
+		violations = append(violations, d.String())
 	}
-	if strings.Contains(filepath.ToSlash(path), "internal/exec/") {
-		checkNoPanic(f, report)
-	}
-	if f.Name.Name != "main" {
-		checkExportedDocs(f, report)
-	}
-	return violations
+	return violations, nil
 }
 
-// checkNoPanic flags panic calls in executor code outside must*-helpers.
-func checkNoPanic(f *ast.File, report func(token.Pos, string, ...any)) {
-	for _, decl := range f.Decls {
-		fd, ok := decl.(*ast.FuncDecl)
-		if !ok || fd.Body == nil {
-			continue
-		}
-		name := fd.Name.Name
-		if strings.HasPrefix(name, "must") || strings.HasPrefix(name, "Must") {
-			continue
-		}
-		ast.Inspect(fd.Body, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
-				report(call.Pos(), "panic in executor hot path %s (wrap in a must* helper or return an error)", name)
-			}
+// dirHasGoFiles reports whether dir directly contains a lintable file.
+func dirHasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		n := e.Name()
+		if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") &&
+			!strings.HasPrefix(n, ".") && !strings.HasPrefix(n, "_") {
 			return true
-		})
-	}
-}
-
-// wellKnownMethods are interface implementations whose contract is given
-// by the interface itself (fmt.Stringer, error, sort.Interface, the core.Op
-// plan-node interface); requiring a doc comment on each would be noise.
-var wellKnownMethods = map[string]bool{
-	"String": true, "Error": true, "GoString": true,
-	"Len": true, "Less": true, "Swap": true,
-	"Children": true, "Label": true,
-}
-
-// checkExportedDocs flags undocumented exported package-level functions,
-// methods and type declarations.
-func checkExportedDocs(f *ast.File, report func(token.Pos, string, ...any)) {
-	for _, decl := range f.Decls {
-		switch d := decl.(type) {
-		case *ast.FuncDecl:
-			if d.Name.IsExported() && d.Doc == nil &&
-				!(d.Recv != nil && wellKnownMethods[d.Name.Name]) {
-				report(d.Pos(), "exported %s %s has no doc comment", funcKind(d), d.Name.Name)
-			}
-		case *ast.GenDecl:
-			if d.Tok != token.TYPE {
-				continue
-			}
-			for _, spec := range d.Specs {
-				ts, ok := spec.(*ast.TypeSpec)
-				if !ok || !ts.Name.IsExported() {
-					continue
-				}
-				if d.Doc == nil && ts.Doc == nil {
-					report(ts.Pos(), "exported type %s has no doc comment", ts.Name.Name)
-				}
-			}
 		}
 	}
-}
-
-func funcKind(d *ast.FuncDecl) string {
-	if d.Recv != nil {
-		return "method"
-	}
-	return "function"
+	return false
 }

@@ -1,0 +1,84 @@
+// Command xqvet runs the repository's invariant-checker suite over the
+// module: the project-specific contract analyzers (guardedby, cachekey,
+// ctxpoll, tallydiscipline) plus the style checks formerly in cmd/xqlint
+// (nopanic, exporteddoc). It loads packages from source with the
+// standard library alone — no build tooling or network required.
+//
+// Usage:
+//
+//	xqvet [-only name[,name...]] [packages]
+//
+// where packages follow go-tool patterns ("./...", "./internal/exec").
+// With no arguments it checks the whole module. Exit status is 1 when
+// any diagnostic is reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"xqp/internal/lint"
+	"xqp/internal/lint/analyzers"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list available analyzers and exit")
+	flag.Parse()
+
+	suite := analyzers.All()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		keep := map[string]bool{}
+		for _, n := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(n)] = true
+		}
+		var filtered []*lint.Analyzer
+		for _, a := range suite {
+			if keep[a.Name] {
+				filtered = append(filtered, a)
+				delete(keep, a.Name)
+			}
+		}
+		for n := range keep {
+			fmt.Fprintf(os.Stderr, "xqvet: unknown analyzer %q\n", n)
+			os.Exit(2)
+		}
+		suite = filtered
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := lint.NewLoader(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := loader.LoadPatterns(cwd, flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+	diags, err := lint.Run(pkgs, suite)
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xqvet:", err)
+	os.Exit(2)
+}

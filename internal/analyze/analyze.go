@@ -449,10 +449,14 @@ func (a *analyzer) visitFLWOR(o *core.FLWOROp, sc *scope) (core.Op, Annotation) 
 		}
 		n.Clauses = append(n.Clauses, core.Bind{Kind: c.Kind, Var: c.Var, PosVar: c.PosVar, Expr: ne})
 	}
+	whereFalse := false
 	if o.Where != nil {
 		nw, wa := a.visit(o.Where, inner)
 		n.Where = nw
 		pure = pure && wa.Pure
+		// An empty condition sequence has effective boolean value false on
+		// every iteration: the filter rejects everything.
+		whereFalse = wa.Card == CardEmpty
 	}
 	for _, k := range o.OrderBy {
 		nk, ka := a.visit(k.Key, inner)
@@ -481,6 +485,16 @@ func (a *analyzer) visitFLWOR(o *core.FLWOROp, sc *scope) (core.Op, Annotation) 
 		a.diag(CodeEmptyFor, Warning, "for $"+emptyFor,
 			"for clause $%s iterates a statically empty sequence; the FLWOR expression yields ()", emptyFor)
 		ann.Card = CardEmpty
+	}
+	if whereFalse {
+		ann.Card = CardEmpty
+		// When the whole FLWOR is pure and pruning is on, finish replaces
+		// it with () and the inner XQA002 diagnostic already points at the
+		// unmatchable condition; warn only when the dead loop survives.
+		if !(a.opts.Prune && ann.Pure) {
+			a.diag(CodeWhereFalse, Warning, "where",
+				"where clause is provably false (its condition is statically empty); the FLWOR expression yields ()")
+		}
 	}
 	return a.finish(n, ann)
 }

@@ -318,6 +318,57 @@ func TestAnnotateGraphs(t *testing.T) {
 	}
 }
 
+// TestWhereFalse covers XQA007: a where clause whose condition is
+// statically empty is always false. The warning fires exactly when the
+// dead loop survives analysis (impure body, or pruning disabled);
+// a pure FLWOR under pruning is replaced by () silently, since XQA002
+// already points at the unmatchable condition.
+func TestWhereFalse(t *testing.T) {
+	st, syn := load(t)
+	const deadWhere = `for $b in /bib/book where /bib/nosuch return $b`
+	const deadWhereImpure = `for $b in /bib/book where /bib/nosuch return error("boom")`
+
+	// Impure body, pruning on: loop kept, XQA007 reported.
+	r := Analyze(plan(t, deadWhereImpure), Options{Store: st, Synopsis: syn, Prune: true})
+	if !hasCode(r, CodeWhereFalse) {
+		t.Errorf("impure dead-where loop: missing XQA007 (diagnostics: %v)", codes(r))
+	}
+	if _, isConst := r.Plan.(*core.ConstOp); isConst {
+		t.Error("FLWOR with impure return was pruned")
+	}
+
+	// Pure body, pruning on: replaced by () without the extra warning.
+	r = Analyze(plan(t, deadWhere), Options{Store: st, Synopsis: syn, Prune: true})
+	if hasCode(r, CodeWhereFalse) {
+		t.Errorf("pruned pure loop still warns XQA007 (diagnostics: %v)", codes(r))
+	}
+	if !hasCode(r, CodeEmptyPath) {
+		t.Errorf("unmatchable where condition lost its XQA002 (diagnostics: %v)", codes(r))
+	}
+	if c, ok := r.Plan.(*core.ConstOp); !ok || len(c.Seq) != 0 {
+		t.Fatalf("pure dead-where FLWOR not pruned to ():\n%s", core.Explain(r.Plan))
+	}
+
+	// Pure body, pruning off: loop kept, XQA007 reported.
+	r = Analyze(plan(t, deadWhere), Options{Store: st, Synopsis: syn})
+	if !hasCode(r, CodeWhereFalse) {
+		t.Errorf("diagnostics-only run missing XQA007 (diagnostics: %v)", codes(r))
+	}
+
+	// A statically empty where condition needs no synopsis at all.
+	r = Analyze(plan(t, `for $b in (1, 2) where () return $b`), Options{})
+	if !hasCode(r, CodeWhereFalse) {
+		t.Errorf("where () missing XQA007 (diagnostics: %v)", codes(r))
+	}
+
+	// Matchable condition: no warning.
+	r = Analyze(plan(t, `for $b in /bib/book where $b/price return $b`),
+		Options{Store: st, Synopsis: syn, Prune: true})
+	if hasCode(r, CodeWhereFalse) {
+		t.Errorf("live where clause flagged XQA007 (diagnostics: %v)", codes(r))
+	}
+}
+
 func TestEmptyConstEvaluates(t *testing.T) {
 	st, syn := load(t)
 	r := Analyze(plan(t, `/bib/nosuch`), Options{Store: st, Synopsis: syn, Prune: true})

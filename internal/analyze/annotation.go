@@ -102,6 +102,11 @@ const (
 	// CodeCmpType: a comparison is decided by static types alone, e.g. a
 	// numeric expression compared against a non-numeric string literal.
 	CodeCmpType = "XQA006"
+	// CodeWhereFalse: a where clause's condition is statically the empty
+	// sequence (its effective boolean value is always false), so the
+	// FLWOR expression yields the empty sequence. Emitted only when the
+	// dead loop cannot be pruned away (impure body, or pruning off).
+	CodeWhereFalse = "XQA007"
 )
 
 // Diagnostic is one analyzer finding.

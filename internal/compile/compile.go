@@ -18,7 +18,10 @@ import (
 // Execution-time knobs (strategy, cost-based choice) are deliberately
 // absent: two compilations with equal Options and inputs yield
 // interchangeable plans, which is what lets the engine's plan cache key
-// on Options.Fingerprint.
+// on Options.Fingerprint. cmd/xqvet (cachekey) enforces that every
+// field here is read by Fingerprint.
+//
+//xqvet:cachekey consumed-by=Fingerprint
 type Options struct {
 	// DisableAnalyzer turns off the static analysis pass (diagnostics,
 	// empty-subplan pruning, pattern cardinality annotation).

@@ -25,8 +25,8 @@ type cacheEntry struct {
 type planCache struct {
 	mu   sync.Mutex
 	max  int
-	ll   *list.List // front = most recently used
-	byKy map[cacheKey]*list.Element
+	ll   *list.List                 // front = most recently used; guarded by mu
+	byKy map[cacheKey]*list.Element // guarded by mu
 }
 
 func newPlanCache(max int) *planCache {

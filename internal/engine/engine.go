@@ -112,10 +112,10 @@ func (c Config) withDefaults() Config {
 type document struct {
 	name string
 	mu   sync.RWMutex
-	st   *storage.Store
-	syn  *stats.Synopsis
-	gen  uint64
-	acct *storage.Accountant
+	st   *storage.Store      // guarded by mu
+	syn  *stats.Synopsis     // guarded by mu
+	gen  uint64              // guarded by mu
+	acct *storage.Accountant // guarded by mu
 }
 
 func (d *document) snapshot() (*storage.Store, *stats.Synopsis, uint64) {
@@ -129,12 +129,12 @@ func (d *document) snapshot() (*storage.Store, *stats.Synopsis, uint64) {
 type Engine struct {
 	cfg  Config
 	mu   sync.RWMutex
-	docs map[string]*document
+	docs map[string]*document // guarded by mu
 	// lastGen remembers the final generation of closed documents so a
 	// re-register of the same name resumes the sequence instead of
 	// restarting at 1 — otherwise plan-cache keys (doc, gen, query, fp)
 	// compiled against the old content would collide with the new one.
-	lastGen map[string]uint64
+	lastGen map[string]uint64 // guarded by mu
 	cache   *planCache
 	// tickets bounds admission (executing + queued); slots bounds
 	// execution. A query holds a ticket for its whole stay and a slot
@@ -188,12 +188,12 @@ func (e *Engine) RegisterStore(name string, st *storage.Store) {
 	// New entries are published fully initialized (a concurrent Query or
 	// Docs must never snapshot a nil store), with the generation resumed
 	// from any previously closed document of the same name.
-	d := &document{name: name, st: st, syn: syn, gen: e.lastGen[name] + 1}
+	var acct *storage.Accountant
 	if e.cfg.TrackPages {
-		d.acct = storage.NewAccountant()
-		st.SetAccountant(d.acct)
+		acct = storage.NewAccountant()
+		st.SetAccountant(acct)
 	}
-	e.docs[name] = d
+	e.docs[name] = &document{name: name, st: st, syn: syn, gen: e.lastGen[name] + 1, acct: acct}
 }
 
 // Update applies an exclusive copy-on-write update to a document: fn
@@ -285,27 +285,40 @@ func (e *Engine) lookup(name string) (*document, error) {
 }
 
 // QueryOptions configures one query execution.
+//
+// Every field must either shape the compiled plan — and then be read by
+// compileOptions, which feeds the plan-cache fingerprint — or be marked
+// execution-only below; cmd/xqvet (cachekey) enforces the split so a new
+// knob cannot silently alias cached plans.
+//
+//xqvet:cachekey consumed-by=compileOptions
 type QueryOptions struct {
 	// Strategy selects the physical τ implementation (default auto).
+	// Execution-only: the plan is strategy-agnostic (dispatch happens per
+	// τ operator at run time). xqvet:cachekey exec-only
 	Strategy exec.Strategy
 	// CostBased installs the synopsis-driven strategy chooser when
-	// Strategy is auto.
+	// Strategy is auto. Execution-only for the same reason as Strategy.
+	// xqvet:cachekey exec-only
 	CostBased bool
 	// DisableRewrites / DisableAnalyzer ablate pipeline stages (these
 	// shape the plan and are part of the cache key).
 	DisableRewrites bool
 	DisableAnalyzer bool
 	// NoCache bypasses the plan cache for this query (both lookup and
-	// fill) without disabling it engine-wide.
+	// fill) without disabling it engine-wide; it controls cache use, so
+	// it is not itself part of the key. xqvet:cachekey exec-only
 	NoCache bool
 	// Trace collects an execution trace into Result.Trace. It does not
 	// shape the compiled plan, so it is deliberately not part of the
 	// plan-cache key (a traced query can hit a plan cached untraced).
+	// xqvet:cachekey exec-only
 	Trace bool
 	// Parallelism is the worker budget for partitioned τ execution
 	// (0 or 1: serial; N>1: up to N workers; negative: one per CPU).
 	// Like Trace it shapes only physical execution, never the compiled
 	// plan, so it is not part of the plan-cache key either.
+	// xqvet:cachekey exec-only
 	Parallelism int
 }
 

@@ -1,0 +1,101 @@
+package engine
+
+// Regression tests for the invariants xqvet enforces statically: the
+// guardedby fix in RegisterStore (the accountant must be wired before
+// the document is published) and the cachekey contract on QueryOptions
+// (plan-shaping flags feed the fingerprint, exec-only flags do not).
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRegisterStoreAccountantWiredBeforePublish: with TrackPages on, a
+// store registered under a brand-new name must already have its page
+// accountant attached by the time RegisterStore returns — the original
+// code attached it after publishing the catalog entry, so an
+// immediately following query could run untracked (and the late write
+// raced Stats). Run under -race in CI.
+func TestRegisterStoreAccountantWiredBeforePublish(t *testing.T) {
+	e := New(Config{TrackPages: true})
+	ctx := context.Background()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					e.Stats()
+				}
+			}
+		}()
+	}
+	for i := 0; i < 20; i++ {
+		name := fmt.Sprintf("doc%d.xml", i)
+		if err := e.Register(name, strings.NewReader(bibXML)); err != nil {
+			t.Fatal(err)
+		}
+		before := e.Stats().PagesTouched
+		if _, err := e.Query(ctx, name, `//book/title`, QueryOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		if after := e.Stats().PagesTouched; after <= before {
+			t.Fatalf("doc %s: PagesTouched %d -> %d; query ran against an unaccounted store", name, before, after)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestFingerprintSeparatesCompileOptions: two queries differing in a
+// plan-shaping flag must not share a cached plan, while exec-only flags
+// (which don't change the compiled plan) must still hit the cache.
+func TestFingerprintSeparatesCompileOptions(t *testing.T) {
+	e := newBibEngine(t, Config{})
+	ctx := context.Background()
+	const q = `//book/title`
+
+	res, err := e.Query(ctx, "bib.xml", q, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cached {
+		t.Fatal("first execution reported Cached")
+	}
+
+	// Exec-only knob: same fingerprint, plan is reused.
+	res, err = e.Query(ctx, "bib.xml", q, QueryOptions{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Cached {
+		t.Fatal("exec-only option Parallelism missed the plan cache")
+	}
+
+	// Plan-shaping knob: different fingerprint, plan is recompiled.
+	res, err = e.Query(ctx, "bib.xml", q, QueryOptions{DisableRewrites: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cached {
+		t.Fatal("DisableRewrites shares a cached plan with the rewritten pipeline")
+	}
+
+	// And each fingerprint caches independently.
+	res, err = e.Query(ctx, "bib.xml", q, QueryOptions{DisableRewrites: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Cached {
+		t.Fatal("second DisableRewrites execution was not served from cache")
+	}
+}

@@ -457,6 +457,9 @@ func subtreeDoc(n value.Node) *xmldoc.Document {
 	return b.Build()
 }
 
+// copyStoreSubtree rebuilds one operand subtree for deep-equal.
+//
+//xqvet:ignore ctxpoll bounded by a single deep-equal operand subtree; the comparison helpers have no engine handle to poll
 func copyStoreSubtree(b *xmldoc.Builder, st *storage.Store, n storage.NodeRef) {
 	switch st.Kind(n) {
 	case xmldoc.KindElement:

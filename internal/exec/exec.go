@@ -80,11 +80,11 @@ type Options struct {
 	// with per-τ strategy records and actual-work counters.
 	Trace bool
 	// Interrupt, when non-nil, is polled at operator boundaries, between
-	// navigation steps, and periodically inside long NoK scans; the first
+	// navigation steps, and periodically inside every matcher's scan
+	// loops (NoK, naive and the join-based algorithms alike); the first
 	// non-nil error aborts the evaluation with that error. Wire it to
 	// context.Context.Err to get cancellation and deadlines (the engine
-	// service does). The join-based and naive matchers are only
-	// interrupted at τ boundaries, not mid-join.
+	// service does).
 	Interrupt func() error
 	// StrictDocs makes doc() references to unknown URIs an error instead
 	// of falling back to the default document (the legacy single-document
@@ -612,10 +612,10 @@ func (e *Engine) matchStore(st *storage.Store, g *pattern.Graph, contexts []stor
 	switch executed {
 	case StrategyNaive:
 		if wantParallel {
-			refs, partitions, parReason = naive.MatchOutputParallel(st, g, contexts, workers, sink)
-			ranParallel = parReason == ""
+			refs, partitions, parReason, err = naive.MatchOutputParallel(st, g, contexts, workers, e.opts.Interrupt, sink)
+			ranParallel = parReason == "" && err == nil
 		} else {
-			refs = naive.MatchOutputCounted(st, g, contexts, sink)
+			refs, err = naive.MatchOutputCounted(st, g, contexts, e.opts.Interrupt, sink)
 		}
 	case StrategyHybrid:
 		e.Metrics.JoinCalls += int64(g.Partition().JoinCount())
@@ -625,28 +625,40 @@ func (e *Engine) matchStore(st *storage.Store, g *pattern.Graph, contexts []stor
 		refs, err = nok.MatchHybridCounted(st, g, contexts, e.opts.Interrupt, sink)
 	case StrategyTwigStack:
 		e.Metrics.JoinCalls += int64(g.VertexCount() - 1)
+		var s join.Stream
 		if wantParallel && g.VertexCount() > 2 {
-			streams, parts := join.VertexStreamsParallel(st, g, workers)
-			partitions, ranParallel = parts, true
-			refs = join.TwigStackStreamsCounted(st, g, streams, sink).Refs()
+			var streams []join.Stream
+			var parts []tally.Partition
+			streams, parts, err = join.VertexStreamsParallel(st, g, workers, e.opts.Interrupt)
+			if err == nil {
+				partitions, ranParallel = parts, true
+				s, err = join.TwigStackStreamsCounted(st, g, streams, e.opts.Interrupt, sink)
+			}
 		} else {
 			if wantParallel {
 				parReason = "single vertex stream"
 			}
-			refs = join.TwigStackCounted(st, g, sink).Refs()
+			s, err = join.TwigStackCounted(st, g, e.opts.Interrupt, sink)
 		}
+		refs = s.Refs()
 	case StrategyPathStack:
 		e.Metrics.JoinCalls += int64(g.VertexCount() - 1)
+		var s join.Stream
 		if wantParallel && g.VertexCount() > 2 {
-			streams, parts := join.VertexStreamsParallel(st, g, workers)
-			partitions, ranParallel = parts, true
-			refs = join.PathStackStreamsCounted(st, g, streams, sink).Refs()
+			var streams []join.Stream
+			var parts []tally.Partition
+			streams, parts, err = join.VertexStreamsParallel(st, g, workers, e.opts.Interrupt)
+			if err == nil {
+				partitions, ranParallel = parts, true
+				s, err = join.PathStackStreamsCounted(st, g, streams, e.opts.Interrupt, sink)
+			}
 		} else {
 			if wantParallel {
 				parReason = "single vertex stream"
 			}
-			refs = join.PathStackCounted(st, g, sink).Refs()
+			s, err = join.PathStackCounted(st, g, e.opts.Interrupt, sink)
 		}
+		refs = s.Refs()
 	default:
 		if wantParallel {
 			var pres nok.ParallelResult
@@ -811,6 +823,11 @@ func (e *Engine) evalConstruct(o *core.ConstructOp, ctx *Context) (value.Sequenc
 	st := storage.FromDoc(doc)
 	var out value.Sequence
 	for c := st.FirstChild(st.Root()); c != storage.NilRef; c = st.NextSibling(c) {
+		if e.opts.Interrupt != nil {
+			if err := e.opts.Interrupt(); err != nil {
+				return nil, err
+			}
+		}
 		out = append(out, value.Node{Store: st, Ref: c})
 	}
 	return out, nil

@@ -75,8 +75,9 @@ func E17Parallel(scales []int, workers int) *Table {
 			var parJ, nstreams int
 			dJSerial := timeIt(func() { MatchTwig(st, g) })
 			dJPar := timeIt(func() {
-				streams, ps := join.VertexStreamsParallel(st, g, workers)
-				parJ = len(join.TwigStackStreamsCounted(st, g, streams, nil))
+				streams, ps, _ := join.VertexStreamsParallel(st, g, workers, nil)
+				s, _ := join.TwigStackStreamsCounted(st, g, streams, nil, nil)
+				parJ = len(s)
 				nstreams = len(ps)
 			})
 			if parJ != serialJ {

@@ -15,14 +15,17 @@ import (
 // immutable, so the scans share it without locks). The stack phase
 // itself stays serial — it is a single coordinated merge — so this
 // parallelizes exactly the scan-dominated part of PathStack/TwigStack.
+// interrupt, when non-nil, is polled by every worker; the first error
+// cancels the build.
 //
 // streams[0] is nil (the anchor stream depends on the caller's
 // context); parts records one partition span per vertex stream, with
 // Root holding the vertex id.
-func VertexStreamsParallel(st *storage.Store, g *pattern.Graph, workers int) (streams []Stream, parts []tally.Partition) {
+func VertexStreamsParallel(st *storage.Store, g *pattern.Graph, workers int, interrupt func() error) (streams []Stream, parts []tally.Partition, err error) {
 	n := g.VertexCount()
 	streams = make([]Stream, n)
 	parts = make([]tally.Partition, n-1)
+	errs := make([]error, n)
 	if workers > n-1 {
 		workers = n - 1
 	}
@@ -32,9 +35,13 @@ func VertexStreamsParallel(st *storage.Store, g *pattern.Graph, workers int) (st
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			p := &poller{interrupt: interrupt}
 			for v := range next {
 				t0 := time.Now()
-				streams[v] = VertexStream(st, g.Vertices[v])
+				func() {
+					defer catchInterrupt(&errs[v])
+					streams[v] = vertexStream(st, g.Vertices[v], p)
+				}()
 				parts[v-1] = tally.Partition{
 					Root:    int64(v),
 					Kind:    "stream",
@@ -50,14 +57,20 @@ func VertexStreamsParallel(st *storage.Store, g *pattern.Graph, workers int) (st
 	}
 	close(next)
 	wg.Wait()
-	return streams, parts
+	for _, e := range errs {
+		if e != nil {
+			return nil, nil, e
+		}
+	}
+	return streams, parts, nil
 }
 
 // TwigStackStreamsCounted is TwigStackCounted over prebuilt per-vertex
 // streams (as produced by VertexStreamsParallel); a nil streams slice
 // scans inline.
-func TwigStackStreamsCounted(st *storage.Store, g *pattern.Graph, streams []Stream, c *tally.Counters) Stream {
-	t := newTwigStreams(st, g, streams)
+func TwigStackStreamsCounted(st *storage.Store, g *pattern.Graph, streams []Stream, interrupt func() error, c *tally.Counters) (s Stream, err error) {
+	defer catchInterrupt(&err)
+	t := newTwigStreams(st, g, streams, &poller{interrupt: interrupt})
 	t.run()
 	out := t.merge()
 	if c != nil {
@@ -68,12 +81,13 @@ func TwigStackStreamsCounted(st *storage.Store, g *pattern.Graph, streams []Stre
 			c.Solutions += int64(len(t.sols[l]))
 		}
 	}
-	return out
+	return out, nil
 }
 
 // PathStackStreamsCounted is PathStackCounted over prebuilt per-vertex
 // streams (as produced by VertexStreamsParallel); a nil streams slice
 // scans inline.
-func PathStackStreamsCounted(st *storage.Store, g *pattern.Graph, streams []Stream, c *tally.Counters) Stream {
-	return pathStack(st, g, streams, c)
+func PathStackStreamsCounted(st *storage.Store, g *pattern.Graph, streams []Stream, interrupt func() error, c *tally.Counters) (s Stream, err error) {
+	defer catchInterrupt(&err)
+	return pathStack(st, g, streams, &poller{interrupt: interrupt}, c), nil
 }

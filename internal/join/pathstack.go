@@ -23,20 +23,24 @@ type stackEntry struct {
 // of the path) in document order. Parent-child edges are verified during
 // solution enumeration (the stacks themselves encode only containment).
 func PathStack(st *storage.Store, g *pattern.Graph) Stream {
-	return PathStackCounted(st, g, nil)
+	s, _ := PathStackCounted(st, g, nil, nil)
+	return s
 }
 
 // PathStackCounted is PathStack reporting actual work into c (when
 // non-nil): stream elements consumed by the merge pass and chain
-// solutions enumerated from the stacks.
-func PathStackCounted(st *storage.Store, g *pattern.Graph, c *tally.Counters) Stream {
-	return pathStack(st, g, nil, c)
+// solutions enumerated from the stacks. interrupt, when non-nil, is
+// polled during the scans and the merge pass; its error cancels the
+// join.
+func PathStackCounted(st *storage.Store, g *pattern.Graph, interrupt func() error, c *tally.Counters) (s Stream, err error) {
+	defer catchInterrupt(&err)
+	return pathStack(st, g, nil, &poller{interrupt: interrupt}, c), nil
 }
 
 // pathStack is the PathStack merge over prebuilt per-vertex streams
 // (indexed by vertex id, as from VertexStreamsParallel); a nil streams
 // slice scans them inline.
-func pathStack(st *storage.Store, g *pattern.Graph, streams []Stream, c *tally.Counters) Stream {
+func pathStack(st *storage.Store, g *pattern.Graph, streams []Stream, p *poller, c *tally.Counters) Stream {
 	if !g.IsPath() {
 		panic("join: PathStack requires a non-branching pattern")
 	}
@@ -62,7 +66,7 @@ func pathStack(st *storage.Store, g *pattern.Graph, streams []Stream, c *tally.C
 			if streams != nil {
 				curs[i] = NewCursor(streams[v])
 			} else {
-				curs[i] = NewCursor(VertexStream(st, g.Vertices[v]))
+				curs[i] = NewCursor(vertexStream(st, g.Vertices[v], p))
 			}
 		}
 	}
@@ -78,6 +82,7 @@ func pathStack(st *storage.Store, g *pattern.Graph, streams []Stream, c *tally.C
 	var out Stream
 	seen := make(map[int32]bool)
 	for !curs[leaf].EOF() {
+		p.poll()
 		// qmin: stream with minimal next start.
 		qmin, minStart := -1, int32(1<<31-1)
 		for i := range curs {

@@ -20,6 +20,8 @@ type Pair struct {
 //
 // The algorithm is a single merge pass with a stack of nested ancestors:
 // time O(|ancs| + |descs| + |output|).
+//
+//xqvet:ignore ctxpoll in-memory merge of already-materialized streams; cancellation is polled while the input streams are built
 func StackTree(ancs, descs Stream, rel pattern.Rel) []Pair {
 	var out []Pair
 	var stack []Elem

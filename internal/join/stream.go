@@ -18,6 +18,49 @@ import (
 	"xqp/internal/xmldoc"
 )
 
+// pollEvery is how many stream elements pass between cancellation
+// checks; a power of two keeps the modulo cheap.
+const pollEvery = 256
+
+// interruptPanic carries a cancellation error out of a join;
+// catchInterrupt converts it back at the package boundary.
+type interruptPanic struct{ err error }
+
+// catchInterrupt recovers an interruptPanic into *err; any other panic
+// continues to propagate.
+func catchInterrupt(err *error) {
+	if r := recover(); r != nil {
+		ip, ok := r.(interruptPanic)
+		if !ok {
+			panic(r)
+		}
+		*err = ip.err
+	}
+}
+
+// poller periodically invokes an interrupt callback from scan and merge
+// loops. A nil poller (or nil callback) polls nothing, so the plain
+// un-Counted entry points cost only a nil check.
+type poller struct {
+	interrupt func() error
+	visits    int
+}
+
+// poll counts one unit of scan work and periodically checks the
+// interrupt callback, unwinding with interruptPanic on cancellation.
+func (p *poller) poll() {
+	if p == nil || p.interrupt == nil {
+		return
+	}
+	p.visits++
+	if p.visits%pollEvery != 0 {
+		return
+	}
+	if err := p.interrupt(); err != nil {
+		panic(interruptPanic{err})
+	}
+}
+
 // Elem is one stream element: a node with its interval encoding.
 type Elem struct {
 	Ref        storage.NodeRef
@@ -78,10 +121,17 @@ func elemOf(st *storage.Store, n storage.NodeRef) Elem {
 // pattern vertex (node test plus value predicates), as a tag-index scan
 // would produce it.
 func VertexStream(st *storage.Store, v pattern.Vertex) Stream {
+	return vertexStream(st, v, nil)
+}
+
+// vertexStream is VertexStream polling p during full-store scans (the
+// wildcard and kind-test cases, which visit every node).
+func vertexStream(st *storage.Store, v pattern.Vertex, p *poller) Stream {
 	var out Stream
 	add := func(n storage.NodeRef) {
-		for _, p := range v.Preds {
-			if !p.Matches(st.StringValue(n)) {
+		p.poll()
+		for _, pr := range v.Preds {
+			if !pr.Matches(st.StringValue(n)) {
 				return
 			}
 		}
@@ -91,6 +141,7 @@ func VertexStream(st *storage.Store, v pattern.Vertex) Stream {
 	case v.Attribute:
 		if v.Test.Name == "*" {
 			for i := 0; i < st.NodeCount(); i++ {
+				p.poll()
 				if st.Kind(storage.NodeRef(i)) == xmldoc.KindAttribute {
 					add(storage.NodeRef(i))
 				}
@@ -104,6 +155,7 @@ func VertexStream(st *storage.Store, v pattern.Vertex) Stream {
 	case v.Test.Kind == ast.TestName:
 		if v.Test.Name == "*" {
 			for i := 0; i < st.NodeCount(); i++ {
+				p.poll()
 				if st.Kind(storage.NodeRef(i)) == xmldoc.KindElement {
 					add(storage.NodeRef(i))
 				}
@@ -117,6 +169,7 @@ func VertexStream(st *storage.Store, v pattern.Vertex) Stream {
 	default:
 		// Kind tests: text(), node(), comment(), processing-instruction().
 		for i := 0; i < st.NodeCount(); i++ {
+			p.poll()
 			n := storage.NodeRef(i)
 			if pattern.MatchesKindTest(st, n, v.Test) {
 				add(n)

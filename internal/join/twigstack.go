@@ -23,14 +23,17 @@ const maxStart = int32(1<<31 - 1)
 // It returns the distinct matches of the pattern's output vertex in
 // document order.
 func TwigStack(st *storage.Store, g *pattern.Graph) Stream {
-	return TwigStackCounted(st, g, nil)
+	s, _ := TwigStackCounted(st, g, nil, nil)
+	return s
 }
 
 // TwigStackCounted is TwigStack reporting actual work into c (when
 // non-nil): stream elements consumed by the coordinated cursors and
 // intermediate root-to-leaf path solutions materialized for the merge.
-func TwigStackCounted(st *storage.Store, g *pattern.Graph, c *tally.Counters) Stream {
-	return TwigStackStreamsCounted(st, g, nil, c)
+// interrupt, when non-nil, is polled during the scans and the
+// coordinated merge; its error cancels the join.
+func TwigStackCounted(st *storage.Store, g *pattern.Graph, interrupt func() error, c *tally.Counters) (Stream, error) {
+	return TwigStackStreamsCounted(st, g, nil, interrupt, c)
 }
 
 type twig struct {
@@ -39,6 +42,8 @@ type twig struct {
 	stacks [][]stackEntry
 	parent []pattern.VertexID
 	rel    []pattern.Rel
+	// p polls cancellation from the stream scans and the merge loop.
+	p *poller
 	// path[v] is the root-to-v vertex chain for each leaf vertex.
 	leaves []pattern.VertexID
 	paths  map[pattern.VertexID][]pattern.VertexID
@@ -47,12 +52,12 @@ type twig struct {
 }
 
 func newTwig(st *storage.Store, g *pattern.Graph) *twig {
-	return newTwigStreams(st, g, nil)
+	return newTwigStreams(st, g, nil, nil)
 }
 
 // newTwigStreams builds the twig state over prebuilt per-vertex streams;
 // a nil streams slice scans them inline (the serial path).
-func newTwigStreams(st *storage.Store, g *pattern.Graph, streams []Stream) *twig {
+func newTwigStreams(st *storage.Store, g *pattern.Graph, streams []Stream, p *poller) *twig {
 	n := g.VertexCount()
 	t := &twig{
 		g:      g,
@@ -60,19 +65,20 @@ func newTwigStreams(st *storage.Store, g *pattern.Graph, streams []Stream) *twig
 		stacks: make([][]stackEntry, n),
 		parent: make([]pattern.VertexID, n),
 		rel:    make([]pattern.Rel, n),
+		p:      p,
 		paths:  map[pattern.VertexID][]pattern.VertexID{},
 		sols:   map[pattern.VertexID][][]Elem{},
 	}
 	t.curs[0] = NewCursor(RootStream(st))
 	t.parent[0] = -1
 	for v := 1; v < n; v++ {
-		p, rel := g.Parent(pattern.VertexID(v))
-		t.parent[v] = p
+		pv, rel := g.Parent(pattern.VertexID(v))
+		t.parent[v] = pv
 		t.rel[v] = rel
 		if streams != nil {
 			t.curs[v] = NewCursor(streams[v])
 		} else {
-			t.curs[v] = NewCursor(VertexStream(st, g.Vertices[v]))
+			t.curs[v] = NewCursor(vertexStream(st, g.Vertices[v], p))
 		}
 	}
 	for v := 0; v < n; v++ {
@@ -129,6 +135,7 @@ func (t *twig) getNext(q pattern.VertexID) pattern.VertexID {
 		}
 	}
 	for !t.curs[q].EOF() && t.curs[q].NextEnd() < maxL {
+		t.p.poll()
 		t.curs[q].Advance()
 	}
 	if t.curs[q].NextStart() < minL {
@@ -143,6 +150,7 @@ func (t *twig) getNext(q pattern.VertexID) pattern.VertexID {
 
 func (t *twig) run() {
 	for !t.end() {
+		t.p.poll()
 		q := t.getNext(0)
 		if t.curs[q].EOF() {
 			// Exhausted subtree reported; nothing further can match it.

@@ -1,0 +1,26 @@
+// Package analyzers holds the xqvet invariant checkers: this
+// repository's project-specific contracts (concurrency annotations,
+// plan-cache key coverage, cancellation polling, tally instrumentation
+// discipline) plus the two style checks inherited from cmd/xqlint.
+// See DESIGN.md §9 for each analyzer's contract and annotation syntax.
+package analyzers
+
+import "xqp/internal/lint"
+
+// All returns the full xqvet suite in reporting order.
+func All() []*lint.Analyzer {
+	return []*lint.Analyzer{
+		GuardedBy,
+		CacheKey,
+		CtxPoll,
+		TallyDiscipline,
+		NoPanic,
+		ExportedDoc,
+	}
+}
+
+// Syntactic returns the subset that runs without type information (the
+// checks cmd/xqlint historically performed).
+func Syntactic() []*lint.Analyzer {
+	return []*lint.Analyzer{NoPanic, ExportedDoc}
+}

@@ -1,0 +1,67 @@
+package analyzers
+
+import (
+	"strings"
+	"testing"
+
+	"xqp/internal/lint"
+	"xqp/internal/lint/linttest"
+)
+
+// TestAnalyzers drives every analyzer over its trigger-and-pass
+// fixtures under testdata/src, matching diagnostics against the
+// fixtures' want comments.
+func TestAnalyzers(t *testing.T) {
+	cases := []struct {
+		name string
+		a    *lint.Analyzer
+		pkgs []string
+	}{
+		{"guardedby", GuardedBy, []string{"guardedby/a"}},
+		{"cachekey", CacheKey, []string{"cachekey/a"}},
+		{"ctxpoll", CtxPoll, []string{"ctxpoll/nok", "ctxpoll/other"}},
+		{"tallydiscipline", TallyDiscipline, []string{"tallydiscipline/exec"}},
+		{"nopanic", NoPanic, []string{"nopanic/exec"}},
+		{"exporteddoc", ExportedDoc, []string{"suppress/a"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			linttest.Run(t, "testdata/src", tc.a, tc.pkgs...)
+		})
+	}
+}
+
+// TestMalformedIgnoreReported checks that a reason-less ignore
+// directive is itself a finding, independent of any analyzer.
+func TestMalformedIgnoreReported(t *testing.T) {
+	pkgs := linttest.Load(t, "testdata/src", "suppress/mal")
+	diags, err := lint.Run(pkgs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	if d := diags[0]; d.Analyzer != "xqvet" || !strings.Contains(d.Message, "malformed ignore directive") {
+		t.Fatalf("unexpected diagnostic: %s", d)
+	}
+}
+
+// TestAllIncludesEveryAnalyzer pins the suite composition cmd/xqvet
+// runs with.
+func TestAllIncludesEveryAnalyzer(t *testing.T) {
+	names := map[string]bool{}
+	for _, a := range All() {
+		names[a.Name] = true
+	}
+	for _, want := range []string{"guardedby", "cachekey", "ctxpoll", "tallydiscipline", "nopanic", "exporteddoc"} {
+		if !names[want] {
+			t.Errorf("All() is missing analyzer %s", want)
+		}
+	}
+	for _, a := range Syntactic() {
+		if a.NeedsTypes {
+			t.Errorf("Syntactic() contains type-needing analyzer %s", a.Name)
+		}
+	}
+}

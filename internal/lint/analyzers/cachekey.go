@@ -1,0 +1,161 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"xqp/internal/lint"
+)
+
+// CacheKey enforces plan-cache key coverage for options structs. A
+// struct opts in with:
+//
+//	//xqvet:cachekey consumed-by=Fingerprint,compileOptions
+//	type Options struct { ... }
+//
+// declares that every field either feeds the plan-cache fingerprint —
+// i.e. is referenced inside one of the named consumer functions — or is
+// explicitly marked execution-only:
+//
+//	Trace *Trace // xqvet:cachekey exec-only
+//
+// This catches the bug class where a new knob changes compilation
+// output but is left out of the cache key, so two queries differing
+// only in that knob silently share a cached plan (the PR 5 fingerprint
+// contract).
+var CacheKey = &lint.Analyzer{
+	Name:       "cachekey",
+	Doc:        "every field of a //xqvet:cachekey struct must feed a consumer or be marked exec-only",
+	NeedsTypes: true,
+	Run:        runCacheKey,
+}
+
+const (
+	cachekeyDirective = "//xqvet:cachekey consumed-by="
+	execOnlyMarker    = "xqvet:cachekey exec-only"
+)
+
+func runCacheKey(pass *lint.Pass) error {
+	type target struct {
+		spec      *ast.TypeSpec
+		consumers []string
+	}
+	var targets []target
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Doc == nil {
+				continue
+			}
+			consumers := parseCachekeyDirective(gd.Doc)
+			if consumers == nil {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if _, isStruct := ts.Type.(*ast.StructType); !isStruct {
+					pass.Reportf(ts.Pos(), "//xqvet:cachekey on non-struct type %s", ts.Name.Name)
+					continue
+				}
+				targets = append(targets, target{ts, consumers})
+			}
+		}
+	}
+	if len(targets) == 0 {
+		return nil
+	}
+
+	// Index the consumer function bodies by name (functions and methods
+	// of this package alike).
+	bodies := map[string][]*ast.BlockStmt{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				bodies[fd.Name.Name] = append(bodies[fd.Name.Name], fd.Body)
+			}
+		}
+	}
+
+	for _, t := range targets {
+		// Collect every field object the consumers touch.
+		used := map[types.Object]bool{}
+		for _, name := range t.consumers {
+			bs, ok := bodies[name]
+			if !ok {
+				pass.Reportf(t.spec.Pos(), "cachekey consumer %s is not a function in this package", name)
+				continue
+			}
+			for _, b := range bs {
+				ast.Inspect(b, func(n ast.Node) bool {
+					if sel, ok := n.(*ast.SelectorExpr); ok {
+						if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.FieldVal {
+							used[s.Obj()] = true
+						}
+					}
+					return true
+				})
+			}
+		}
+
+		st := t.spec.Type.(*ast.StructType)
+		for _, field := range st.Fields.List {
+			if fieldHasExecOnly(field) {
+				continue
+			}
+			for _, name := range field.Names {
+				obj := pass.TypesInfo.Defs[name]
+				if obj == nil || used[obj] {
+					continue
+				}
+				pass.Reportf(name.Pos(),
+					"%s.%s is not read by any cache-key consumer (%s); add it to the fingerprint or mark it '// xqvet:cachekey exec-only'",
+					t.spec.Name.Name, name.Name, strings.Join(t.consumers, ", "))
+			}
+		}
+	}
+	return nil
+}
+
+// parseCachekeyDirective extracts the consumer list from a doc comment,
+// or nil when the directive is absent.
+func parseCachekeyDirective(doc *ast.CommentGroup) []string {
+	for _, c := range doc.List {
+		text := strings.TrimSpace(c.Text)
+		rest, ok := strings.CutPrefix(text, cachekeyDirective)
+		if !ok {
+			continue
+		}
+		var consumers []string
+		for _, name := range strings.Split(rest, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				consumers = append(consumers, name)
+			}
+		}
+		if consumers == nil {
+			consumers = []string{}
+		}
+		return consumers
+	}
+	return nil
+}
+
+// fieldHasExecOnly reports whether a field carries the exec-only marker
+// in its line comment or doc.
+func fieldHasExecOnly(field *ast.Field) bool {
+	for _, cg := range []*ast.CommentGroup{field.Comment, field.Doc} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, execOnlyMarker) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,267 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"xqp/internal/lint"
+)
+
+// CtxPoll requires store-scan loops in the matcher packages to poll
+// cancellation. A query over a multi-hundred-MB document walks millions
+// of nodes; a scan loop that never checks the interrupt callback turns
+// Options.Interrupt into a lie (the ctx.Done() deadline simply never
+// fires mid-query).
+//
+// Scope: packages named exec, nok, join and naive. A "scan loop" is a
+// for/range statement whose condition, post statement or body (outside
+// nested function literals) advances a storage scan — calls
+// FirstChild/NextSibling/Parent/NodeCount on a storage.Store, or
+// Advance on a join Cursor. Such a loop must reach a poll — a call to a
+// function or method named poll, Poll, interrupt, Interrupt or Err —
+// either directly in its body or transitively through same-package
+// functions (bounded depth), counting deferred catchInterrupt-style
+// recovery helpers' callees too.
+var CtxPoll = &lint.Analyzer{
+	Name:       "ctxpoll",
+	Doc:        "store-scan loops in matcher packages must poll cancellation",
+	NeedsTypes: true,
+	Run:        runCtxPoll,
+}
+
+// ctxPollPackages are the packages whose scan loops are checked.
+var ctxPollPackages = map[string]bool{
+	"exec": true, "nok": true, "join": true, "naive": true,
+}
+
+// navStoreMethods advance a node scan on a storage.Store.
+var navStoreMethods = map[string]bool{
+	"FirstChild": true, "NextSibling": true, "Parent": true, "NodeCount": true,
+}
+
+// isPollName reports whether a callee name counts as a cancellation
+// check. Any poll-prefixed helper qualifies (poll, pollAux, PollEvery),
+// alongside the interrupt/Err idioms.
+func isPollName(name string) bool {
+	switch name {
+	case "interrupt", "Interrupt", "Err":
+		return true
+	}
+	return strings.HasPrefix(name, "poll") || strings.HasPrefix(name, "Poll")
+}
+
+const ctxPollMaxDepth = 6
+
+func runCtxPoll(pass *lint.Pass) error {
+	if !ctxPollPackages[pass.Pkg.Name()] {
+		return nil
+	}
+
+	// Index same-package functions and methods by name so
+	// poll-reachability can follow local helper calls.
+	funcs := map[string][]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				funcs[fd.Name.Name] = append(funcs[fd.Name.Name], fd)
+			}
+		}
+	}
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// Track named closures (rec := func..., var rec func; rec =
+			// func...) so recursive local walkers count as followable.
+			closures := map[string]*ast.FuncLit{}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if as, ok := n.(*ast.AssignStmt); ok && len(as.Lhs) == len(as.Rhs) {
+					for i := range as.Lhs {
+						if id, ok := as.Lhs[i].(*ast.Ident); ok {
+							if lit, ok := as.Rhs[i].(*ast.FuncLit); ok {
+								closures[id.Name] = lit
+							}
+						}
+					}
+				}
+				return true
+			})
+			c := &pollChecker{pass: pass, funcs: funcs, closures: closures}
+			c.walk(fd.Body)
+		}
+	}
+	return nil
+}
+
+// pollChecker finds scan loops in one function and verifies each polls.
+type pollChecker struct {
+	pass     *lint.Pass
+	funcs    map[string][]*ast.FuncDecl
+	closures map[string]*ast.FuncLit
+}
+
+func (c *pollChecker) walk(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		var loopBody *ast.BlockStmt
+		var scanParts []ast.Node
+		switch l := n.(type) {
+		case *ast.ForStmt:
+			loopBody = l.Body
+			if l.Cond != nil {
+				scanParts = append(scanParts, l.Cond)
+			}
+			if l.Post != nil {
+				scanParts = append(scanParts, l.Post)
+			}
+			if l.Init != nil {
+				scanParts = append(scanParts, l.Init)
+			}
+			scanParts = append(scanParts, l.Body)
+		case *ast.RangeStmt:
+			loopBody = l.Body
+			scanParts = append(scanParts, l.X, l.Body)
+		default:
+			return true
+		}
+		if !c.anyAdvancesScan(scanParts) {
+			return true
+		}
+		if !c.polls(loopBody, map[string]bool{}, ctxPollMaxDepth) {
+			c.pass.Reportf(n.Pos(), "store-scan loop does not poll cancellation (call poll()/interrupt() in the loop body, or annotate //xqvet:ignore ctxpoll <reason>)")
+		}
+		return true
+	})
+}
+
+// anyAdvancesScan reports whether any of the nodes (outside nested
+// function literals) makes a scan-advancing navigation call.
+func (c *pollChecker) anyAdvancesScan(nodes []ast.Node) bool {
+	for _, node := range nodes {
+		found := false
+		ast.Inspect(node, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok && c.isNavCall(call) {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// isNavCall reports whether a call advances a store or cursor scan:
+// Store.FirstChild/NextSibling/Parent/NodeCount, or Cursor.Advance.
+func (c *pollChecker) isNavCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	name := sel.Sel.Name
+	if !navStoreMethods[name] && name != "Advance" {
+		return false
+	}
+	tv, ok := c.pass.TypesInfo.Types[sel.X]
+	if !ok {
+		return false
+	}
+	recv := namedTypeName(tv.Type)
+	if name == "Advance" {
+		return recv == "Cursor"
+	}
+	return recv == "Store"
+}
+
+// namedTypeName unwraps pointers and returns the named type's bare name
+// ("Store" for *xqp/internal/storage.Store), or "".
+func namedTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	return named.Obj().Name()
+}
+
+// polls reports whether the node reaches a cancellation check, following
+// same-package function and closure calls up to depth.
+func (c *pollChecker) polls(node ast.Node, visiting map[string]bool, depth int) bool {
+	if depth < 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			if isPollName(fun.Sel.Name) {
+				found = true
+				return false
+			}
+			// Follow same-package method calls (m.test → m.poll).
+			if f, ok := c.pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok && f.Pkg() == c.pass.Pkg {
+				if c.follow(fun.Sel.Name, visiting, depth) {
+					found = true
+					return false
+				}
+			}
+		case *ast.Ident:
+			if isPollName(fun.Name) {
+				found = true
+				return false
+			}
+			if c.follow(fun.Name, visiting, depth) {
+				found = true
+				return false
+			}
+			if lit, ok := c.closures[fun.Name]; ok && !visiting[fun.Name] {
+				visiting[fun.Name] = true
+				if c.polls(lit.Body, visiting, depth-1) {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// follow descends into the same-package function declarations named
+// name, reporting whether any of them polls.
+func (c *pollChecker) follow(name string, visiting map[string]bool, depth int) bool {
+	if visiting[name] {
+		return false
+	}
+	fds, ok := c.funcs[name]
+	if !ok {
+		return false
+	}
+	visiting[name] = true
+	for _, fd := range fds {
+		if c.polls(fd.Body, visiting, depth-1) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,64 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+
+	"xqp/internal/lint"
+)
+
+// wellKnownMethods are interface implementations whose contract is given
+// by the interface itself (fmt.Stringer, error, sort.Interface, the
+// core.Op plan-node interface); requiring a doc comment on each would be
+// noise.
+var wellKnownMethods = map[string]bool{
+	"String": true, "Error": true, "GoString": true,
+	"Len": true, "Less": true, "Swap": true,
+	"Children": true, "Label": true,
+}
+
+// ExportedDoc requires a doc comment on every exported package-level
+// function, method and type in non-main packages.
+var ExportedDoc = &lint.Analyzer{
+	Name: "exporteddoc",
+	Doc:  "require doc comments on exported declarations",
+	Run:  runExportedDoc,
+}
+
+func runExportedDoc(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		if f.Name.Name == "main" {
+			continue
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Name.IsExported() && d.Doc == nil &&
+					!(d.Recv != nil && wellKnownMethods[d.Name.Name]) {
+					pass.Reportf(d.Pos(), "exported %s %s has no doc comment", funcKind(d), d.Name.Name)
+				}
+			case *ast.GenDecl:
+				if d.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok || !ts.Name.IsExported() {
+						continue
+					}
+					if d.Doc == nil && ts.Doc == nil {
+						pass.Reportf(ts.Pos(), "exported type %s has no doc comment", ts.Name.Name)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func funcKind(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}

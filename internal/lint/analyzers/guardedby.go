@@ -1,0 +1,471 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"xqp/internal/lint"
+)
+
+// GuardedBy enforces the lock annotations this codebase writes in field
+// comments:
+//
+//	mu   sync.RWMutex
+//	docs map[string]*document // guarded by mu
+//
+// A field annotated "guarded by <mu>" may only be accessed while the
+// same receiver's <mu> is held: writes require the exclusive lock
+// (Lock), reads accept the shared one (RLock). When <mu> names a
+// sync.Once field, accesses are legal inside the function passed to
+// Do() and after a Do() call in the same function. Construction through
+// composite literals is naturally exempt (the struct is not shared
+// yet); functions whose name ends in "Locked" or whose doc comment says
+// "caller holds <mu>" are checked as if the lock were held on entry.
+//
+// This is a flow-insensitive-per-branch linear check, not a whole
+// program alias analysis: it tracks locks by the source text of the
+// guard expression ("e.mu", "d.mu"), which matches how the annotated
+// structs are actually used here — methods locking their own receiver's
+// mutex before touching its fields. It exists to catch the engine
+// catalog and cost-model race class (PR 2/PR 3) at review time.
+var GuardedBy = &lint.Analyzer{
+	Name:       "guardedby",
+	Doc:        "fields annotated 'guarded by <mu>' must be accessed under that lock",
+	NeedsTypes: true,
+	Run:        runGuardedBy,
+}
+
+var (
+	guardedByRe   = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+	callerHoldsRe = regexp.MustCompile(`caller holds ([A-Za-z_][A-Za-z0-9_.]*)`)
+)
+
+// guardInfo describes one annotated field: the guarding field's name
+// within the same struct and whether the guard is a sync.Once.
+type guardInfo struct {
+	mu   string
+	once bool
+}
+
+// lockMode is the strength a held lock provides.
+type lockMode uint8
+
+const (
+	lockNone lockMode = iota
+	lockRead
+	lockWrite
+)
+
+func runGuardedBy(pass *lint.Pass) error {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c := &guardChecker{pass: pass, guards: guards}
+			held := map[string]lockMode{}
+			if strings.HasSuffix(fd.Name.Name, "Locked") {
+				c.holdAll = true
+			}
+			if fd.Doc != nil {
+				for _, m := range callerHoldsRe.FindAllStringSubmatch(fd.Doc.Text(), -1) {
+					// "caller holds c.mu." — don't swallow the sentence period.
+					held[strings.TrimRight(m[1], ".")] = lockWrite
+				}
+			}
+			c.block(fd.Body.List, held)
+		}
+	}
+	return nil
+}
+
+// collectGuards maps every annotated field object to its guard.
+func collectGuards(pass *lint.Pass) map[types.Object]guardInfo {
+	guards := map[types.Object]guardInfo{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			muTypes := map[string]bool{} // mutex field name -> is sync.Once
+			muKnown := map[string]bool{}
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					obj := pass.TypesInfo.Defs[name]
+					if obj == nil {
+						continue
+					}
+					tn := obj.Type().String()
+					if tn == "sync.Mutex" || tn == "sync.RWMutex" || tn == "sync.Once" {
+						muKnown[name.Name] = true
+						muTypes[name.Name] = tn == "sync.Once"
+					}
+				}
+			}
+			for _, field := range st.Fields.List {
+				m := matchGuardComment(field)
+				if m == "" {
+					continue
+				}
+				if !muKnown[m] {
+					pass.Reportf(field.Pos(), "guarded by %s: no sync.Mutex/RWMutex/Once field %s in this struct", m, m)
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						guards[obj] = guardInfo{mu: m, once: muTypes[m]}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// matchGuardComment extracts the guard name from a field's comment or
+// doc ("guarded by mu"), or "" when the field is unannotated.
+func matchGuardComment(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Comment, field.Doc} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// guardChecker walks one function body, tracking which guard
+// expressions are held along the current path.
+type guardChecker struct {
+	pass    *lint.Pass
+	guards  map[types.Object]guardInfo
+	holdAll bool
+}
+
+// block checks a statement list sequentially, threading lock state.
+func (c *guardChecker) block(stmts []ast.Stmt, held map[string]lockMode) {
+	for _, s := range stmts {
+		c.stmt(s, held)
+	}
+}
+
+// copyHeld snapshots the lock state for a branch.
+func copyHeld(held map[string]lockMode) map[string]lockMode {
+	out := make(map[string]lockMode, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+// stmt checks one statement. Lock acquisitions propagate forward within
+// the same block; acquisitions inside branches do not escape them (a
+// conservative approximation that matches the lock-at-function-top
+// style of the annotated code).
+func (c *guardChecker) stmt(s ast.Stmt, held map[string]lockMode) {
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		if c.lockTransition(st.X, held) {
+			return
+		}
+		c.exprRead(st.X, held)
+	case *ast.DeferStmt:
+		// A deferred Unlock keeps the lock held for the rest of the
+		// function; any other deferred call is checked as a closure
+		// running with the current locks (the dominant pattern is
+		// defer mu.Unlock() right after Lock()).
+		if name := muMethodName(st.Call); name == "Unlock" || name == "RUnlock" {
+			return
+		}
+		c.exprRead(st.Call, held)
+	case *ast.AssignStmt:
+		for _, r := range st.Rhs {
+			c.exprRead(r, held)
+		}
+		for _, l := range st.Lhs {
+			c.exprWrite(l, held)
+		}
+	case *ast.IncDecStmt:
+		c.exprWrite(st.X, held)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			c.stmt(st.Init, held)
+		}
+		c.exprRead(st.Cond, held)
+		c.block(st.Body.List, copyHeld(held))
+		if st.Else != nil {
+			c.stmt(st.Else, copyHeld(held))
+		}
+	case *ast.BlockStmt:
+		c.block(st.List, copyHeld(held))
+	case *ast.ForStmt:
+		if st.Init != nil {
+			c.stmt(st.Init, held)
+		}
+		if st.Cond != nil {
+			c.exprRead(st.Cond, held)
+		}
+		inner := copyHeld(held)
+		c.block(st.Body.List, inner)
+		if st.Post != nil {
+			c.stmt(st.Post, inner)
+		}
+	case *ast.RangeStmt:
+		c.exprRead(st.X, held)
+		inner := copyHeld(held)
+		if st.Key != nil {
+			c.exprWrite(st.Key, inner)
+		}
+		if st.Value != nil {
+			c.exprWrite(st.Value, inner)
+		}
+		c.block(st.Body.List, inner)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			c.stmt(st.Init, held)
+		}
+		if st.Tag != nil {
+			c.exprRead(st.Tag, held)
+		}
+		for _, cl := range st.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					c.exprRead(e, held)
+				}
+				c.block(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			c.stmt(st.Init, held)
+		}
+		c.stmt(st.Assign, held)
+		for _, cl := range st.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				c.block(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cl := range st.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok {
+				if cc.Comm != nil {
+					c.stmt(cc.Comm, copyHeld(held))
+				}
+				c.block(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			c.exprRead(r, held)
+		}
+	case *ast.GoStmt:
+		// The goroutine runs later, without the caller's locks.
+		c.exprInFuncLits(st.Call, map[string]lockMode{})
+		for _, a := range st.Call.Args {
+			if _, isLit := a.(*ast.FuncLit); !isLit {
+				c.exprRead(a, held)
+			}
+		}
+	case *ast.SendStmt:
+		c.exprRead(st.Chan, held)
+		c.exprRead(st.Value, held)
+	case *ast.LabeledStmt:
+		c.stmt(st.Stmt, held)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.exprRead(v, held)
+					}
+				}
+			}
+		}
+	}
+}
+
+// lockTransition updates held for mu.Lock()/RLock()/Unlock()/RUnlock()
+// and once.Do(...) calls, returning true when the statement was one.
+func (c *guardChecker) lockTransition(e ast.Expr, held map[string]lockMode) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	guard := exprText(sel.X)
+	switch sel.Sel.Name {
+	case "Lock":
+		held[guard] = lockWrite
+	case "RLock":
+		held[guard] = lockRead
+	case "Unlock", "RUnlock":
+		delete(held, guard)
+	case "Do":
+		if len(call.Args) == 1 {
+			// Inside the Do callback the Once guard is exclusively
+			// held; after Do returns, the guarded value is published
+			// for reading.
+			if lit, isLit := call.Args[0].(*ast.FuncLit); isLit {
+				inner := copyHeld(held)
+				inner[guard] = lockWrite
+				c.block(lit.Body.List, inner)
+			} else {
+				c.exprRead(call.Args[0], held)
+			}
+			held[guard] = lockRead
+			return true
+		}
+		return false
+	default:
+		return false
+	}
+	return true
+}
+
+// muMethodName returns the method name of a mutex-looking call ("Lock",
+// "Unlock", ...), or "".
+func muMethodName(call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return sel.Sel.Name
+	}
+	return ""
+}
+
+// exprRead checks every guarded-field access in an expression as a read.
+func (c *guardChecker) exprRead(e ast.Expr, held map[string]lockMode) {
+	c.expr(e, held, lockRead)
+}
+
+// exprWrite checks the top-level accessed field as a write and its
+// subexpressions as reads. A map/slice index on a guarded field (m[k] =
+// v, delete(m, k)) counts as writing the field.
+func (c *guardChecker) exprWrite(e ast.Expr, held map[string]lockMode) {
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		c.checkAccess(x, held, lockWrite)
+		c.expr(x.X, held, lockRead)
+	case *ast.IndexExpr:
+		c.exprWrite(x.X, held)
+		c.expr(x.Index, held, lockRead)
+	case *ast.StarExpr:
+		c.expr(x.X, held, lockRead)
+	default:
+		c.expr(e, held, lockRead)
+	}
+}
+
+// expr walks an expression, checking guarded-field selector accesses at
+// the given mode. Function literals are checked with empty lock state
+// unless invoked inline.
+func (c *guardChecker) expr(e ast.Expr, held map[string]lockMode, mode lockMode) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SelectorExpr:
+			c.checkAccess(x, held, mode)
+			// Keep walking: the base may itself be guarded.
+			return true
+		case *ast.CallExpr:
+			// delete(m, k) mutates its map argument.
+			if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "delete" && len(x.Args) == 2 {
+				c.exprWrite(x.Args[0], held)
+				c.expr(x.Args[1], held, lockRead)
+				return false
+			}
+			return true
+		case *ast.FuncLit:
+			c.block(x.Body.List, copyHeld(held))
+			return false
+		}
+		return true
+	})
+}
+
+// exprInFuncLits checks only the function literals of an expression,
+// with the given lock state (used for go statements).
+func (c *guardChecker) exprInFuncLits(e ast.Expr, held map[string]lockMode) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			c.block(lit.Body.List, copyHeld(held))
+			return false
+		}
+		return true
+	})
+}
+
+// checkAccess reports a guarded-field selector access made without the
+// required lock.
+func (c *guardChecker) checkAccess(sel *ast.SelectorExpr, held map[string]lockMode, mode lockMode) {
+	if c.holdAll {
+		return
+	}
+	s, ok := c.pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return
+	}
+	g, guarded := c.guards[s.Obj()]
+	if !guarded {
+		return
+	}
+	guard := exprText(sel.X) + "." + g.mu
+	got := held[guard]
+	if got == lockWrite || (mode == lockRead && got == lockRead) {
+		return
+	}
+	verb := "read"
+	need := g.mu
+	if mode == lockWrite {
+		verb = "written"
+		if !g.once {
+			need += " (exclusive)"
+		}
+	}
+	c.pass.Reportf(sel.Sel.Pos(), "%s.%s is %s without holding %s", exprText(sel.X), sel.Sel.Name, verb, guardDesc(g, need))
+}
+
+func guardDesc(g guardInfo, need string) string {
+	if g.once {
+		return need + " (sync.Once: access inside Do() or after calling it)"
+	}
+	return need
+}
+
+// exprText renders the syntactic key of a lock-base expression: "e",
+// "d", "c.inner". Parentheses and dereferences are flattened so (*e).mu
+// and e.mu agree.
+func exprText(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprText(x.X) + "." + x.Sel.Name
+	case *ast.ParenExpr:
+		return exprText(x.X)
+	case *ast.StarExpr:
+		return exprText(x.X)
+	case *ast.IndexExpr:
+		return exprText(x.X) + "[" + exprText(x.Index) + "]"
+	case *ast.BasicLit:
+		return x.Value
+	case *ast.CallExpr:
+		return exprText(x.Fun) + "()"
+	default:
+		return "?"
+	}
+}

@@ -1,0 +1,47 @@
+package analyzers
+
+import (
+	"go/ast"
+	"strings"
+
+	"xqp/internal/lint"
+)
+
+// NoPanic flags panic calls in executor hot paths: a query error must
+// surface as an error value, never crash the engine. It applies to
+// package exec (and any file under an internal/exec directory when run
+// syntactically); must*-helpers are exempt by convention.
+var NoPanic = &lint.Analyzer{
+	Name: "nopanic",
+	Doc:  "forbid panic in the executor outside must*-helpers",
+	Run:  runNoPanic,
+}
+
+func runNoPanic(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		if f.Name.Name != "exec" && !strings.Contains(pass.Fset.Position(f.Pos()).Filename, "internal/exec/") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			name := fd.Name.Name
+			if strings.HasPrefix(name, "must") || strings.HasPrefix(name, "Must") {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+					pass.Reportf(call.Pos(), "panic in executor hot path %s (wrap in a must* helper or return an error)", name)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"xqp/internal/lint"
+)
+
+// TallyDiscipline enforces the executor's instrumentation contract:
+//
+//   - Rule A: the executor dispatch must call the tally-Counted (or
+//     Parallel) variants of the matcher entry points, never the bare
+//     ones — otherwise EXPLAIN ANALYZE silently under-reports node
+//     visits and the cost model trains on garbage.
+//
+//   - Rule B: a plain re-assignment to a Strategy-typed variable must
+//     record why, by assigning a "...reason..." variable in the same
+//     statement. This is the exact shape of the PR 3 cost-chooser bug:
+//     a fallback quietly overwrote the executed strategy with no trace
+//     of the reason, so traces claimed one algorithm while another ran.
+//
+// Scope: package exec only (the only package that dispatches matchers).
+var TallyDiscipline = &lint.Analyzer{
+	Name:       "tallydiscipline",
+	Doc:        "executor dispatch must use Counted matcher variants and record strategy-fallback reasons",
+	NeedsTypes: true,
+	Run:        runTallyDiscipline,
+}
+
+// matcherEntryRe matches the bare matcher entry points of the matcher
+// packages (their Counted/Parallel variants contain those words).
+var matcherEntryRe = regexp.MustCompile(`^(Match|TwigStack|PathStack|VertexStream)`)
+
+// matcherPackages are the packages whose entry points must be Counted.
+var matcherPackages = map[string]bool{"nok": true, "join": true, "naive": true}
+
+func runTallyDiscipline(pass *lint.Pass) error {
+	if pass.Pkg.Name() != "exec" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				checkMatcherCall(pass, x)
+			case *ast.AssignStmt:
+				checkStrategyAssign(pass, x)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMatcherCall reports bare (uncounted) matcher entry-point calls.
+func checkMatcherCall(pass *lint.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	pkgID, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	if pn, ok := pass.TypesInfo.Uses[pkgID].(*types.PkgName); !ok || !matcherPackages[pn.Imported().Name()] {
+		return
+	}
+	name := sel.Sel.Name
+	if !matcherEntryRe.MatchString(name) {
+		return
+	}
+	if strings.Contains(name, "Counted") || strings.Contains(name, "Parallel") {
+		return
+	}
+	pass.Reportf(call.Pos(), "executor calls uncounted matcher %s.%s (use the Counted/Parallel variant so tallies reach the trace)", pkgID.Name, name)
+}
+
+// checkStrategyAssign reports plain `=` assignments to a Strategy-typed
+// variable that do not also assign a reason variable.
+func checkStrategyAssign(pass *lint.Pass, as *ast.AssignStmt) {
+	if as.Tok != token.ASSIGN {
+		return // := defines the initial choice; only silent overwrites matter
+	}
+	strategyLHS := ""
+	hasReason := false
+	for _, l := range as.Lhs {
+		id, ok := l.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if strings.Contains(strings.ToLower(id.Name), "reason") {
+			hasReason = true
+			continue
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			continue
+		}
+		if named, ok := obj.Type().(*types.Named); ok &&
+			named.Obj().Name() == "Strategy" && named.Obj().Pkg() == pass.Pkg {
+			// `chosen` is the pre-dispatch selection, set before any
+			// fallback can occur; only the executed strategy needs a
+			// paired reason.
+			if id.Name != "chosen" {
+				strategyLHS = id.Name
+			}
+		}
+	}
+	if strategyLHS != "" && !hasReason {
+		pass.Reportf(as.Pos(), "strategy fallback assigns %s without recording a reason (assign a reason variable in the same statement)", strategyLHS)
+	}
+}

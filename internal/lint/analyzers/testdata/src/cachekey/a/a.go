@@ -1,0 +1,29 @@
+// Package a exercises the cachekey analyzer: every field of an
+// annotated options struct must be read by a named consumer or carry
+// the exec-only marker.
+package a
+
+//xqvet:cachekey consumed-by=fingerprint
+type Options struct {
+	Depth   int
+	Dedup   bool
+	Missing bool // want `Options\.Missing is not read by any cache-key consumer \(fingerprint\)`
+	Trace   bool // xqvet:cachekey exec-only
+}
+
+func fingerprint(o *Options) uint32 {
+	h := uint32(0)
+	if o.Dedup {
+		h |= 1
+	}
+	h ^= uint32(o.Depth) << 1
+	return h
+}
+
+//xqvet:cachekey consumed-by=nosuch
+type Orphan struct { // want `cachekey consumer nosuch is not a function in this package`
+	A int // want `Orphan\.A is not read by any cache-key consumer \(nosuch\)`
+}
+
+//xqvet:cachekey consumed-by=fingerprint
+type NotStruct int // want `//xqvet:cachekey on non-struct type NotStruct`

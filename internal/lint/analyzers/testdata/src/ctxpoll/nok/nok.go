@@ -1,0 +1,103 @@
+// Package nok exercises the ctxpoll analyzer: store-scan loops in a
+// matcher package must reach a poll, directly or through same-package
+// helpers, unless annotated away.
+package nok
+
+import "storage"
+
+type matcher struct {
+	st        *storage.Store
+	interrupt func() error
+	visits    int
+}
+
+func (m *matcher) poll() {
+	m.visits++
+	if m.interrupt != nil && m.visits%256 == 0 {
+		if err := m.interrupt(); err != nil {
+			panic(err)
+		}
+	}
+}
+
+func (m *matcher) badScan(n storage.NodeRef) int {
+	k := 0
+	for c := m.st.FirstChild(n); c != storage.NilRef; c = m.st.NextSibling(c) { // want `store-scan loop does not poll cancellation`
+		k++
+	}
+	return k
+}
+
+func (m *matcher) goodScan(n storage.NodeRef) int {
+	k := 0
+	for c := m.st.FirstChild(n); c != storage.NilRef; c = m.st.NextSibling(c) {
+		m.poll()
+		k++
+	}
+	return k
+}
+
+func (m *matcher) auxScan(n storage.NodeRef) int {
+	k := 0
+	for c := m.st.FirstChild(n); c != storage.NilRef; c = m.st.NextSibling(c) {
+		m.pollAux()
+		k++
+	}
+	return k
+}
+
+func (m *matcher) pollAux() {
+	if m.interrupt != nil {
+		_ = m.interrupt()
+	}
+}
+
+func (m *matcher) transitiveScan(n storage.NodeRef) int {
+	k := 0
+	for c := m.st.FirstChild(n); c != storage.NilRef; c = m.st.NextSibling(c) {
+		k += m.visit(c)
+	}
+	return k
+}
+
+func (m *matcher) visit(n storage.NodeRef) int {
+	m.poll()
+	if c := m.st.FirstChild(n); c != storage.NilRef {
+		return 2
+	}
+	return 1
+}
+
+//xqvet:ignore ctxpoll fixture: bounded scan over a tiny synthetic tree
+func (m *matcher) ignoredScan(n storage.NodeRef) int {
+	k := 0
+	for c := m.st.FirstChild(n); c != storage.NilRef; c = m.st.NextSibling(c) {
+		k++
+	}
+	return k
+}
+
+// Cursor is a fixture stream cursor.
+type Cursor struct{ n int }
+
+// Advance steps the cursor, reporting whether a value remains.
+func (c *Cursor) Advance() bool { c.n--; return c.n > 0 }
+
+func drain(cu *Cursor) int {
+	k := 0
+	for cu.Advance() { // want `store-scan loop does not poll cancellation`
+		k++
+	}
+	return k
+}
+
+func drainPolled(cu *Cursor, interrupt func() error) int {
+	k := 0
+	for cu.Advance() {
+		if interrupt != nil {
+			_ = interrupt()
+		}
+		k++
+	}
+	return k
+}

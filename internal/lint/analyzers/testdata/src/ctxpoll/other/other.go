@@ -1,0 +1,13 @@
+// Package other verifies ctxpoll scope gating: identical unpolled scan
+// loops outside the matcher packages are not flagged.
+package other
+
+import "storage"
+
+func countKids(st *storage.Store, n storage.NodeRef) int {
+	k := 0
+	for c := st.FirstChild(n); c != storage.NilRef; c = st.NextSibling(c) {
+		k++
+	}
+	return k
+}

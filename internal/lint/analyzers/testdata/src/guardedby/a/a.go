@@ -1,0 +1,100 @@
+// Package a exercises the guardedby analyzer: annotated fields must be
+// accessed under their lock, with the Locked-suffix, caller-holds and
+// sync.Once escapes honoured.
+package a
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func newCounter() *counter {
+	return &counter{n: 1} // construction through a composite literal is exempt
+}
+
+func (c *counter) badRead() int {
+	return c.n // want `c\.n is read without holding mu`
+}
+
+func (c *counter) badWrite() {
+	c.n = 2 // want `c\.n is written without holding mu \(exclusive\)`
+}
+
+func (c *counter) goodRead() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) goodWrite() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) afterUnlock() int {
+	c.mu.Lock()
+	c.n = 3
+	c.mu.Unlock()
+	return c.n // want `c\.n is read without holding mu`
+}
+
+// resetLocked relies on the Locked-suffix escape.
+func (c *counter) resetLocked() { c.n = 0 }
+
+// bump increments the count. caller holds c.mu.
+func (c *counter) bump() { c.n++ }
+
+func (c *counter) spawn() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.n++ // want `c\.n is written without holding mu \(exclusive\)`
+	}()
+}
+
+type table struct {
+	mu   sync.RWMutex
+	rows map[string]int // guarded by mu
+}
+
+func (t *table) lookup(k string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows[k]
+}
+
+func (t *table) badWriteUnderRLock(k string) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.rows[k] = 1 // want `t\.rows is written without holding mu \(exclusive\)`
+}
+
+func (t *table) del(k string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.rows, k)
+}
+
+type lazy struct {
+	once sync.Once
+	v    map[string]int // guarded by once
+}
+
+func (l *lazy) get(k string) int {
+	l.once.Do(func() { l.v = map[string]int{} })
+	return l.v[k]
+}
+
+func (l *lazy) badGet(k string) int {
+	return l.v[k] // want `l\.v is read without holding once \(sync\.Once: access inside Do\(\) or after calling it\)`
+}
+
+type bogus struct {
+	// guarded by nothing
+	n int // want `guarded by nothing: no sync\.Mutex/RWMutex/Once field nothing in this struct`
+}
+
+func use(b *bogus) int { return b.n }

@@ -1,0 +1,22 @@
+// Package exec exercises the nopanic analyzer: panic is forbidden in
+// the executor outside must*-helpers.
+package exec
+
+import "fmt"
+
+func eval(n int) (int, error) {
+	if n < 0 {
+		panic("negative operand") // want `panic in executor hot path eval \(wrap in a must\* helper or return an error\)`
+	}
+	if n > 1<<20 {
+		return 0, fmt.Errorf("operand out of range: %d", n)
+	}
+	return mustHalve(n), nil
+}
+
+func mustHalve(n int) int {
+	if n%2 != 0 {
+		panic("odd operand") // must*-helpers may panic
+	}
+	return n / 2
+}

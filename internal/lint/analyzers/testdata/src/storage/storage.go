@@ -1,0 +1,45 @@
+// Package storage is a fixture stub of the engine's storage layer:
+// just enough named types for the analyzers' receiver-type checks.
+package storage
+
+// NodeRef addresses one node of a fixture store.
+type NodeRef int32
+
+// NilRef is the absent node.
+const NilRef NodeRef = -1
+
+// Store is a fixture document store.
+type Store struct {
+	kids map[NodeRef][]NodeRef
+	up   map[NodeRef]NodeRef
+}
+
+// FirstChild returns the first child of n, or NilRef.
+func (s *Store) FirstChild(n NodeRef) NodeRef {
+	if k := s.kids[n]; len(k) > 0 {
+		return k[0]
+	}
+	return NilRef
+}
+
+// NextSibling returns the following sibling of n, or NilRef.
+func (s *Store) NextSibling(n NodeRef) NodeRef {
+	sibs := s.kids[s.up[n]]
+	for i, c := range sibs {
+		if c == n && i+1 < len(sibs) {
+			return sibs[i+1]
+		}
+	}
+	return NilRef
+}
+
+// Parent returns the parent of n, or NilRef for the root.
+func (s *Store) Parent(n NodeRef) NodeRef {
+	if p, ok := s.up[n]; ok {
+		return p
+	}
+	return NilRef
+}
+
+// NodeCount reports the number of nodes in the store.
+func (s *Store) NodeCount() int { return len(s.up) + 1 }

@@ -1,0 +1,16 @@
+// Package a exercises the exporteddoc analyzer together with the
+// driver's ignore directives: a same-line directive with a reason
+// silences the finding, an undirected declaration is reported.
+package a
+
+// Documented carries a doc comment.
+type Documented struct{}
+
+type Undocumented struct{} // want `exported type Undocumented has no doc comment`
+
+// Run is documented.
+func Run() {}
+
+func Helper() {} // want `exported function Helper has no doc comment`
+
+func Quiet() {} //xqvet:ignore exporteddoc fixture: suppression exercised by the test

@@ -1,0 +1,5 @@
+// Package mal carries a reason-less ignore directive; the driver must
+// report it as malformed.
+package mal
+
+func quiet() {} //xqvet:ignore exporteddoc

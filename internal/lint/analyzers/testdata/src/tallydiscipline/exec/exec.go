@@ -1,0 +1,36 @@
+// Package exec exercises the tallydiscipline analyzer: the executor
+// must call Counted/Parallel matcher variants and pair every strategy
+// fallback with a reason. The bare re-assignment below is the exact
+// shape of the PR 3 cost-chooser race regression.
+package exec
+
+import "tallydiscipline/nok"
+
+// Strategy selects a matching algorithm.
+type Strategy int
+
+// The fixture strategies.
+const (
+	StrategyAuto Strategy = iota
+	StrategyNoK
+	StrategyNaive
+)
+
+func dispatch(n int) int {
+	chosen := StrategyAuto
+	executed := chosen
+	if n > 42 {
+		executed = StrategyNoK // want `strategy fallback assigns executed without recording a reason \(assign a reason variable in the same statement\)`
+	}
+	var fallbackReason string
+	if n < 0 {
+		executed, fallbackReason = StrategyNaive, "pattern too large for NoK"
+	}
+	chosen = StrategyNoK // the pre-dispatch selection is exempt
+	_, _, _ = chosen, executed, fallbackReason
+	return nok.Match(n) // want `executor calls uncounted matcher nok\.Match \(use the Counted/Parallel variant so tallies reach the trace\)`
+}
+
+func countedDispatch(n int) int {
+	return nok.MatchCounted(n) + nok.MatchOutputParallel(n) + nok.Prepare(n)
+}

@@ -1,0 +1,15 @@
+// Package nok is a fixture matcher package for the tallydiscipline
+// analyzer: it exposes bare and Counted/Parallel entry points.
+package nok
+
+// Match is the bare entry point (uncounted).
+func Match(n int) int { return n }
+
+// MatchCounted is the tally-counting variant.
+func MatchCounted(n int) int { return n }
+
+// MatchOutputParallel is the parallel variant.
+func MatchOutputParallel(n int) int { return n }
+
+// Prepare is not a matcher entry point.
+func Prepare(n int) int { return n }

@@ -1,0 +1,220 @@
+// Package lint is a self-contained static-analysis framework for this
+// repository's own invariant checkers (cmd/xqvet): a minimal, API-compatible
+// subset of golang.org/x/tools/go/analysis built on the standard library
+// alone (go/parser, go/types, and the source importer), because this module
+// deliberately has no external dependencies.
+//
+// An Analyzer inspects one type-checked package at a time through a Pass
+// and reports findings as Diagnostics. The Run driver applies a suite of
+// analyzers to loaded packages (see Load) and handles suppression
+// directives:
+//
+//	//xqvet:ignore <analyzer> <reason>
+//
+// placed on the offending line, the line directly above it, or in the doc
+// comment of the enclosing function declaration. Every suppression must
+// carry a reason; a bare ignore is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one invariant checker. Run inspects a single package per
+// call; the driver invokes it once per loaded package.
+type Analyzer struct {
+	// Name identifies the analyzer in reports and ignore directives.
+	Name string
+	// Doc is the one-paragraph contract the analyzer enforces.
+	Doc string
+	// NeedsTypes declares that the analyzer requires type information;
+	// the driver skips it for packages loaded in syntax-only mode.
+	NeedsTypes bool
+	// Run performs the analysis, reporting findings through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's ASTs and type information to an analyzer.
+type Pass struct {
+	// Analyzer is the checker this pass serves.
+	Analyzer *Analyzer
+	// Fset maps positions for every file in the pass.
+	Fset *token.FileSet
+	// Files are the package's parsed files (comments included).
+	Files []*ast.File
+	// Pkg is the type-checked package (nil in syntax-only mode).
+	Pkg *types.Package
+	// TypesInfo holds expression types, object resolution and selections
+	// (nil in syntax-only mode).
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding: a position, the analyzer that produced it,
+// and the message.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Run applies the analyzers to every package and returns the surviving
+// findings sorted by position. Ignore directives suppress matching
+// findings; analyzers that need types are skipped for packages without
+// them.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		sup := newSuppressor(pkg)
+		out = append(out, sup.malformed...)
+		for _, a := range analyzers {
+			if a.NeedsTypes && pkg.TypesInfo == nil {
+				continue
+			}
+			var found []Diagnostic
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				report:    func(d Diagnostic) { found = append(found, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", pkg.PkgPath, a.Name, err)
+			}
+			for _, d := range found {
+				if !sup.suppressed(d) {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+// ignoreKey locates one ignore directive: the analyzer it silences and
+// the file line it sits on.
+type ignoreKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// funcRange is a function body whose doc comment carries an ignore
+// directive; findings inside it are suppressed.
+type funcRange struct {
+	file     string
+	from, to int // line range, inclusive
+	analyzer string
+}
+
+type suppressor struct {
+	lines     map[ignoreKey]bool
+	ranges    []funcRange
+	malformed []Diagnostic
+}
+
+// newSuppressor indexes every //xqvet:ignore directive in the package:
+// by line for statement-level directives and by enclosing function body
+// for directives in a function's doc comment.
+func newSuppressor(pkg *Package) *suppressor {
+	s := &suppressor{lines: map[ignoreKey]bool{}}
+	for _, f := range pkg.Files {
+		docs := map[*ast.CommentGroup]*ast.FuncDecl{}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Doc != nil {
+				docs[fd.Doc] = fd
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, reason, ok := parseIgnore(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				if name == "" || reason == "" {
+					s.malformed = append(s.malformed, Diagnostic{
+						Pos:      pos,
+						Analyzer: "xqvet",
+						Message:  "malformed ignore directive: want //xqvet:ignore <analyzer> <reason>",
+					})
+					continue
+				}
+				if fd, isDoc := docs[cg]; isDoc {
+					s.ranges = append(s.ranges, funcRange{
+						file:     pos.Filename,
+						from:     pkg.Fset.Position(fd.Pos()).Line,
+						to:       pkg.Fset.Position(fd.End()).Line,
+						analyzer: name,
+					})
+					continue
+				}
+				s.lines[ignoreKey{pos.Filename, pos.Line, name}] = true
+			}
+		}
+	}
+	return s
+}
+
+// parseIgnore splits an //xqvet:ignore comment into analyzer name and
+// reason; ok is false for comments that are not ignore directives.
+func parseIgnore(text string) (name, reason string, ok bool) {
+	text = strings.TrimPrefix(text, "//")
+	text = strings.TrimSpace(text)
+	const prefix = "xqvet:ignore"
+	if !strings.HasPrefix(text, prefix) {
+		return "", "", false
+	}
+	rest := strings.TrimSpace(text[len(prefix):])
+	name, reason, _ = strings.Cut(rest, " ")
+	return name, strings.TrimSpace(reason), true
+}
+
+// suppressed reports whether a directive covers the finding: same line,
+// the line directly above, or an enclosing annotated function.
+func (s *suppressor) suppressed(d Diagnostic) bool {
+	if s.lines[ignoreKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] ||
+		s.lines[ignoreKey{d.Pos.Filename, d.Pos.Line - 1, d.Analyzer}] {
+		return true
+	}
+	for _, r := range s.ranges {
+		if r.analyzer == d.Analyzer && r.file == d.Pos.Filename && r.from <= d.Pos.Line && d.Pos.Line <= r.to {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,149 @@
+// Package linttest runs analyzers over fixture packages and checks
+// their diagnostics against expectation comments, in the style of
+// golang.org/x/tools/go/analysis/analysistest:
+//
+//	c.n = 1 // want `c\.n is written without holding mu`
+//
+// A want comment expects a diagnostic on its own line whose message
+// matches the quoted regular expression (backtick- or double-quoted;
+// several patterns may follow one want). Unexpected diagnostics and
+// unmatched expectations both fail the test.
+package linttest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"xqp/internal/lint"
+)
+
+// wantRe recognises expectation comments.
+var wantRe = regexp.MustCompile("^//\\s*want\\s+(.*)$")
+
+// expectation is one want entry: a file line that must produce a
+// diagnostic matching re.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads the fixture packages pkgDirs under srcRoot (an
+// analysistest-style src directory: import paths resolve relative to
+// it), applies the analyzer, and reports every mismatch between the
+// diagnostics and the fixtures' want comments.
+func Run(t *testing.T, srcRoot string, a *lint.Analyzer, pkgDirs ...string) {
+	t.Helper()
+	pkgs := Load(t, srcRoot, pkgDirs...)
+	diags, err := lint.Run(pkgs, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("lint.Run: %v", err)
+	}
+	wants := collectWants(t, pkgs)
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// Load loads fixture packages without running any analyzer (shared by
+// Run and by tests that drive lint.Run directly).
+func Load(t *testing.T, srcRoot string, pkgDirs ...string) []*lint.Package {
+	t.Helper()
+	abs, err := filepath.Abs(srcRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := lint.NewFixtureLoader(abs)
+	pkgs, err := loader.LoadPatterns(abs, pkgDirs)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	return pkgs
+}
+
+// collectWants parses every want comment of the loaded packages.
+func collectWants(t *testing.T, pkgs []*lint.Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					for _, pat := range parsePatterns(t, pos.Filename, pos.Line, m[1]) {
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+						}
+						wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// parsePatterns extracts the quoted regexps following a want keyword.
+func parsePatterns(t *testing.T, file string, line int, rest string) []string {
+	t.Helper()
+	var pats []string
+	for {
+		rest = strings.TrimSpace(rest)
+		if rest == "" {
+			break
+		}
+		switch rest[0] {
+		case '`':
+			end := strings.IndexByte(rest[1:], '`')
+			if end < 0 {
+				t.Fatalf("%s:%d: unterminated want pattern", file, line)
+			}
+			pats = append(pats, rest[1:1+end])
+			rest = rest[end+2:]
+		case '"':
+			quoted, err := strconv.QuotedPrefix(rest)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want pattern: %v", file, line, err)
+			}
+			pat, err := strconv.Unquote(quoted)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want pattern: %v", file, line, err)
+			}
+			pats = append(pats, pat)
+			rest = rest[len(quoted):]
+		default:
+			t.Fatalf("%s:%d: want pattern must be backtick- or double-quoted, got %q", file, line, rest)
+		}
+	}
+	if len(pats) == 0 {
+		t.Fatalf("%s:%d: want comment with no pattern", file, line)
+	}
+	return pats
+}
+
+// claim marks the first unmatched expectation covering the diagnostic.
+func claim(wants []*expectation, d lint.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

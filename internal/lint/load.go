@@ -1,0 +1,335 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed and (unless loaded in syntax-only mode)
+// type-checked package.
+type Package struct {
+	// PkgPath is the import path ("xqp/internal/exec"); for fixture
+	// packages it is the path under the fixture src root.
+	PkgPath string
+	// Name is the package name from the package clauses.
+	Name string
+	// Dir is the directory the files were read from.
+	Dir string
+	// Fset positions the files (shared across all packages of a load).
+	Fset *token.FileSet
+	// Files are the parsed non-test files, sorted by file name.
+	Files []*ast.File
+	// Types is the type-checked package (nil in syntax-only mode).
+	Types *types.Package
+	// TypesInfo resolves identifiers, selections and expression types
+	// (nil in syntax-only mode).
+	TypesInfo *types.Info
+}
+
+// Loader loads module packages from source and type-checks them without
+// any tooling beyond the standard library: module-internal imports are
+// resolved recursively from the module tree, everything else through the
+// compiler's source importer (which works offline for the standard
+// library).
+type Loader struct {
+	// Fset is shared by all packages of this loader.
+	Fset *token.FileSet
+	// ModuleDir / ModulePath anchor module-internal import resolution.
+	ModuleDir, ModulePath string
+	// SrcDir, when set, switches to fixture mode: import paths resolve
+	// under this directory first (a pseudo-GOPATH src root for
+	// analysistest-style multi-package fixtures).
+	SrcDir string
+
+	pkgs    map[string]*Package
+	loading map[string]bool
+	std     types.Importer
+}
+
+// NewLoader returns a loader rooted at the module containing dir.
+func NewLoader(dir string) (*Loader, error) {
+	moduleDir, modulePath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:       fset,
+		ModuleDir:  moduleDir,
+		ModulePath: modulePath,
+		pkgs:       map[string]*Package{},
+		loading:    map[string]bool{},
+		std:        importer.ForCompiler(fset, "source", nil),
+	}, nil
+}
+
+// NewFixtureLoader returns a loader resolving import paths under
+// srcDir (analysistest-style testdata/src layout).
+func NewFixtureLoader(srcDir string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		SrcDir:  srcDir,
+		pkgs:    map[string]*Package{},
+		loading: map[string]bool{},
+		std:     importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+// findModule ascends from dir to the enclosing go.mod and returns the
+// module directory and module path.
+func findModule(dir string) (moduleDir, modulePath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: no module line in %s/go.mod", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// LoadPatterns loads the packages matching the patterns, relative to
+// dir: "./..." and "dir/..." walk subtrees, anything else names one
+// package directory.
+func (l *Loader) LoadPatterns(dir string, patterns []string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := map[string]bool{}
+	var pkgs []*Package
+	add := func(pkgDir string) error {
+		path, err := l.pathForDir(pkgDir)
+		if err != nil {
+			return err
+		}
+		if seen[path] {
+			return nil
+		}
+		seen[path] = true
+		p, err := l.load(path)
+		if err != nil {
+			return err
+		}
+		pkgs = append(pkgs, p)
+		return nil
+	}
+	for _, pat := range patterns {
+		root, walk := strings.CutSuffix(pat, "/...")
+		if root == "." || root == "" {
+			root = dir
+		} else if !filepath.IsAbs(root) {
+			root = filepath.Join(dir, root)
+		}
+		if !walk {
+			if err := add(root); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if name == "testdata" || (strings.HasPrefix(name, ".") && path != root) || strings.HasPrefix(name, "_") {
+				return filepath.SkipDir
+			}
+			if !hasGoFiles(path) {
+				return nil
+			}
+			return add(path)
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].PkgPath < pkgs[j].PkgPath })
+	return pkgs, nil
+}
+
+// pathForDir maps a package directory to its import path.
+func (l *Loader) pathForDir(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	root := l.ModuleDir
+	prefix := l.ModulePath
+	if l.SrcDir != "" {
+		root, prefix = l.SrcDir, ""
+	}
+	rel, err := filepath.Rel(root, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("lint: %s is outside %s", dir, root)
+	}
+	if rel == "." {
+		if prefix == "" {
+			return "", fmt.Errorf("lint: fixture root %s is not a package", dir)
+		}
+		return prefix, nil
+	}
+	if prefix == "" {
+		return filepath.ToSlash(rel), nil
+	}
+	return prefix + "/" + filepath.ToSlash(rel), nil
+}
+
+// dirForPath maps an internally-resolvable import path to its directory,
+// or "" when the path belongs to the outside world (standard library).
+func (l *Loader) dirForPath(path string) string {
+	if l.SrcDir != "" {
+		dir := filepath.Join(l.SrcDir, filepath.FromSlash(path))
+		if hasGoFiles(dir) {
+			return dir
+		}
+		return ""
+	}
+	if path == l.ModulePath {
+		return l.ModuleDir
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+		return filepath.Join(l.ModuleDir, filepath.FromSlash(rest))
+	}
+	return ""
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") &&
+			!strings.HasPrefix(name, ".") && !strings.HasPrefix(name, "_") {
+			return true
+		}
+	}
+	return false
+}
+
+// load parses and type-checks the package at an internal import path,
+// memoizing the result.
+func (l *Loader) load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := l.dirForPath(path)
+	if dir == "" {
+		return nil, fmt.Errorf("lint: cannot resolve %s", path)
+	}
+	files, name, err := ParseDir(l.Fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: l, FakeImportC: true}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: typecheck %s: %w", path, err)
+	}
+	p := &Package{
+		PkgPath:   path,
+		Name:      name,
+		Dir:       dir,
+		Fset:      l.Fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// Import implements types.Importer: module-internal (or fixture) paths
+// load from source here, everything else falls through to the compiler's
+// source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if l.dirForPath(path) != "" {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// ParseDir parses the non-test Go files of one directory (with
+// comments) and returns them sorted by file name along with the package
+// name. It is also the syntax-only loading primitive for cmd/xqlint.
+func ParseDir(fset *token.FileSet, dir string) ([]*ast.File, string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") &&
+			!strings.HasPrefix(n, ".") && !strings.HasPrefix(n, "_") {
+			names = append(names, n)
+		}
+	}
+	if len(names) == 0 {
+		return nil, "", fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	pkgName := ""
+	for _, n := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, "", err
+		}
+		if pkgName == "" {
+			pkgName = f.Name.Name
+		}
+		if f.Name.Name != pkgName {
+			// Mixed-package directories (e.g. main + tool): keep the
+			// majority package by skipping strays rather than failing.
+			continue
+		}
+		files = append(files, f)
+	}
+	return files, pkgName, nil
+}

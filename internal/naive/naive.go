@@ -17,12 +17,35 @@ import (
 	"xqp/internal/tally"
 )
 
+// pollEvery is how many constraint tests pass between cancellation
+// checks; a power of two keeps the modulo cheap.
+const pollEvery = 256
+
+// interruptPanic carries a cancellation error up the recursion;
+// catchInterrupt converts it back at the package boundary.
+type interruptPanic struct{ err error }
+
+// catchInterrupt recovers an interruptPanic into *err; any other panic
+// continues to propagate.
+func catchInterrupt(err *error) {
+	if r := recover(); r != nil {
+		ip, ok := r.(interruptPanic)
+		if !ok {
+			panic(r)
+		}
+		*err = ip.err
+	}
+}
+
 type evaluator struct {
 	st       *storage.Store
 	g        *pattern.Graph
 	contexts map[storage.NodeRef]bool
 	downMemo map[key]bool
 	bindMemo map[key]bool
+	// interrupt, when non-nil, is polled every pollEvery visits; a
+	// non-nil return unwinds the recursion via interruptPanic.
+	interrupt func() error
 	// visits counts constraint tests (the navigational work actually
 	// performed, memo hits excluded) for execution traces.
 	visits int64
@@ -33,25 +56,52 @@ type key struct {
 	v pattern.VertexID
 }
 
+func newEvaluator(st *storage.Store, g *pattern.Graph, contexts map[storage.NodeRef]bool, interrupt func() error) *evaluator {
+	return &evaluator{
+		st:        st,
+		g:         g,
+		contexts:  contexts,
+		downMemo:  map[key]bool{},
+		bindMemo:  map[key]bool{},
+		interrupt: interrupt,
+	}
+}
+
+// poll counts one unit of navigational work and periodically checks the
+// interrupt callback, unwinding with interruptPanic on cancellation.
+func (e *evaluator) poll() {
+	e.visits++
+	if e.interrupt == nil || e.visits%pollEvery != 0 {
+		return
+	}
+	if err := e.interrupt(); err != nil {
+		panic(interruptPanic{err})
+	}
+}
+
 // MatchOutput returns the output-vertex matches of the pattern graph in
 // document order, evaluated by brute-force navigation.
 func MatchOutput(st *storage.Store, g *pattern.Graph, contexts []storage.NodeRef) []storage.NodeRef {
-	return MatchOutputCounted(st, g, contexts, nil)
+	refs, _ := MatchOutputCounted(st, g, contexts, nil, nil)
+	return refs
 }
 
 // MatchOutputCounted is MatchOutput reporting actual work into c (when
 // non-nil): every un-memoized constraint test counts as a node visit.
-func MatchOutputCounted(st *storage.Store, g *pattern.Graph, contexts []storage.NodeRef, c *tally.Counters) []storage.NodeRef {
-	e := &evaluator{
-		st:       st,
-		g:        g,
-		contexts: map[storage.NodeRef]bool{},
-		downMemo: map[key]bool{},
-		bindMemo: map[key]bool{},
-	}
+// interrupt, when non-nil, is polled periodically during the scan; its
+// error cancels the match.
+func MatchOutputCounted(st *storage.Store, g *pattern.Graph, contexts []storage.NodeRef, interrupt func() error, c *tally.Counters) (refs []storage.NodeRef, err error) {
+	defer catchInterrupt(&err)
+	ctxSet := map[storage.NodeRef]bool{}
 	for _, ctx := range contexts {
-		e.contexts[ctx] = true
+		ctxSet[ctx] = true
 	}
+	e := newEvaluator(st, g, ctxSet, interrupt)
+	defer func() {
+		if c != nil {
+			c.NodesVisited += e.visits
+		}
+	}()
 	var out []storage.NodeRef
 	for n := storage.NodeRef(0); int(n) < st.NodeCount(); n++ {
 		if e.bind(n, g.Output) {
@@ -59,16 +109,13 @@ func MatchOutputCounted(st *storage.Store, g *pattern.Graph, contexts []storage.
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	if c != nil {
-		c.NodesVisited += e.visits
-	}
-	return out
+	return out, nil
 }
 
 // test applies the vertex's node test and value predicates; the anchor
 // (vertex 0) additionally requires the node to be a context node.
 func (e *evaluator) test(n storage.NodeRef, v pattern.VertexID) bool {
-	e.visits++
+	e.poll()
 	if v == 0 && !e.contexts[n] {
 		return false
 	}

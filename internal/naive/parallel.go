@@ -17,18 +17,21 @@ import (
 // candidates tested, not the navigation. Ranges are disjoint and
 // increasing, so results concatenate in document order without
 // deduplication. fallback is non-empty (and parts nil) when the match
-// ran serially instead.
-func MatchOutputParallel(st *storage.Store, g *pattern.Graph, contexts []storage.NodeRef, workers int, c *tally.Counters) (refs []storage.NodeRef, parts []tally.Partition, fallback string) {
+// ran serially instead. interrupt, when non-nil, is polled by every
+// worker; the first error cancels the whole match.
+func MatchOutputParallel(st *storage.Store, g *pattern.Graph, contexts []storage.NodeRef, workers int, interrupt func() error, c *tally.Counters) (refs []storage.NodeRef, parts []tally.Partition, fallback string, err error) {
 	n := st.NodeCount()
 	if workers < 2 {
-		return MatchOutputCounted(st, g, contexts, c), nil, "workers < 2"
+		refs, err = MatchOutputCounted(st, g, contexts, interrupt, c)
+		return refs, nil, "workers < 2", err
 	}
 	nTasks := workers * 4
 	if nTasks > n {
 		nTasks = n
 	}
 	if nTasks < 2 {
-		return MatchOutputCounted(st, g, contexts, c), nil, "single partition"
+		refs, err = MatchOutputCounted(st, g, contexts, interrupt, c)
+		return refs, nil, "single partition", err
 	}
 	ctxSet := map[storage.NodeRef]bool{}
 	for _, ctx := range contexts {
@@ -38,6 +41,7 @@ func MatchOutputParallel(st *storage.Store, g *pattern.Graph, contexts []storage
 		refs   []storage.NodeRef
 		visits int64
 		dur    time.Duration
+		err    error
 	}
 	res := make([]rangeRes, nTasks)
 	lo := func(i int) storage.NodeRef { return storage.NodeRef(i * n / nTasks) }
@@ -49,20 +53,17 @@ func MatchOutputParallel(st *storage.Store, g *pattern.Graph, contexts []storage
 			defer wg.Done()
 			for i := range next {
 				t0 := time.Now()
-				e := &evaluator{
-					st:       st,
-					g:        g,
-					contexts: ctxSet,
-					downMemo: map[key]bool{},
-					bindMemo: map[key]bool{},
-				}
-				var out []storage.NodeRef
-				for n := lo(i); n < lo(i+1); n++ {
-					if e.bind(n, g.Output) {
-						out = append(out, n)
+				e := newEvaluator(st, g, ctxSet, interrupt)
+				out, rerr := func() (out []storage.NodeRef, rerr error) {
+					defer catchInterrupt(&rerr)
+					for n := lo(i); n < lo(i+1); n++ {
+						if e.bind(n, g.Output) {
+							out = append(out, n)
+						}
 					}
-				}
-				res[i] = rangeRes{refs: out, visits: e.visits, dur: time.Since(t0)}
+					return out, nil
+				}()
+				res[i] = rangeRes{refs: out, visits: e.visits, dur: time.Since(t0), err: rerr}
 			}
 		}()
 	}
@@ -73,6 +74,9 @@ func MatchOutputParallel(st *storage.Store, g *pattern.Graph, contexts []storage
 	wg.Wait()
 	parts = make([]tally.Partition, nTasks)
 	for i := range res {
+		if err == nil && res[i].err != nil {
+			err = res[i].err
+		}
 		refs = append(refs, res[i].refs...)
 		parts[i] = tally.Partition{
 			Root:    int64(lo(i)),
@@ -85,5 +89,8 @@ func MatchOutputParallel(st *storage.Store, g *pattern.Graph, contexts []storage
 			c.NodesVisited += res[i].visits
 		}
 	}
-	return refs, parts, ""
+	if err != nil {
+		return nil, nil, "", err
+	}
+	return refs, parts, "", nil
 }

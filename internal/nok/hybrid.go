@@ -101,6 +101,7 @@ func (h *hybrid) candidates(fi int, contexts []storage.NodeRef) []storage.NodeRe
 	var out []storage.NodeRef
 	st := h.m.st
 	for i := 0; i < st.NodeCount(); i++ {
+		h.m.pollAux()
 		n := storage.NodeRef(i)
 		if pattern.MatchesVertex(st, n, &h.m.g.Vertices[root]) {
 			out = append(out, n)

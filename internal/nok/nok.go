@@ -131,6 +131,23 @@ func (m *matcher) poll() {
 	}
 }
 
+// pollAux checks the interrupt from partitioning and bookkeeping loops
+// (frontier selection, group sizing) on a separate cadence counter:
+// that work is not pattern matching, so it must not inflate the
+// NodesVisited actual that traces compare against serial runs.
+func (m *matcher) pollAux() {
+	if m.interrupt == nil {
+		return
+	}
+	m.aux++
+	if m.aux%pollEvery != 0 {
+		return
+	}
+	if err := m.interrupt(); err != nil {
+		panic(interruptPanic{err})
+	}
+}
+
 // MatchNested evaluates the pattern and nests the output matches by their
 // structural relationships, producing the NestedList that the logical τ
 // operator returns (immediately-nested iff immediate ancestor-descendant
@@ -186,6 +203,9 @@ type matcher struct {
 	// (poll cadence and the traces' NodesVisited actual).
 	interrupt func() error
 	visits    int64
+	// aux is the pollAux cadence counter; kept separate from visits so
+	// bookkeeping polls do not distort the NodesVisited tally.
+	aux int64
 }
 
 func (m *matcher) s(n storage.NodeRef) uint64       { return m.smask[n-m.base] }

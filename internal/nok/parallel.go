@@ -176,6 +176,7 @@ func (m *matcher) runChildChunks(ctx storage.NodeRef, workers int) ([]storage.No
 	edges := m.g.Children[0]
 	var kids []storage.NodeRef
 	for c := m.st.FirstChild(ctx); c != storage.NilRef; c = m.st.NextSibling(c) {
+		m.pollAux()
 		kids = append(kids, c)
 	}
 	if len(edges) == 0 || len(kids) < 2 {
@@ -325,9 +326,10 @@ func (m *matcher) runFrontier(ctx storage.NodeRef, workers int) ([]storage.NodeR
 	sort.Slice(spine, func(i, j int) bool { return spine[i] > spine[j] })
 	spineBelow := make(map[storage.NodeRef]uint64, len(spine))
 	for _, n := range spine {
-		m.poll()
+		m.pollAux()
 		var cover, deep uint64
 		for c := m.st.FirstChild(n); c != storage.NilRef; c = m.st.NextSibling(c) {
+			m.pollAux()
 			cs := m.s(c)
 			cb, ok := spineBelow[c]
 			if !ok {
@@ -432,12 +434,14 @@ func (m *matcher) runFrontier(ctx storage.NodeRef, workers int) ([]storage.NodeR
 func (m *matcher) pickFrontier(ctx storage.NodeRef, target int) (frontier, spine []storage.NodeRef) {
 	spine = append(spine, ctx)
 	for c := m.st.FirstChild(ctx); c != storage.NilRef; c = m.st.NextSibling(c) {
+		m.pollAux()
 		frontier = append(frontier, c)
 	}
 	fair := m.st.SubtreeSize(ctx)/target + 1
 	for round := 0; round < maxSplitRounds && len(frontier) < maxFrontier; round++ {
 		best, bestSize := -1, fair
 		for i, f := range frontier {
+			m.pollAux()
 			if s := m.st.SubtreeSize(f); s > bestSize && m.st.FirstChild(f) != storage.NilRef {
 				best, bestSize = i, s
 			}
@@ -449,6 +453,7 @@ func (m *matcher) pickFrontier(ctx storage.NodeRef, target int) (frontier, spine
 		frontier = append(frontier[:best], frontier[best+1:]...)
 		spine = append(spine, split)
 		for c := m.st.FirstChild(split); c != storage.NilRef; c = m.st.NextSibling(c) {
+			m.pollAux()
 			frontier = append(frontier, c)
 		}
 	}

@@ -88,7 +88,7 @@ type Store struct {
 	acct     *Accountant
 
 	tagIndexOnce sync.Once
-	tagIndex     *TagIndex
+	tagIndex     *TagIndex // guarded by tagIndexOnce
 }
 
 // Accountant tracks distinct pages touched; attach with Store.SetAccountant.
@@ -96,9 +96,9 @@ type Store struct {
 // many goroutines (the engine's per-document page metrics rely on this).
 type Accountant struct {
 	mu    sync.Mutex
-	pages map[int32]struct{}
+	pages map[int32]struct{} // guarded by mu
 	// touches counts every page access including repeats.
-	touches int64
+	touches int64 // guarded by mu
 }
 
 // NewAccountant returns an empty accountant.

@@ -61,8 +61,16 @@ const (
 )
 
 // Options configures compilation and execution.
+//
+// Fields either shape the compiled plan — and must then be read by
+// compileQuery, which forwards them into compile.Options and thus the
+// engine's plan-cache fingerprint — or affect execution only and carry
+// the exec-only marker; cmd/xqvet (cachekey) enforces the split.
+//
+//xqvet:cachekey consumed-by=compileQuery
 type Options struct {
 	// Strategy selects the physical τ implementation (default Auto).
+	// xqvet:cachekey exec-only
 	Strategy Strategy
 	// DisableRewrites turns off all logical optimization (ablation).
 	DisableRewrites bool
@@ -71,9 +79,10 @@ type Options struct {
 	Rewrites *rewrite.Options
 	// NoStepDedup disables duplicate elimination between path steps,
 	// reproducing worst-case pipelined evaluation (never use normally).
+	// xqvet:cachekey exec-only
 	NoStepDedup bool
 	// CostBased installs the synopsis-driven strategy chooser (package
-	// cost) when Strategy is Auto.
+	// cost) when Strategy is Auto. xqvet:cachekey exec-only
 	CostBased bool
 	// DisableAnalyzer turns off the static analysis pass (diagnostics,
 	// empty-subplan pruning, pattern cardinality annotation) that normally
@@ -81,17 +90,20 @@ type Options struct {
 	DisableAnalyzer bool
 	// StrictDocs makes doc() references to unregistered documents an
 	// execution error instead of falling back to the default document.
+	// xqvet:cachekey exec-only
 	StrictDocs bool
 	// Trace collects an execution trace (EXPLAIN ANALYZE): Result.Trace
 	// holds a span tree mirroring the physical operator tree, with
 	// per-operator wall time and cardinalities and per-τ strategy
 	// records (estimates, chosen vs. executed strategy, actual work).
+	// xqvet:cachekey exec-only
 	Trace bool
 	// Parallelism bounds the intra-query worker pool for pattern
 	// matching: 0 and 1 evaluate serially, N > 1 partitions τ across up
 	// to N goroutines, negative resolves to runtime.NumCPU(). With
 	// CostBased set the model still decides serial vs parallel per
 	// dispatch; a forced Strategy parallelizes unconditionally.
+	// xqvet:cachekey exec-only
 	Parallelism int
 }
 
@@ -108,13 +120,15 @@ type Diagnostic = analyze.Diagnostic
 // AddDocument), never lazily on the query path, so the read path takes
 // only a read lock.
 type Database struct {
-	mu      sync.RWMutex
+	mu sync.RWMutex
+	// store is the primary document, set at construction and immutable
+	// afterwards (reads need no lock).
 	store   *storage.Store
-	catalog map[string]*storage.Store
+	catalog map[string]*storage.Store // guarded by mu
 	// models holds one cost model (store + synopsis) per registered
 	// store, keyed by identity; entries are dropped when a catalog URI
 	// is replaced, so closed stores are not retained.
-	models map[*storage.Store]*cost.Model
+	models map[*storage.Store]*cost.Model // guarded by mu
 }
 
 // Open loads the primary document from r.
@@ -139,30 +153,28 @@ func OpenFile(path string) (*Database, error) {
 		return nil, err
 	}
 	defer f.Close()
-	db, err := Open(f)
+	st, err := storage.LoadReader(f)
 	if err != nil {
 		return nil, err
 	}
-	db.store.URI = path
-	db.catalog[path] = db.store
-	return db, nil
+	st.URI = path
+	return FromStore(st), nil
 }
 
 // FromStore wraps an existing document store, building its synopsis and
-// cost model up front.
+// cost model up front. The catalog and model maps are fully populated
+// before the Database is constructed, so no field is ever written
+// outside its lock.
 func FromStore(st *storage.Store) *Database {
-	db := &Database{
-		store:   st,
-		catalog: map[string]*storage.Store{},
-		models:  map[*storage.Store]*cost.Model{},
-	}
+	catalog := map[string]*storage.Store{}
+	models := map[*storage.Store]*cost.Model{}
 	if st != nil {
-		db.models[st] = cost.NewModel(st)
+		models[st] = cost.NewModel(st)
 		if st.URI != "" {
-			db.catalog[st.URI] = st
+			catalog[st.URI] = st
 		}
 	}
-	return db
+	return &Database{store: st, catalog: catalog, models: models}
 }
 
 // Store exposes the underlying succinct store (for experiments and
