@@ -481,3 +481,42 @@ func BenchmarkE15Throughput(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkE18BidWatch measures continuous-query commit-to-delta
+// latency: each iteration commits one bid into the auction document and
+// blocks until the watching subscriber receives the resulting delta.
+// incr% reports the fraction of commits served by the incremental
+// re-evaluation path (dirty interval + ancestors) rather than a full
+// re-run.
+func BenchmarkE18BidWatch(b *testing.B) {
+	eng := xqp.NewEngine(xqp.EngineConfig{})
+	eng.RegisterStore("auction", xmark.StoreAuction(2))
+	w := xqp.NewWatcher(eng, xqp.WatchConfig{})
+	defer w.Close()
+	sub, err := w.Subscribe("auction", `/site/open_auctions/open_auction/bidder/increase`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	<-sub.Deltas() // initial snapshot
+	bid := `<bidder><date>01/02/2026</date><increase>3.00</increase></bidder>`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		muts := []xqp.Mutation{{
+			Op:   xqp.MutationInsert,
+			Path: fmt.Sprintf("/open_auctions/open_auction[%d]", 1+i%24),
+			XML:  bid,
+		}}
+		if _, err := eng.Apply("auction", muts); err != nil {
+			b.Fatal(err)
+		}
+		d, ok := <-sub.Deltas()
+		if !ok || len(d.Added) != 1 {
+			b.Fatalf("delta = %+v ok=%v", d, ok)
+		}
+	}
+	b.StopTimer()
+	st := w.Stats()
+	if st.Commits > 0 {
+		b.ReportMetric(float64(st.Incremental)/float64(st.Commits)*100, "incr%")
+	}
+}

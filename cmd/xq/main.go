@@ -9,17 +9,28 @@
 //	xq -doc site.xml -cost -trace '//item/name'
 //	xq -doc site.xml -j 4 '//item/name'
 //	echo '<a><b/></a>' | xq '/a/b'
+//	xq -watch http://localhost:8080 -doc bib '//book/title'
 //
 // Flags select the physical pattern-matching strategy, disable the
 // logical rewrites, and print the optimized plan, static-analysis
 // diagnostics, or execution metrics.
+//
+// With -watch, xq subscribes to a continuous query on a running xqd
+// daemon instead of evaluating locally: -doc names the server-side
+// document, and each result delta is printed as one JSON line as
+// commits arrive (the first line is the full initial snapshot). -n
+// exits after that many deltas.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	"net/url"
 	"os"
+	"strings"
 
 	"xqp"
 )
@@ -42,6 +53,8 @@ func run(stdin io.Reader, stdout, stderr io.Writer, argv []string) int {
 	metrics := fs.Bool("metrics", false, "print physical operator counters after the result")
 	indent := fs.Bool("indent", false, "pretty-print node results with indentation")
 	workers := fs.Int("j", 0, "worker budget for partitioned pattern matching (0 or 1: serial, -1: one per CPU)")
+	watch := fs.String("watch", "", "subscribe to a continuous query on the xqd daemon at this base URL (-doc names the server document)")
+	watchCount := fs.Int("n", 0, "with -watch: exit after this many deltas (0: stream forever)")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
@@ -56,6 +69,13 @@ func run(stdin io.Reader, stdout, stderr io.Writer, argv []string) int {
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "xq:", err)
 		return 1
+	}
+
+	if *watch != "" {
+		if *doc == "" {
+			return fail(fmt.Errorf("-watch requires -doc <server document name>"))
+		}
+		return runWatch(stdout, stderr, *watch, *doc, query, *watchCount)
 	}
 
 	var db *xqp.Database
@@ -150,4 +170,55 @@ func run(stdin io.Reader, stdout, stderr io.Writer, argv []string) int {
 			res.Len(), m.TPMCalls, m.StepCalls, m.JoinCalls, m.CtorCalls, m.EnvLeaves, m.PredEvals)
 	}
 	return 0
+}
+
+// runWatch streams a continuous query from an xqd daemon's /watch SSE
+// endpoint, printing each delta as one JSON line on stdout. It returns
+// when the stream ends (document closed or daemon shut down: exit 0;
+// evicted for lagging: exit 1) or after n deltas when n > 0.
+func runWatch(stdout, stderr io.Writer, server, doc, query string, n int) int {
+	u := strings.TrimRight(server, "/") + "/watch?doc=" + url.QueryEscape(doc) + "&q=" + url.QueryEscape(query)
+	resp, err := http.Get(u)
+	if err != nil {
+		fmt.Fprintln(stderr, "xq:", err)
+		return 1
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		fmt.Fprintf(stderr, "xq: watch: %s: %s\n", resp.Status, strings.TrimSpace(string(body)))
+		return 1
+	}
+
+	br := bufio.NewReader(resp.Body)
+	event, seen := "", 0
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			fmt.Fprintln(stderr, "xq: watch stream ended:", err)
+			return 1
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data := strings.TrimPrefix(line, "data: ")
+			switch event {
+			case "delta":
+				fmt.Fprintln(stdout, data)
+				seen++
+				if n > 0 && seen >= n {
+					return 0
+				}
+			case "end":
+				if strings.Contains(data, `"lagged":true`) {
+					fmt.Fprintln(stderr, "xq: watch ended: subscriber lagged, state incomplete")
+					return 1
+				}
+				fmt.Fprintln(stderr, "xq: watch ended")
+				return 0
+			}
+		}
+	}
 }

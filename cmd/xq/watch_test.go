@@ -1,0 +1,89 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// fakeWatchServer mimics xqd's /watch SSE endpoint: an initial
+// snapshot delta, two live deltas, then an end event.
+func fakeWatchServer(t *testing.T, lagged bool) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/watch" {
+			http.NotFound(w, r)
+			return
+		}
+		if r.URL.Query().Get("doc") != "bib" || r.URL.Query().Get("q") == "" {
+			http.Error(w, `{"error":"doc and q are required"}`, http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		f := w.(http.Flusher)
+		fmt.Fprint(w, "event: delta\ndata: {\"gen\":1,\"full\":true,\"reason\":\"initial\"}\n\n")
+		fmt.Fprint(w, ": ping\n\n")
+		fmt.Fprint(w, "event: delta\ndata: {\"gen\":2}\n\n")
+		fmt.Fprint(w, "event: delta\ndata: {\"gen\":3}\n\n")
+		fmt.Fprintf(w, "event: end\ndata: {\"lagged\":%v}\n\n", lagged)
+		f.Flush()
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestWatchStreamsDeltas(t *testing.T) {
+	srv := fakeWatchServer(t, false)
+	stdout, stderr, code := runXQ(t, "", "-watch", srv.URL, "-doc", "bib", `//book/title`)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	lines := strings.Split(strings.TrimSpace(stdout), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d delta lines: %q", len(lines), stdout)
+	}
+	if !strings.Contains(lines[0], `"initial"`) || !strings.Contains(lines[2], `"gen":3`) {
+		t.Fatalf("delta lines = %q", lines)
+	}
+	if !strings.Contains(stderr, "watch ended") {
+		t.Fatalf("stderr = %q", stderr)
+	}
+}
+
+func TestWatchCountLimit(t *testing.T) {
+	srv := fakeWatchServer(t, false)
+	stdout, _, code := runXQ(t, "", "-watch", srv.URL, "-doc", "bib", "-n", "2", `//book/title`)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if lines := strings.Split(strings.TrimSpace(stdout), "\n"); len(lines) != 2 {
+		t.Fatalf("-n 2 printed %d lines: %q", len(lines), stdout)
+	}
+}
+
+func TestWatchLaggedExitsNonzero(t *testing.T) {
+	srv := fakeWatchServer(t, true)
+	_, stderr, code := runXQ(t, "", "-watch", srv.URL, "-doc", "bib", `//book/title`)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "lagged") {
+		t.Fatalf("stderr = %q", stderr)
+	}
+}
+
+func TestWatchErrors(t *testing.T) {
+	srv := fakeWatchServer(t, false)
+	// -watch without -doc.
+	_, stderr, code := runXQ(t, "", "-watch", srv.URL, `//book/title`)
+	if code != 1 || !strings.Contains(stderr, "-doc") {
+		t.Fatalf("exit %d stderr %q", code, stderr)
+	}
+	// Server-side rejection surfaces the error body.
+	_, stderr, code = runXQ(t, "", "-watch", srv.URL, "-doc", "ghost", `//book/title`)
+	if code != 1 || !strings.Contains(stderr, "400") {
+		t.Fatalf("exit %d stderr %q", code, stderr)
+	}
+}

@@ -15,12 +15,21 @@
 //	GET  /docs                                               → catalog listing
 //	PUT  /docs/{name}  <XML body>                            → register/replace
 //	DELETE /docs/{name}                                      → close
+//	POST /docs/{name}/append  <XML fragments>                → streaming ingest (one commit)
+//	POST /docs/{name}/apply   [{"op":"insert",...}]          → mutation batch (one commit)
+//	GET  /watch?doc=bib&q=//book/title                       → continuous query (SSE stream)
+//	GET  /watch?doc=bib&q=//book/title&since=N&wait=10s      → same, long-poll JSON
+//	GET  /watch/stats                                        → continuous-query counters
 //	GET  /stats                                              → engine counters
 //	GET  /metrics                                            → Prometheus text format
 //	GET  /debug/vars                                         → expvar (incl. "xqp")
 //
 // Saturation maps to 503, unknown documents to 404, deadline expiry to
 // 504, compile errors to 400, and unexpected execution failures to 500.
+//
+// On SIGINT/SIGTERM the daemon stops accepting connections, closes
+// watch streams, and drains in-flight requests for up to -drain before
+// exiting.
 package main
 
 import (
@@ -34,9 +43,11 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"xqp"
@@ -51,6 +62,7 @@ func main() {
 	queueDepth := fs.Int("queue", 0, "queries allowed to wait for a worker (0: 4x max-concurrent, <0: none)")
 	cacheSize := fs.Int("cache", 0, "compiled-plan cache size (0: 256, <0: disabled)")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-query deadline (0: none)")
+	drain := fs.Duration("drain", 10*time.Second, "shutdown drain deadline for in-flight requests")
 	fs.Parse(os.Args[1:])
 
 	eng := xqp.NewEngine(xqp.EngineConfig{
@@ -72,8 +84,35 @@ func main() {
 		log.Printf("registered %s from %s", d.name, d.path)
 	}
 
+	srv := newServer(eng)
+	hs := newHTTPServer(*addr, srv)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
 	log.Printf("xqd listening on %s (%d documents)", *addr, len(docs))
-	log.Fatal(http.ListenAndServe(*addr, newServer(eng)))
+	select {
+	case err := <-errc:
+		log.Fatalf("xqd: %v", err)
+	case <-ctx.Done():
+		stop() // a second signal kills immediately
+		log.Printf("xqd: signal received, draining for up to %s", *drain)
+		sctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			log.Printf("xqd: drain incomplete: %v", err)
+		}
+		log.Printf("xqd: shutdown complete")
+	}
+}
+
+// newHTTPServer wires a server into an http.Server whose Shutdown also
+// tears down the watch subsystem, so open SSE and long-poll streams end
+// promptly and the drain can complete.
+func newHTTPServer(addr string, s *server) *http.Server {
+	hs := &http.Server{Addr: addr, Handler: s}
+	hs.RegisterOnShutdown(s.watch.Close)
+	return hs
 }
 
 type docFlag struct{ name, path string }
@@ -94,12 +133,23 @@ func (f *docFlags) Set(s string) error {
 // maxQueryBody bounds request bodies (queries and uploaded documents).
 const maxQueryBody = 16 << 20
 
+// server is the HTTP API over an engine plus its continuous-query
+// watcher. It implements http.Handler.
+type server struct {
+	eng   *xqp.Engine
+	watch *xqp.Watcher
+	mux   *http.ServeMux
+}
+
 // newServer builds the HTTP API over an engine.
-func newServer(eng *xqp.Engine) http.Handler {
+func newServer(eng *xqp.Engine) *server {
+	s := &server{eng: eng, watch: xqp.NewWatcher(eng, xqp.WatchConfig{})}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) { handleQuery(eng, w, r) })
 	mux.HandleFunc("/docs", func(w http.ResponseWriter, r *http.Request) { handleDocs(eng, w, r) })
-	mux.HandleFunc("/docs/", func(w http.ResponseWriter, r *http.Request) { handleDoc(eng, w, r) })
+	mux.HandleFunc("/docs/", s.handleDoc)
+	mux.HandleFunc("/watch", s.handleWatch)
+	mux.HandleFunc("/watch/stats", s.handleWatchStats)
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			httpError(w, http.StatusMethodNotAllowed, "GET only")
@@ -114,11 +164,15 @@ func newServer(eng *xqp.Engine) http.Handler {
 		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		writePrometheus(w, eng.Stats())
+		writeWatchPrometheus(w, s.watch.Stats())
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	publishOnce(eng)
-	return mux
+	s.mux = mux
+	return s
 }
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 // writePrometheus renders the engine snapshot in the Prometheus text
 // exposition format (counters, gauges, and a cumulative latency
@@ -140,6 +194,11 @@ func writePrometheus(w io.Writer, s xqp.EngineStats) {
 	counter("xqp_strategy_fallbacks_total", "Tau dispatches where the executed strategy differed from the chooser's pick.", s.StrategyFallbacks)
 	counter("xqp_tau_parallel_total", "Tau dispatches that fanned out over partitions.", s.ParallelTau)
 	counter("xqp_parallel_fallbacks_total", "Tau dispatches where requested parallelism fell back to serial.", s.ParallelFallbacks)
+	counter("xqp_updates_total", "Committed mutation batches (Apply/Append).", s.Updates)
+	counter("xqp_update_nodes_inserted_total", "Nodes inserted by committed mutations.", s.UpdateNodesInserted)
+	counter("xqp_update_nodes_deleted_total", "Nodes deleted by committed mutations.", s.UpdateNodesDeleted)
+	counter("xqp_update_succinct_dirty_bytes_total", "Succinct-encoding dirty bytes across committed mutations.", s.UpdateSuccinctDirtyBytes)
+	counter("xqp_update_interval_dirty_bytes_total", "Interval-encoding dirty bytes across committed mutations.", s.UpdateIntervalDirtyBytes)
 	fmt.Fprintf(w, "# HELP xqp_tau_total Tau dispatches by executed strategy.\n# TYPE xqp_tau_total counter\n")
 	for _, name := range []string{"nok", "twigstack", "pathstack", "naive", "hybrid"} {
 		fmt.Fprintf(w, "xqp_tau_total{strategy=%q} %d\n", name, s.TauByStrategy[name])
@@ -315,21 +374,25 @@ func handleDocs(eng *xqp.Engine, w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, eng.Docs())
 }
 
-func handleDoc(eng *xqp.Engine, w http.ResponseWriter, r *http.Request) {
+func (s *server) handleDoc(w http.ResponseWriter, r *http.Request) {
 	name := strings.TrimPrefix(r.URL.Path, "/docs/")
-	if name == "" || strings.Contains(name, "/") {
+	if docName, action, ok := cutLast(name, "/"); ok {
+		s.handleDocMutation(w, r, docName, action)
+		return
+	}
+	if name == "" {
 		httpError(w, http.StatusNotFound, "bad document name")
 		return
 	}
 	switch r.Method {
 	case http.MethodPut:
-		if err := eng.Register(name, io.LimitReader(r.Body, maxQueryBody)); err != nil {
+		if err := s.eng.Register(name, io.LimitReader(r.Body, maxQueryBody)); err != nil {
 			httpError(w, http.StatusBadRequest, err.Error())
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]string{"registered": name})
 	case http.MethodDelete:
-		if err := eng.Close(name); err != nil {
+		if err := s.eng.Close(name); err != nil {
 			httpError(w, statusFor(err), err.Error())
 			return
 		}
@@ -337,6 +400,16 @@ func handleDoc(eng *xqp.Engine, w http.ResponseWriter, r *http.Request) {
 	default:
 		httpError(w, http.StatusMethodNotAllowed, "PUT or DELETE only")
 	}
+}
+
+// cutLast splits s at its last sep, returning (before, after, true)
+// when sep occurs.
+func cutLast(s, sep string) (string, string, bool) {
+	i := strings.LastIndex(s, sep)
+	if i < 0 {
+		return s, "", false
+	}
+	return s[:i], s[i+len(sep):], true
 }
 
 func parseStrategy(s string) (xqp.Strategy, bool) {

@@ -1,0 +1,168 @@
+package cq
+
+import (
+	"xqp/internal/storage"
+)
+
+// AddedItem is one insertion in a Delta: XML appears at position Index
+// of the result sequence after the delta is applied.
+type AddedItem struct {
+	// Index is the item's position in the post-delta sequence.
+	Index int `json:"index"`
+	// XML is the serialized item (subtree XML for nodes, string value
+	// for atomics), matching the facade's Result.XMLItems serialization.
+	XML string `json:"xml"`
+}
+
+// Delta is one commit's effect on a watched query's result: remove the
+// listed positions from the previous sequence, then insert the added
+// items at their final positions. Every processed commit produces a
+// Delta — possibly with no removals or additions — so generations are
+// contiguous and a subscriber can detect missed commits by gap.
+type Delta struct {
+	// Doc and Gen identify the commit: the document and the generation
+	// whose result this delta produces.
+	Doc string `json:"doc"`
+	Gen uint64 `json:"gen"`
+	// Removed lists positions in the pre-delta sequence to delete,
+	// ascending. Added lists insertions at post-delta positions,
+	// ascending (see Apply for the exact algebra).
+	Removed []int       `json:"removed,omitempty"`
+	Added   []AddedItem `json:"added,omitempty"`
+	// Size is the result size after applying the delta (lets clients
+	// cross-check accumulated state).
+	Size int `json:"size"`
+	// Full reports the commit was served by a full re-evaluation rather
+	// than the incremental dirty-region path; Reason says why ("initial",
+	// "untracked-commit", "ineligible-plan", "root-qualifying",
+	// "dirty-region-threshold", "missed-commit").
+	Full   bool   `json:"full,omitempty"`
+	Reason string `json:"reason,omitempty"`
+	// Latency is commit-to-publication time: from the engine's commit
+	// notification to this delta being handed to subscribers.
+	Latency int64 `json:"latency_ns"`
+}
+
+// Empty reports whether the delta changes nothing.
+func (d Delta) Empty() bool { return len(d.Removed) == 0 && len(d.Added) == 0 }
+
+// Apply transforms a result sequence: it removes Removed positions from
+// prev, then inserts each added item at its Index in the growing final
+// sequence (ascending order). Accumulating deltas this way from any
+// starting generation reproduces the query's current result exactly —
+// the differential tests assert byte identity against a fresh
+// evaluation.
+func (d Delta) Apply(prev []string) []string {
+	out := make([]string, 0, len(prev)-len(d.Removed)+len(d.Added))
+	ri := 0
+	for i, s := range prev {
+		if ri < len(d.Removed) && d.Removed[ri] == i {
+			ri++
+			continue
+		}
+		out = append(out, s)
+	}
+	for _, a := range d.Added {
+		out = append(out, "")
+		if a.Index < len(out)-1 {
+			copy(out[a.Index+1:], out[a.Index:])
+		}
+		out[a.Index] = a.XML
+	}
+	return out
+}
+
+// item is one entry of a query's retained result state.
+type item struct {
+	// ref is the node's ref in the state's store generation (-1 for
+	// atomic items, which have no node identity).
+	ref storage.NodeRef
+	// xml is the item's serialization, retained across commits for
+	// untouched subtrees so kept items never re-serialize.
+	xml string
+	// orig is the item's position in the pre-commit state while a commit
+	// is being processed (-1 for items added during the commit); used to
+	// emit positional deltas without re-diffing.
+	orig int
+}
+
+// diffByOrig produces a delta body from origin annotations: next items
+// carrying an orig position with unchanged serialization are kept,
+// everything else is removed/added. Requires survivors to preserve
+// relative order (true for ref-sorted results under monotonic remaps).
+func diffByOrig(old, next []item) (removed []int, added []AddedItem) {
+	kept := make([]bool, len(old))
+	for j := range next {
+		if o := next[j].orig; o >= 0 && next[j].xml == old[o].xml {
+			kept[o] = true
+		} else {
+			added = append(added, AddedItem{Index: j, XML: next[j].xml})
+		}
+	}
+	for i := range old {
+		if !kept[i] {
+			removed = append(removed, i)
+		}
+	}
+	return removed, added
+}
+
+// lcsCellCap bounds the LCS table; beyond it the diff degrades to a
+// wholesale replacement (correct, just not minimal).
+const lcsCellCap = 1 << 20
+
+// diffLCS produces a minimal delta body by longest-common-subsequence
+// over serializations — the fallback when node identity cannot be
+// tracked across stores (untracked commits, atomic results).
+func diffLCS(old, next []item) (removed []int, added []AddedItem) {
+	n, m := len(old), len(next)
+	if n == 0 && m == 0 {
+		return nil, nil
+	}
+	if n*m > lcsCellCap {
+		for i := 0; i < n; i++ {
+			removed = append(removed, i)
+		}
+		for j := 0; j < m; j++ {
+			added = append(added, AddedItem{Index: j, XML: next[j].xml})
+		}
+		return removed, added
+	}
+	// lcs[i][j] = LCS length of old[i:], next[j:].
+	lcs := make([][]int32, n+1)
+	for i := range lcs {
+		lcs[i] = make([]int32, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if old[i].xml == next[j].xml {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else if lcs[i+1][j] >= lcs[i][j+1] {
+				lcs[i][j] = lcs[i+1][j]
+			} else {
+				lcs[i][j] = lcs[i][j+1]
+			}
+		}
+	}
+	i, j := 0, 0
+	for i < n && j < m {
+		switch {
+		case old[i].xml == next[j].xml:
+			i++
+			j++
+		case lcs[i+1][j] >= lcs[i][j+1]:
+			removed = append(removed, i)
+			i++
+		default:
+			added = append(added, AddedItem{Index: j, XML: next[j].xml})
+			j++
+		}
+	}
+	for ; i < n; i++ {
+		removed = append(removed, i)
+	}
+	for ; j < m; j++ {
+		added = append(added, AddedItem{Index: j, XML: next[j].xml})
+	}
+	return removed, added
+}

@@ -1,0 +1,179 @@
+package cq
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"xqp/internal/engine"
+)
+
+// TestRaceHammer runs concurrent writers (Apply and Append across two
+// documents), subscribers accumulating deltas, and long-poll clients
+// against one registry. It asserts — under -race — that each
+// subscriber sees a gapless, strictly increasing generation sequence
+// (no stale or duplicated deltas) and that every accumulated state
+// matches a fresh evaluation at the final generation.
+func TestRaceHammer(t *testing.T) {
+	const (
+		writersPerDoc  = 2
+		commitsPerGoro = 25
+		pollClients    = 2
+	)
+	docs := []string{"a.xml", "b.xml"}
+	queries := []string{`//book/title`, `/bib/book[price < 80]/title`}
+
+	e := engine.New(engine.Config{})
+	for _, doc := range docs {
+		rng := rand.New(rand.NewSource(7))
+		if err := e.Register(doc, strings.NewReader(genDoc(rng, 4))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Buffers big enough that no subscriber is evicted for lag: the
+	// hammer asserts completeness, not backpressure.
+	r := New(e, Config{SubscriberBuffer: 4 * writersPerDoc * commitsPerGoro})
+	defer r.Close()
+
+	finalGen := uint64(1 + writersPerDoc*commitsPerGoro)
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 64)
+	fail := func(format string, args ...any) {
+		select {
+		case errc <- fmt.Errorf(format, args...):
+		default:
+		}
+	}
+
+	// Subscribers: one per (doc, query), attached before writes begin.
+	for _, doc := range docs {
+		for _, src := range queries {
+			sub, err := r.Subscribe(doc, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wg.Add(1)
+			go func(doc, src string, sub *Subscription) {
+				defer wg.Done()
+				var state []string
+				var gen uint64
+				first := true
+				for d := range sub.Deltas() {
+					if first {
+						if !d.Full || d.Reason != "initial" {
+							fail("%s %q: first delta not a snapshot: %+v", doc, src, d)
+							return
+						}
+						first = false
+					} else if d.Gen != gen+1 {
+						fail("%s %q: generation gap: %d after %d", doc, src, d.Gen, gen)
+						return
+					}
+					gen = d.Gen
+					state = d.Apply(state)
+					if d.Doc != doc {
+						fail("%s %q: delta for wrong doc %q", doc, src, d.Doc)
+						return
+					}
+					if d.Gen == finalGen {
+						want := freshResult(t, e, doc, src, 0)
+						if !sameStrings(state, want) {
+							fail("%s %q: final state mismatch\n got %q\nwant %q", doc, src, state, want)
+						}
+						return
+					}
+				}
+				fail("%s %q: channel closed at gen %d before final gen %d", doc, src, gen, finalGen)
+			}(doc, src, sub)
+		}
+	}
+
+	// Writers: concurrent Apply/Append per document. Inserts only, so
+	// paths never race with concurrent deletes.
+	for _, doc := range docs {
+		for w := 0; w < writersPerDoc; w++ {
+			wg.Add(1)
+			go func(doc string, w int) {
+				defer wg.Done()
+				for i := 0; i < commitsPerGoro; i++ {
+					xml := fmt.Sprintf(`<book><title>w%d-%d</title><price>%d</price></book>`, w, i, 10+(i*7)%140)
+					var err error
+					if i%2 == 0 {
+						_, err = e.Apply(doc, []engine.Mutation{{Op: engine.MutationInsert, Path: "/", XML: xml}})
+					} else {
+						_, err = e.Append(doc, strings.NewReader(xml))
+					}
+					if err != nil {
+						fail("writer %s/%d commit %d: %v", doc, w, i, err)
+						return
+					}
+				}
+			}(doc, w)
+		}
+	}
+
+	// Long-poll clients churning alongside the writers.
+	ctx := context.Background()
+	for p := 0; p < pollClients; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			doc, src := docs[p%len(docs)], queries[p%len(queries)]
+			var state []string
+			var gen uint64
+			for {
+				res, err := r.Poll(ctx, doc, src, gen, 50*time.Millisecond)
+				if err != nil {
+					fail("poll %s %q: %v", doc, src, err)
+					return
+				}
+				if res.Reset {
+					state, gen = res.Items, res.Gen
+				} else {
+					for _, d := range res.Deltas {
+						if d.Gen != gen+1 {
+							fail("poll %s %q: gap %d after %d", doc, src, d.Gen, gen)
+							return
+						}
+						state = d.Apply(state)
+						gen = d.Gen
+					}
+				}
+				if gen >= finalGen {
+					want := freshResult(t, e, doc, src, 0)
+					if !sameStrings(state, want) {
+						fail("poll %s %q: final state mismatch", doc, src)
+					}
+					return
+				}
+			}
+		}(p)
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("hammer deadlocked")
+	}
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+
+	s := r.Stats()
+	if s.DroppedCommits != 0 {
+		t.Fatalf("commits dropped under default queue depth: %+v", s)
+	}
+	wantCommits := int64(len(docs) * writersPerDoc * commitsPerGoro * len(queries))
+	if s.Commits != wantCommits {
+		t.Fatalf("processed %d query-commits, want %d", s.Commits, wantCommits)
+	}
+}

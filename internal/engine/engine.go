@@ -36,6 +36,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"xqp/internal/analyze"
@@ -142,6 +143,11 @@ type Engine struct {
 	tickets chan struct{}
 	slots   chan struct{}
 	met     metrics
+	// notify holds the commit notifier (see SetCommitNotifier). It is an
+	// atomic pointer rather than a mu-guarded field because emission
+	// happens while per-document locks are held and installation must
+	// not observe lock order with Engine.mu.
+	notify atomic.Pointer[func(CommitEvent)]
 }
 
 // New returns an Engine with the given configuration.
@@ -180,8 +186,12 @@ func (e *Engine) RegisterStore(name string, st *storage.Store) {
 		if d.acct != nil {
 			st.SetAccountant(d.acct) // keep PagesTouched monotonic across replacements
 		}
+		prev := d.st
 		d.st, d.syn = st, syn
 		d.gen++
+		// Wholesale replacement: consumers cannot derive the new store from
+		// the old, so the commit is untracked (full re-evaluation).
+		e.emit(CommitEvent{Doc: name, Gen: d.gen, Prev: prev, Store: st, Syn: syn})
 		d.mu.Unlock()
 		return
 	}
@@ -193,7 +203,9 @@ func (e *Engine) RegisterStore(name string, st *storage.Store) {
 		acct = storage.NewAccountant()
 		st.SetAccountant(acct)
 	}
-	e.docs[name] = &document{name: name, st: st, syn: syn, gen: e.lastGen[name] + 1, acct: acct}
+	gen := e.lastGen[name] + 1
+	e.docs[name] = &document{name: name, st: st, syn: syn, gen: gen, acct: acct}
+	e.emit(CommitEvent{Doc: name, Gen: gen, Store: st, Syn: syn})
 }
 
 // Update applies an exclusive copy-on-write update to a document: fn
@@ -208,6 +220,7 @@ func (e *Engine) Update(name string, fn func(*storage.Store) (*storage.Store, er
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	prev := d.st
 	st, err := fn(d.st)
 	if err != nil {
 		return fmt.Errorf("engine: update %q: %w", name, err)
@@ -221,6 +234,10 @@ func (e *Engine) Update(name string, fn func(*storage.Store) (*storage.Store, er
 	d.st = st
 	d.syn = stats.Build(st)
 	d.gen++
+	e.met.updates.Add(1)
+	// fn is an opaque closure: the commit is untracked (no mutation
+	// records), so consumers re-evaluate from scratch.
+	e.emit(CommitEvent{Doc: name, Gen: d.gen, Prev: prev, Store: st, Syn: d.syn})
 	return nil
 }
 
@@ -235,9 +252,10 @@ func (e *Engine) Close(name string) error {
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownDocument, name)
 	}
-	d.mu.RLock()
+	d.mu.Lock()
 	e.lastGen[name] = d.gen
-	d.mu.RUnlock()
+	e.emit(CommitEvent{Doc: name, Gen: d.gen, Prev: d.st, Closed: true})
+	d.mu.Unlock()
 	delete(e.docs, name)
 	return nil
 }

@@ -42,6 +42,14 @@ type metrics struct {
 	// was requested but execution fell back to serial.
 	parallelTau       atomic.Int64
 	parallelFallbacks atomic.Int64
+	// updates counts committed document updates (Update/Apply/Append);
+	// the upd* counters aggregate the storage.UpdateStats of Apply/Append
+	// commits (opaque Update closures report no per-edit stats).
+	updates          atomic.Int64
+	updNodesInserted atomic.Int64
+	updNodesDeleted  atomic.Int64
+	updSuccinctDirty atomic.Int64
+	updIntervalDirty atomic.Int64
 }
 
 func (m *metrics) observeExec(d time.Duration) {
@@ -93,6 +101,17 @@ type Snapshot struct {
 	// fallbacks are counted).
 	ParallelTau       int64 `json:"parallel_tau"`
 	ParallelFallbacks int64 `json:"parallel_fallbacks"`
+	// Updates counts committed document updates (Update/Apply/Append).
+	// The dirty-region aggregates sum storage.UpdateStats over Apply and
+	// Append commits: nodes inserted/deleted, and the bytes each encoding
+	// scheme would rewrite (succinct: the local edit region; interval:
+	// the edit plus every renumbered tuple after it) — the paper's
+	// update-locality claim, observable live.
+	Updates                  int64 `json:"updates"`
+	UpdateNodesInserted      int64 `json:"update_nodes_inserted"`
+	UpdateNodesDeleted       int64 `json:"update_nodes_deleted"`
+	UpdateSuccinctDirtyBytes int64 `json:"update_succinct_dirty_bytes"`
+	UpdateIntervalDirtyBytes int64 `json:"update_interval_dirty_bytes"`
 	// InFlight / Queued are instantaneous gauges.
 	InFlight int `json:"in_flight"`
 	Queued   int `json:"queued"`
@@ -140,6 +159,12 @@ func (e *Engine) Stats() Snapshot {
 		StrategyFallbacks: e.met.strategyFallbacks.Load(),
 		ParallelTau:       e.met.parallelTau.Load(),
 		ParallelFallbacks: e.met.parallelFallbacks.Load(),
+
+		Updates:                  e.met.updates.Load(),
+		UpdateNodesInserted:      e.met.updNodesInserted.Load(),
+		UpdateNodesDeleted:       e.met.updNodesDeleted.Load(),
+		UpdateSuccinctDirtyBytes: e.met.updSuccinctDirty.Load(),
+		UpdateIntervalDirtyBytes: e.met.updIntervalDirty.Load(),
 	}
 	for i := range s.ExecHist {
 		s.ExecHist[i] = e.met.execHist[i].Load()

@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"xqp"
+	"xqp/internal/xmark"
+)
+
+// bidWatchQuery is the E18 continuous query: every bid increase in the
+// auction document. A pure path with no predicates, so commits that
+// insert bidder subtrees are served by the incremental re-evaluation
+// path (the dirty interval plus its ancestors) rather than a full
+// re-run.
+const bidWatchQuery = `/site/open_auctions/open_auction/bidder/increase`
+
+// E18BidWatch is the continuous-query experiment: an XMark auction
+// document ingests bid streams (Engine.Apply batches of <bidder>
+// fragments, round-robin over the open auctions) while subscribers
+// watch bidWatchQuery through a Watcher. The grid crosses ingest rate
+// (bids per commit) with subscriber count and reports, per cell, the
+// ingest throughput, the fraction of commits served incrementally, the
+// commit-to-publication delta latency (p50/p95), and the end-to-end
+// commit-to-delivery latency across all subscribers (p95/max). Full
+// re-run fallbacks are tallied by reason in the notes; the expected
+// tally is exactly one "initial" full evaluation per cell.
+func E18BidWatch(scale, commits int) *Table {
+	t := &Table{
+		ID:    "E18",
+		Title: fmt.Sprintf("continuous bid-watch: ingest rate × subscribers (XMark auction, scale %d)", scale),
+		Columns: []string{"bids/commit", "subs", "commits", "ingest wall", "bids/s",
+			"incr", "full", "eval p50", "eval p95", "dlv p95", "dlv max"},
+		Notes: []string{
+			"eval = commit-to-publication latency (re-evaluate + diff); dlv = commit-to-delivery at the subscriber",
+			fmt.Sprintf("query: %s", bidWatchQuery),
+		},
+	}
+	auctions := 12 * scale
+	fallbacks := map[string]int64{}
+	for _, bids := range []int{1, 8, 32} {
+		for _, subs := range []int{1, 4, 16} {
+			row := runBidWatch(scale, auctions, commits, bids, subs, fallbacks)
+			t.AddRow(bids, subs, commits, row.wall, fmt.Sprintf("%.0f", row.bidsPerSec),
+				int(row.incr), int(row.full),
+				row.evalP50, row.evalP95, row.dlvP95, row.dlvMax)
+		}
+	}
+	reasons := make([]string, 0, len(fallbacks))
+	for r, n := range fallbacks {
+		reasons = append(reasons, fmt.Sprintf("%s=%d", r, n))
+	}
+	sort.Strings(reasons)
+	t.Notes = append(t.Notes, "full re-runs by reason: "+strings.Join(reasons, " "))
+	return t
+}
+
+// bidWatchRow is one E18 grid cell's measurements.
+type bidWatchRow struct {
+	wall                             time.Duration
+	bidsPerSec                       float64
+	incr, full                       int64
+	evalP50, evalP95, dlvP95, dlvMax time.Duration
+}
+
+// runBidWatch runs one (bids-per-commit × subscribers) cell: fresh
+// engine and watcher, subs subscribers draining deltas, then `commits`
+// Apply batches. It merges the cell's full-run reason tally into
+// fallbacks. Commit timestamps flow to subscribers through the
+// happens-before chain t0 write → Apply → notifier channel → delta
+// channel, so the t0 slice needs no lock.
+func runBidWatch(scale, auctions, commits, bids, subs int, fallbacks map[string]int64) bidWatchRow {
+	eng := xqp.NewEngine(xqp.EngineConfig{})
+	eng.RegisterStore("auction", xmark.StoreAuction(scale))
+	w := xqp.NewWatcher(eng, xqp.WatchConfig{SubscriberBuffer: commits + 8})
+	defer w.Close()
+
+	finalGen := uint64(commits + 1) // registration snapshot is generation 1
+	t0 := make([]time.Time, finalGen+1)
+
+	var mu sync.Mutex
+	var evalNS []int64
+	var dlv []time.Duration
+	var wg sync.WaitGroup
+	for i := 0; i < subs; i++ {
+		sub, err := w.Subscribe("auction", bidWatchQuery)
+		if err != nil {
+			panic(fmt.Sprintf("E18 subscribe: %v", err))
+		}
+		wg.Add(1)
+		go func(first bool) {
+			defer wg.Done()
+			for d := range sub.Deltas() {
+				if d.Reason == "initial" {
+					continue
+				}
+				lat := time.Since(t0[d.Gen])
+				mu.Lock()
+				dlv = append(dlv, lat)
+				if first {
+					// Publication latency is shared by every subscriber;
+					// record it once per commit.
+					evalNS = append(evalNS, d.Latency)
+				}
+				mu.Unlock()
+				if d.Gen == finalGen {
+					return
+				}
+			}
+		}(i == 0)
+	}
+
+	start := time.Now()
+	for c := 0; c < commits; c++ {
+		muts := make([]xqp.Mutation, bids)
+		for b := range muts {
+			a := 1 + (c*bids+b)%auctions
+			muts[b] = xqp.Mutation{
+				Op:   xqp.MutationInsert,
+				Path: fmt.Sprintf("/open_auctions/open_auction[%d]", a),
+				XML: fmt.Sprintf("<bidder><date>01/02/2026</date><personref person=\"person%d\"></personref><increase>%d.00</increase></bidder>",
+					(c*bids+b)%(25*scale), 1+c%20),
+			}
+		}
+		t0[c+2] = time.Now()
+		if _, err := eng.Apply("auction", muts); err != nil {
+			panic(fmt.Sprintf("E18 apply: %v", err))
+		}
+	}
+	wall := time.Since(start)
+	wg.Wait()
+
+	st := w.Stats()
+	if st.DroppedCommits != 0 || st.EvictedSubscribers != 0 {
+		panic(fmt.Sprintf("E18: dropped=%d evicted=%d (buffer too small for workload)",
+			st.DroppedCommits, st.EvictedSubscribers))
+	}
+	for r, n := range st.FullByReason {
+		fallbacks[r] += n
+	}
+	evals := make([]time.Duration, len(evalNS))
+	for i, ns := range evalNS {
+		evals[i] = time.Duration(ns)
+	}
+	sort.Slice(evals, func(i, j int) bool { return evals[i] < evals[j] })
+	sort.Slice(dlv, func(i, j int) bool { return dlv[i] < dlv[j] })
+	return bidWatchRow{
+		wall:       wall,
+		bidsPerSec: float64(commits*bids) / wall.Seconds(),
+		incr:       st.Incremental,
+		full:       st.FullRuns,
+		evalP50:    pctile(evals, 0.50),
+		evalP95:    pctile(evals, 0.95),
+		dlvP95:     pctile(dlv, 0.95),
+		dlvMax:     pctile(dlv, 1.0),
+	}
+}
+
+// pctile returns the p-th percentile (0..1) of sorted, by
+// nearest-rank; zero when the sample is empty.
+func pctile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}

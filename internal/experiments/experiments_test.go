@@ -68,6 +68,7 @@ func TestExperimentsSmoke(t *testing.T) {
 		{"E14", func() *Table { return E14AnalyzerPruning(1) }},
 		{"E17", func() *Table { return E17Parallel([]int{1}, 2) }},
 		{"E17b", func() *Table { return E17SerialRegression(1) }},
+		{"E18", func() *Table { return E18BidWatch(1, 4) }},
 	}
 	for _, r := range runs {
 		r := r

@@ -112,6 +112,34 @@ func MatchOutputCounted(st *storage.Store, g *pattern.Graph, contexts []storage.
 	return out, nil
 }
 
+// MatchOutputWithin reports which of the candidate refs match the output
+// vertex, in document order. It evaluates membership per candidate with
+// the same memoized recursion as MatchOutput (so its verdicts agree with
+// the full scan by construction), but touches only the candidates'
+// ancestor chains and predicate witnesses instead of every node — the
+// primitive behind incremental re-evaluation over dirty regions
+// (internal/cq): after a local update, only nodes whose membership could
+// have changed are re-tested.
+func MatchOutputWithin(st *storage.Store, g *pattern.Graph, contexts, candidates []storage.NodeRef) (refs []storage.NodeRef, err error) {
+	defer catchInterrupt(&err)
+	ctxSet := map[storage.NodeRef]bool{}
+	for _, ctx := range contexts {
+		ctxSet[ctx] = true
+	}
+	e := newEvaluator(st, g, ctxSet, nil)
+	var out []storage.NodeRef
+	for _, n := range candidates {
+		if n < 0 || int(n) >= st.NodeCount() {
+			continue
+		}
+		if e.bind(n, g.Output) {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
 // test applies the vertex's node test and value predicates; the anchor
 // (vertex 0) additionally requires the node to be a context node.
 func (e *evaluator) test(n storage.NodeRef, v pattern.VertexID) bool {

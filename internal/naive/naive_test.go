@@ -75,3 +75,40 @@ func TestValuePredicates(t *testing.T) {
 		t.Fatalf("value pred matches = %d", len(got))
 	}
 }
+
+func TestMatchOutputWithin(t *testing.T) {
+	st := storage.MustLoad(`<a><b><c/></b><b/><x><b><c year="1"/></b></x></a>`)
+	root := []storage.NodeRef{st.Root()}
+	for _, q := range []string{`//b`, `//b/c`, `/a/b`, `//x//c`, `//c[@year = 1]`} {
+		g := graphOf(t, q)
+		full := MatchOutput(st, g, root)
+		// Restricting to the full node range must reproduce the scan.
+		all := make([]storage.NodeRef, st.NodeCount())
+		for i := range all {
+			all[i] = storage.NodeRef(i)
+		}
+		got, err := MatchOutputWithin(st, g, root, all)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(full) {
+			t.Fatalf("%s: within(all) = %v, full scan = %v", q, got, full)
+		}
+		for i := range got {
+			if got[i] != full[i] {
+				t.Fatalf("%s: within(all) = %v, full scan = %v", q, got, full)
+			}
+		}
+		// Restricting to a single match keeps exactly it; out-of-range
+		// candidates are ignored.
+		if len(full) > 0 {
+			one, err := MatchOutputWithin(st, g, root, []storage.NodeRef{full[0], storage.NodeRef(st.NodeCount() + 7)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(one) != 1 || one[0] != full[0] {
+				t.Fatalf("%s: within(first) = %v, want [%d]", q, one, full[0])
+			}
+		}
+	}
+}

@@ -15,6 +15,19 @@ type UpdateStats struct {
 	// NodesInserted / NodesDeleted count affected nodes.
 	NodesInserted int
 	NodesDeleted  int
+	// Parent is the node under which the edit happened: the insertion
+	// parent for InsertChild, the deleted subtree's parent for
+	// DeleteSubtree. Its ref is identical in the old and new stores
+	// (it precedes the edit point in pre-order).
+	Parent NodeRef
+	// EditPoint is the first node ref whose identity changed: in the new
+	// store, inserted nodes occupy [EditPoint, EditPoint+NodesInserted);
+	// in the old store, deleted nodes occupied
+	// [EditPoint, EditPoint+NodesDeleted). Refs at or after EditPoint
+	// shift by NodesInserted-NodesDeleted between the two stores; refs
+	// before it are stable. Incremental re-evaluation (internal/cq)
+	// consumes this interval as the dirty region.
+	EditPoint NodeRef
 	// SuccinctDirtyBytes is the contiguous region of the succinct
 	// encoding that changes: 2 bits per node in the structure stream
 	// plus one tag id and kind byte per node, plus changed content.
@@ -43,6 +56,8 @@ func (s *Store) DeleteSubtree(target NodeRef) (*Store, UpdateStats, error) {
 	}
 	stats := UpdateStats{
 		NodesDeleted:       size,
+		Parent:             s.Parent(target),
+		EditPoint:          target,
 		SuccinctDirtyBytes: dirtySuccinct(size, contentBytes),
 		IntervalDirtyBytes: dirtyInterval(s, target, size),
 	}
@@ -64,6 +79,8 @@ func (s *Store) InsertChild(parent NodeRef, frag *xmldoc.Document) (*Store, Upda
 	// interval encodings renumber from the insertion point on.
 	stats := UpdateStats{
 		NodesInserted:      inserted,
+		Parent:             parent,
+		EditPoint:          parent + NodeRef(s.SubtreeSize(parent)),
 		SuccinctDirtyBytes: dirtySuccinct(inserted, contentBytes),
 		IntervalDirtyBytes: dirtyInterval(s, parent+NodeRef(s.SubtreeSize(parent)), inserted),
 	}

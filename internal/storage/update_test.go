@@ -158,3 +158,59 @@ func TestInsertDeleteRoundTripProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestUpdateStatsEditLocation(t *testing.T) {
+	s := MustLoad(bibXML)
+	books := s.ElementRefs("book")
+
+	// Insert: new nodes occupy [EditPoint, EditPoint+NodesInserted) in
+	// the new store; refs before EditPoint are stable, refs at or after
+	// it shift up by NodesInserted.
+	frag := xmldoc.MustParse(`<note>see also</note>`)
+	out, stats, err := s.InsertChild(books[0], frag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Parent != books[0] {
+		t.Fatalf("insert Parent = %d, want %d", stats.Parent, books[0])
+	}
+	wantEdit := books[0] + NodeRef(s.SubtreeSize(books[0]))
+	if stats.EditPoint != wantEdit {
+		t.Fatalf("insert EditPoint = %d, want %d", stats.EditPoint, wantEdit)
+	}
+	for d := stats.EditPoint; d < stats.EditPoint+NodeRef(stats.NodesInserted); d++ {
+		if name := out.Name(d); name != "note" && out.Kind(d) != xmldoc.KindText {
+			t.Fatalf("node %d in inserted interval is %s/%v, want inserted content", d, name, out.Kind(d))
+		}
+	}
+	for r := NodeRef(0); r < stats.EditPoint; r++ {
+		if s.Kind(r) != out.Kind(r) || s.Name(r) != out.Name(r) {
+			t.Fatalf("ref %d before EditPoint not stable", r)
+		}
+	}
+	for r := stats.EditPoint; int(r) < s.NodeCount(); r++ {
+		shifted := r + NodeRef(stats.NodesInserted)
+		if s.Kind(r) != out.Kind(shifted) || s.Name(r) != out.Name(shifted) {
+			t.Fatalf("ref %d after EditPoint did not shift by %d", r, stats.NodesInserted)
+		}
+	}
+
+	// Delete: the deleted interval is [EditPoint, EditPoint+NodesDeleted)
+	// in the old store; later refs shift down.
+	out2, dstats, err := s.DeleteSubtree(books[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dstats.Parent != s.Parent(books[1]) {
+		t.Fatalf("delete Parent = %d, want %d", dstats.Parent, s.Parent(books[1]))
+	}
+	if dstats.EditPoint != books[1] {
+		t.Fatalf("delete EditPoint = %d, want %d", dstats.EditPoint, books[1])
+	}
+	for r := dstats.EditPoint + NodeRef(dstats.NodesDeleted); int(r) < s.NodeCount(); r++ {
+		shifted := r - NodeRef(dstats.NodesDeleted)
+		if s.Kind(r) != out2.Kind(shifted) || s.Name(r) != out2.Name(shifted) {
+			t.Fatalf("ref %d after deleted interval did not shift by -%d", r, dstats.NodesDeleted)
+		}
+	}
+}

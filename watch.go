@@ -1,0 +1,128 @@
+package xqp
+
+import (
+	"context"
+	"io"
+	"strings"
+	"time"
+
+	"xqp/internal/cq"
+	"xqp/internal/engine"
+)
+
+// MutationOp selects a streaming mutation's operation.
+type MutationOp = engine.MutationOp
+
+// Mutation operations accepted by Engine.Apply.
+const (
+	// MutationInsert parses Mutation.XML and appends it as the last
+	// child of the element at Mutation.Path.
+	MutationInsert = engine.MutationInsert
+	// MutationDelete removes the subtree at Mutation.Path.
+	MutationDelete = engine.MutationDelete
+)
+
+// Mutation is one edit in a streaming-ingest batch; see Engine.Apply.
+type Mutation = engine.Mutation
+
+// ApplyResult summarizes one committed mutation batch: the new
+// generation plus the dirty-region accounting from the paper's
+// update-cost model.
+type ApplyResult = engine.ApplyResult
+
+// Apply commits a batch of mutations to the named document as one new
+// copy-on-write generation. The batch is atomic: any invalid path or
+// malformed fragment rejects the whole batch. Paths are simple rooted
+// element steps ("/", "/site/regions", "/book[2]") resolved left to
+// right, each step optionally indexed among same-name siblings.
+func (e *Engine) Apply(name string, muts []Mutation) (*ApplyResult, error) {
+	return e.inner.Apply(name, muts)
+}
+
+// Append is streaming ingest: it parses a sequence of XML fragments
+// from r and commits them as new last children of the document element,
+// in one generation.
+func (e *Engine) Append(name string, r io.Reader) (*ApplyResult, error) {
+	return e.inner.Append(name, r)
+}
+
+// AppendString appends XML fragments given as a string.
+func (e *Engine) AppendString(name, xml string) (*ApplyResult, error) {
+	return e.inner.Append(name, strings.NewReader(xml))
+}
+
+// WatchConfig sizes a Watcher; the zero value gives sensible defaults.
+type WatchConfig = cq.Config
+
+// Delta is one commit's effect on a watched query's result.
+type Delta = cq.Delta
+
+// DeltaItem is one insertion within a Delta.
+type DeltaItem = cq.AddedItem
+
+// WatchSubscription is a subscriber's ordered delta stream.
+type WatchSubscription = cq.Subscription
+
+// WatchPollResult is one long-poll response; see Watcher.Poll.
+type WatchPollResult = cq.PollResult
+
+// WatchStats snapshots a Watcher's counters.
+type WatchStats = cq.Stats
+
+// Watcher errors, matchable with errors.Is.
+var (
+	// ErrWatchClosed reports an operation on a closed Watcher.
+	ErrWatchClosed = cq.ErrClosed
+	// ErrTooManyWatches reports the continuous-query cap was hit with no
+	// idle query to evict.
+	ErrTooManyWatches = cq.ErrTooManyQueries
+	// ErrNotWatchable reports a query that cannot be watched (cross-
+	// document doc() references).
+	ErrNotWatchable = cq.ErrNotWatchable
+)
+
+// Watcher is the continuous-query service over an Engine: registered
+// queries are re-evaluated after every commit — incrementally over the
+// commit's dirty region when the plan and edit allow it — and
+// subscribers receive ordered add/remove deltas. Create with NewWatcher;
+// all methods are safe for concurrent use.
+type Watcher struct {
+	inner *cq.Registry
+}
+
+// NewWatcher attaches a continuous-query service to the engine's commit
+// stream. Only one Watcher should be attached to an Engine at a time.
+func NewWatcher(e *Engine, cfg WatchConfig) *Watcher {
+	return &Watcher{inner: cq.New(e.inner, cfg)}
+}
+
+// Subscribe registers the continuous query for (doc, src) and returns a
+// delta stream whose first delta is a full snapshot of the current
+// result.
+func (w *Watcher) Subscribe(doc, src string) (*WatchSubscription, error) {
+	return w.inner.Subscribe(doc, src)
+}
+
+// Poll is the long-poll interface: it returns the deltas committed
+// after generation since, waiting up to wait when the caller is
+// current; since=0 requests a full snapshot.
+func (w *Watcher) Poll(ctx context.Context, doc, src string, since uint64, wait time.Duration) (*WatchPollResult, error) {
+	return w.inner.Poll(ctx, doc, src, since, wait)
+}
+
+// Result returns the watched query's current accumulated result and
+// generation, registering the query if needed.
+func (w *Watcher) Result(doc, src string) ([]string, uint64, error) {
+	return w.inner.Result(doc, src)
+}
+
+// Stats snapshots the watcher's counters.
+func (w *Watcher) Stats() WatchStats { return w.inner.Stats() }
+
+// CommitTrace returns the trace span of the last commit processed for
+// the document (nil if none), one child per watched query.
+func (w *Watcher) CommitTrace(doc string) *TraceSpan { return w.inner.CommitTrace(doc) }
+
+// Close detaches the watcher from the engine and closes every
+// subscription.
+func (w *Watcher) Close() { w.inner.Close() }

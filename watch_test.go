@@ -1,0 +1,84 @@
+package xqp
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestWatcherFacade(t *testing.T) {
+	e := NewEngine(EngineConfig{})
+	if err := e.RegisterString("bib.xml", bibXML); err != nil {
+		t.Fatal(err)
+	}
+	w := NewWatcher(e, WatchConfig{})
+	defer w.Close()
+
+	sub, err := w.Subscribe("bib.xml", `//book/title`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := <-sub.Deltas()
+	if !d.Full || d.Reason != "initial" || len(d.Added) != 4 {
+		t.Fatalf("initial delta: %+v", d)
+	}
+	state := d.Apply(nil)
+
+	res, err := e.Apply("bib.xml", []Mutation{{
+		Op: MutationInsert, Path: "/",
+		XML: `<book><title>Streaming XML</title><price>25.00</price></book>`,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Generation != 2 || res.NodesInserted == 0 {
+		t.Fatalf("apply result: %+v", res)
+	}
+
+	select {
+	case d = <-sub.Deltas():
+	case <-time.After(5 * time.Second):
+		t.Fatal("no delta after apply")
+	}
+	state = d.Apply(state)
+	if len(state) != 5 || state[4] != "<title>Streaming XML</title>" {
+		t.Fatalf("accumulated state: %q", state)
+	}
+
+	// The accumulated delta state must match the live query result and
+	// the watcher's own retained result.
+	live, err := e.Query(context.Background(), "bib.xml", `//book/title`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lx := live.XMLItems()
+	if len(lx) != len(state) {
+		t.Fatalf("live result %q vs accumulated %q", lx, state)
+	}
+	for i := range lx {
+		if lx[i] != state[i] {
+			t.Fatalf("live result %q vs accumulated %q", lx, state)
+		}
+	}
+	retained, gen, err := w.Result("bib.xml", `//book/title`)
+	if err != nil || gen != 2 || len(retained) != 5 {
+		t.Fatalf("retained result gen %d len %d err %v", gen, len(retained), err)
+	}
+
+	if _, err := e.AppendString("bib.xml", `<book><title>A</title></book><book><title>B</title></book>`); err != nil {
+		t.Fatal(err)
+	}
+	pr, err := w.Poll(context.Background(), "bib.xml", `//book/title`, 2, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Reset || len(pr.Deltas) != 1 || pr.Gen != 3 {
+		t.Fatalf("poll result: %+v", pr)
+	}
+	if st := w.Stats(); st.Commits == 0 || st.Incremental == 0 {
+		t.Fatalf("watch stats: %+v", st)
+	}
+	if tr := w.CommitTrace("bib.xml"); tr == nil || len(tr.Children) == 0 {
+		t.Fatal("commit trace missing")
+	}
+}
