@@ -24,6 +24,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -53,6 +54,7 @@ func run(stdin io.Reader, stdout, stderr io.Writer, argv []string) int {
 	metrics := fs.Bool("metrics", false, "print physical operator counters after the result")
 	indent := fs.Bool("indent", false, "pretty-print node results with indentation")
 	workers := fs.Int("j", 0, "worker budget for partitioned pattern matching (0 or 1: serial, -1: one per CPU)")
+	batched := fs.Bool("batched", false, "run pattern matching batch-at-a-time on compiled batch kernels")
 	watch := fs.String("watch", "", "subscribe to a continuous query on the xqd daemon at this base URL (-doc names the server document)")
 	watchCount := fs.Int("n", 0, "with -watch: exit after this many deltas (0: stream forever)")
 	if err := fs.Parse(argv); err != nil {
@@ -91,7 +93,7 @@ func run(stdin io.Reader, stdout, stderr io.Writer, argv []string) int {
 
 	// StrictDocs: a doc() reference that cannot be resolved is an error,
 	// never a silent fallback to the default document.
-	opts := xqp.Options{DisableRewrites: *noRewrite, DisableAnalyzer: *noAnalyze, CostBased: *costBased, Trace: *trace, StrictDocs: true, Parallelism: *workers}
+	opts := xqp.Options{DisableRewrites: *noRewrite, DisableAnalyzer: *noAnalyze, CostBased: *costBased, Trace: *trace, StrictDocs: true, Parallelism: *workers, Batched: *batched}
 	switch *strategy {
 	case "auto":
 		opts.Strategy = xqp.Auto
@@ -192,6 +194,10 @@ func runWatch(stdout, stderr io.Writer, server, doc, query string, n int) int {
 
 	br := bufio.NewReader(resp.Body)
 	event, seen := "", 0
+	// state accumulates the result sequence by applying each delta; a
+	// corrupt or truncated payload is reported as a malformed delta
+	// instead of crashing (ApplyChecked validates positions and bounds).
+	var state []string
 	for {
 		line, err := br.ReadString('\n')
 		if err != nil {
@@ -206,6 +212,23 @@ func runWatch(stdout, stderr io.Writer, server, doc, query string, n int) int {
 			data := strings.TrimPrefix(line, "data: ")
 			switch event {
 			case "delta":
+				var d xqp.Delta
+				if err := json.Unmarshal([]byte(data), &d); err != nil {
+					fmt.Fprintf(stderr, "xq: malformed delta: %v\n", err)
+					return 1
+				}
+				next, err := d.ApplyChecked(state)
+				if err != nil {
+					fmt.Fprintf(stderr, "xq: malformed delta: %v\n", err)
+					return 1
+				}
+				if d.Size != 0 || len(d.Added) > 0 || len(d.Removed) > 0 {
+					if len(next) != d.Size {
+						fmt.Fprintf(stderr, "xq: malformed delta: gen %d applies to %d items but declares size %d\n", d.Gen, len(next), d.Size)
+						return 1
+					}
+				}
+				state = next
 				fmt.Fprintln(stdout, data)
 				seen++
 				if n > 0 && seen >= n {

@@ -74,6 +74,50 @@ func TestWatchLaggedExitsNonzero(t *testing.T) {
 	}
 }
 
+// corruptWatchServer emits a valid snapshot delta followed by one
+// malformed payload (truncated JSON or a delta whose positions cannot
+// apply), mimicking a broken or truncating proxy in front of xqd.
+func corruptWatchServer(t *testing.T, payload string) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		f := w.(http.Flusher)
+		fmt.Fprint(w, "event: delta\ndata: {\"gen\":1,\"added\":[{\"index\":0,\"xml\":\"<t/>\"}],\"size\":1}\n\n")
+		fmt.Fprintf(w, "event: delta\ndata: %s\n\n", payload)
+		fmt.Fprint(w, "event: end\ndata: {\"lagged\":false}\n\n")
+		f.Flush()
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestWatchMalformedDelta(t *testing.T) {
+	cases := []struct {
+		name, payload string
+	}{
+		{"truncated json", `{"gen":2,"removed":[0],"added":`},
+		{"removed out of range", `{"gen":2,"removed":[7],"size":0}`},
+		{"added index out of range", `{"gen":2,"added":[{"index":99,"xml":"x"}],"size":2}`},
+		{"size mismatch", `{"gen":2,"added":[{"index":1,"xml":"x"}],"size":9}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			srv := corruptWatchServer(t, tc.payload)
+			stdout, stderr, code := runXQ(t, "", "-watch", srv.URL, "-doc", "bib", `//book/title`)
+			if code != 1 {
+				t.Fatalf("exit %d, want 1 (stderr %q)", code, stderr)
+			}
+			if !strings.Contains(stderr, "malformed delta") {
+				t.Fatalf("stderr = %q, want malformed-delta report", stderr)
+			}
+			// The valid snapshot before the corruption still streamed.
+			if !strings.Contains(stdout, `"gen":1`) {
+				t.Fatalf("stdout = %q, want the first delta", stdout)
+			}
+		})
+	}
+}
+
 func TestWatchErrors(t *testing.T) {
 	srv := fakeWatchServer(t, false)
 	// -watch without -doc.

@@ -46,6 +46,7 @@ var registry = []struct {
 	{"E17", "parallel vs serial pattern matching", func() *experiments.Table { return experiments.E17Parallel([]int{4, 8, 16}, 4) }},
 	{"E17B", "serial stability after partition hooks", func() *experiments.Table { return experiments.E17SerialRegression(8) }},
 	{"E18", "continuous bid-watch delta latency", func() *experiments.Table { return experiments.E18BidWatch(2, 40) }},
+	{"E19", "batched vs interpreted pattern matching", func() *experiments.Table { return experiments.E19Batched([]int{4, 8, 16}) }},
 }
 
 func main() {

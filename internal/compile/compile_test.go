@@ -1,0 +1,65 @@
+package compile
+
+import (
+	"testing"
+
+	"xqp/internal/batch"
+	"xqp/internal/core"
+)
+
+// TestFingerprintBatched: plans compiled with the batch stage carry
+// different artifacts (stamped Programs), so the flag must change the
+// plan-cache fingerprint.
+func TestFingerprintBatched(t *testing.T) {
+	base := Options{}
+	batched := Options{Batched: true}
+	if base.Fingerprint() == batched.Fingerprint() {
+		t.Fatal("Batched does not change the fingerprint")
+	}
+	for _, o := range []Options{
+		{DisableAnalyzer: true},
+		{DisableRewrites: true},
+	} {
+		ob := o
+		ob.Batched = true
+		if o.Fingerprint() == ob.Fingerprint() {
+			t.Fatalf("Batched aliases fingerprint for %+v", o)
+		}
+	}
+}
+
+// TestCompileBatchedStamps: the batch stage stamps every τ pattern with
+// a compiled Program; without the flag graphs stay unstamped.
+func TestCompileBatchedStamps(t *testing.T) {
+	const src = `for $b in /bib/book where $b/price > 10 return $b/title`
+	tpmGraphs := func(c *Compiled) (stamped, total int) {
+		core.Walk(c.Plan, func(o core.Op) bool {
+			if tp, ok := o.(*core.TPMOp); ok {
+				total++
+				if _, isProg := tp.Graph.Compiled.(*batch.Program); isProg {
+					stamped++
+				}
+			}
+			return true
+		})
+		return
+	}
+	c, err := Compile(src, Options{Batched: true}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stamped, total := tpmGraphs(c)
+	if total == 0 {
+		t.Fatal("plan has no τ operators")
+	}
+	if stamped != total {
+		t.Fatalf("stamped %d of %d τ graphs", stamped, total)
+	}
+	c, err = Compile(src, Options{}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stamped, _ := tpmGraphs(c); stamped != 0 {
+		t.Fatalf("unbatched compile stamped %d graphs", stamped)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"xqp/internal/batch"
 	"xqp/internal/exec"
 	"xqp/internal/pattern"
 	"xqp/internal/stats"
@@ -66,6 +67,21 @@ const (
 	// parPartitionsPerWorker mirrors the matcher's partition
 	// oversizing (nok.partitionsPerWorker).
 	parPartitionsPerWorker = 4
+	// batchSetup is the fixed cost of compiling and binding a batch
+	// Program (mask construction plus the vocabulary-sized candidate
+	// table). It keeps tiny dispatches on the interpreter, where the
+	// kernel's setup would dominate.
+	batchSetup = 512.0
+	// batchNoKFactor is the modeled per-node cost ratio of the batch
+	// kernel's linear parenthesis scan against the interpreter's
+	// FindClose-backed navigation (calibrated on E19: the kernel runs
+	// the same upward/downward passes without per-node FindClose).
+	batchNoKFactor = 0.4
+	// batchStreamFactor is the modeled ratio of building the join
+	// matchers' vertex streams from the one-scan interval arrays
+	// against per-element FindClose; only the stream-build share of
+	// the join cost shrinks, the stack phases are unchanged.
+	batchStreamFactor = 0.7
 )
 
 // Estimate holds the modeled costs for one pattern.
@@ -201,6 +217,35 @@ func (m *Model) ChoiceParallel(g *pattern.Graph, rootAnchored bool, workers int)
 		default:
 			ch.Parallel = e.NoKParallel(workers) < e.NoK
 		}
+	}
+	return ch
+}
+
+// ChoiceBatched is ChoiceParallel with a batched-execution verdict:
+// after picking the strategy and the serial/parallel mode it asks
+// whether the compiled batch kernels would beat the interpreted
+// matcher for that plan. Patterns the kernels cannot compile (over
+// batch.MaxVertices vertices) and strategies without a batched mode
+// (Hybrid) stay interpreted.
+func (m *Model) ChoiceBatched(g *pattern.Graph, rootAnchored bool, workers int) exec.Choice {
+	ch := m.ChoiceParallel(g, rootAnchored, workers)
+	if g.VertexCount() > batch.MaxVertices {
+		return ch
+	}
+	e := m.Estimate(g)
+	switch ch.Strategy {
+	case exec.StrategyTwigStack, exec.StrategyPathStack:
+		// The parallel stream scan already avoids per-element
+		// FindClose; batched streams only compete with the serial form.
+		ch.Batched = !ch.Parallel && e.Join*batchStreamFactor+batchSetup < e.Join
+	case exec.StrategyHybrid:
+		// The hybrid matcher has no batched mode.
+	default:
+		base := e.NoK
+		if ch.Parallel {
+			base = e.NoKParallel(workers)
+		}
+		ch.Batched = base*batchNoKFactor+batchSetup < base
 	}
 	return ch
 }

@@ -1,6 +1,8 @@
 package cq
 
 import (
+	"fmt"
+
 	"xqp/internal/storage"
 )
 
@@ -52,8 +54,39 @@ func (d Delta) Empty() bool { return len(d.Removed) == 0 && len(d.Added) == 0 }
 // starting generation reproduces the query's current result exactly —
 // the differential tests assert byte identity against a fresh
 // evaluation.
+//
+// Apply panics on a malformed delta; state received over the wire must
+// go through ApplyChecked instead.
 func (d Delta) Apply(prev []string) []string {
-	out := make([]string, 0, len(prev)-len(d.Removed)+len(d.Added))
+	out, err := d.ApplyChecked(prev)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// ApplyChecked is Apply with validation: a delta whose Removed positions
+// are out of range or not strictly ascending, or whose Added indexes
+// fall outside the growing output sequence, returns an error instead of
+// panicking. Use it for deltas of untrusted provenance (anything
+// deserialized from the network), where a truncated or corrupt payload
+// must degrade to a reportable error, not crash the consumer.
+func (d Delta) ApplyChecked(prev []string) ([]string, error) {
+	for i, r := range d.Removed {
+		if r < 0 || r >= len(prev) {
+			return nil, fmt.Errorf("cq: delta gen %d: removed position %d out of range for %d-item state", d.Gen, r, len(prev))
+		}
+		if i > 0 && r <= d.Removed[i-1] {
+			return nil, fmt.Errorf("cq: delta gen %d: removed positions not strictly ascending at %d", d.Gen, r)
+		}
+	}
+	// cap is a hint only, but guard it anyway: with invalid inputs the
+	// arithmetic can go negative and make() panics.
+	capHint := len(prev) - len(d.Removed) + len(d.Added)
+	if capHint < 0 {
+		capHint = 0
+	}
+	out := make([]string, 0, capHint)
 	ri := 0
 	for i, s := range prev {
 		if ri < len(d.Removed) && d.Removed[ri] == i {
@@ -63,13 +96,18 @@ func (d Delta) Apply(prev []string) []string {
 		out = append(out, s)
 	}
 	for _, a := range d.Added {
+		// After appending the placeholder, valid insertion points are
+		// 0..len(out)-1 (i.e. at most one past the pre-insert end).
+		if a.Index < 0 || a.Index > len(out) {
+			return nil, fmt.Errorf("cq: delta gen %d: added index %d out of range for %d-item state", d.Gen, a.Index, len(out))
+		}
 		out = append(out, "")
 		if a.Index < len(out)-1 {
 			copy(out[a.Index+1:], out[a.Index:])
 		}
 		out[a.Index] = a.XML
 	}
-	return out
+	return out, nil
 }
 
 // item is one entry of a query's retained result state.
@@ -90,10 +128,14 @@ type item struct {
 // carrying an orig position with unchanged serialization are kept,
 // everything else is removed/added. Requires survivors to preserve
 // relative order (true for ref-sorted results under monotonic remaps).
+// An origin outside old's bounds is treated as no origin (the item
+// degrades to remove+add): a bad annotation must never index out of
+// range and panic the registry worker, which would silently kill all
+// watch delivery for the document.
 func diffByOrig(old, next []item) (removed []int, added []AddedItem) {
 	kept := make([]bool, len(old))
 	for j := range next {
-		if o := next[j].orig; o >= 0 && next[j].xml == old[o].xml {
+		if o := next[j].orig; o >= 0 && o < len(old) && next[j].xml == old[o].xml {
 			kept[o] = true
 		} else {
 			added = append(added, AddedItem{Index: j, XML: next[j].xml})
@@ -113,18 +155,35 @@ const lcsCellCap = 1 << 20
 
 // diffLCS produces a minimal delta body by longest-common-subsequence
 // over serializations — the fallback when node identity cannot be
-// tracked across stores (untracked commits, atomic results).
+// tracked across stores (untracked commits, atomic results). Equal
+// prefixes and suffixes are trimmed before anything else, so the
+// quadratic table — and the lcsCellCap wholesale-replacement fallback —
+// sees only the changed middle: a large, mostly unchanged result no
+// longer degrades to a remove-all/add-all delta just because its total
+// size crosses the cap.
 func diffLCS(old, next []item) (removed []int, added []AddedItem) {
+	// Trim the common prefix (offset by p below) and suffix: unchanged
+	// runs contribute nothing to the delta and must not count against
+	// lcsCellCap.
+	p := 0
+	for p < len(old) && p < len(next) && old[p].xml == next[p].xml {
+		p++
+	}
+	suf := 0
+	for suf < len(old)-p && suf < len(next)-p && old[len(old)-1-suf].xml == next[len(next)-1-suf].xml {
+		suf++
+	}
+	old, next = old[p:len(old)-suf], next[p:len(next)-suf]
 	n, m := len(old), len(next)
 	if n == 0 && m == 0 {
 		return nil, nil
 	}
 	if n*m > lcsCellCap {
 		for i := 0; i < n; i++ {
-			removed = append(removed, i)
+			removed = append(removed, i+p)
 		}
 		for j := 0; j < m; j++ {
-			added = append(added, AddedItem{Index: j, XML: next[j].xml})
+			added = append(added, AddedItem{Index: j + p, XML: next[j].xml})
 		}
 		return removed, added
 	}
@@ -151,18 +210,18 @@ func diffLCS(old, next []item) (removed []int, added []AddedItem) {
 			i++
 			j++
 		case lcs[i+1][j] >= lcs[i][j+1]:
-			removed = append(removed, i)
+			removed = append(removed, i+p)
 			i++
 		default:
-			added = append(added, AddedItem{Index: j, XML: next[j].xml})
+			added = append(added, AddedItem{Index: j + p, XML: next[j].xml})
 			j++
 		}
 	}
 	for ; i < n; i++ {
-		removed = append(removed, i)
+		removed = append(removed, i+p)
 	}
 	for ; j < m; j++ {
-		added = append(added, AddedItem{Index: j, XML: next[j].xml})
+		added = append(added, AddedItem{Index: j + p, XML: next[j].xml})
 	}
 	return removed, added
 }

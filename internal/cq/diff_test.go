@@ -1,0 +1,161 @@
+package cq
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"xqp/internal/storage"
+)
+
+func mkItems(xs ...string) []item {
+	out := make([]item, len(xs))
+	for i, x := range xs {
+		out[i] = item{ref: storage.NodeRef(-1), xml: x, orig: -1}
+	}
+	return out
+}
+
+func TestApplyCheckedMalformed(t *testing.T) {
+	prev := []string{"a", "b", "c"}
+	cases := []struct {
+		name string
+		d    Delta
+		want string
+	}{
+		{"removed out of range", Delta{Removed: []int{3}}, "out of range"},
+		{"removed negative", Delta{Removed: []int{-1}}, "out of range"},
+		{"removed not ascending", Delta{Removed: []int{1, 1}}, "not strictly ascending"},
+		{"added index out of range", Delta{Added: []AddedItem{{Index: 4, XML: "x"}}}, "out of range"},
+		{"added index negative", Delta{Added: []AddedItem{{Index: -1, XML: "x"}}}, "out of range"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := tc.d.ApplyChecked(prev); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("ApplyChecked error = %v, want containing %q", err, tc.want)
+			}
+		})
+	}
+	// More removals than prev items: the capacity arithmetic
+	// len(prev)-len(Removed)+len(Added) goes negative; this must error
+	// cleanly, not panic inside make.
+	over := Delta{Removed: []int{0, 1, 2, 3, 4}}
+	if _, err := over.ApplyChecked([]string{"a"}); err == nil {
+		t.Fatal("over-removal delta applied without error")
+	}
+	// A valid delta still round-trips identically through both paths.
+	d := Delta{Removed: []int{1}, Added: []AddedItem{{Index: 0, XML: "x"}}}
+	got, err := d.ApplyChecked(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := d.Apply(prev)
+	if len(got) != len(want) {
+		t.Fatalf("ApplyChecked = %q, Apply = %q", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ApplyChecked = %q, Apply = %q", got, want)
+		}
+	}
+}
+
+func TestDiffByOrigBadOriginDegrades(t *testing.T) {
+	old := mkItems("a", "b")
+	next := []item{
+		{ref: -1, xml: "a", orig: 0},
+		{ref: -1, xml: "b", orig: 7}, // corrupt annotation: beyond len(old)
+	}
+	removed, added := diffByOrig(old, next)
+	// The bad-origin item degrades to remove+add instead of panicking.
+	if len(removed) != 1 || removed[0] != 1 {
+		t.Fatalf("removed = %v", removed)
+	}
+	if len(added) != 1 || added[0].Index != 1 || added[0].XML != "b" {
+		t.Fatalf("added = %v", added)
+	}
+	d := Delta{Removed: removed, Added: added}
+	got := d.Apply([]string{"a", "b"})
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("round trip = %q", got)
+	}
+}
+
+// TestDiffLCSCapBoundary pins the prefix/suffix-trim behaviour at the
+// lcsCellCap boundary: a large, mostly unchanged result whose raw n*m
+// crosses the cap must still produce a minimal delta (the trimmed
+// middle is tiny), not a wholesale remove-all/add-all.
+func TestDiffLCSCapBoundary(t *testing.T) {
+	const n = 2048 // raw table n*m = 4M cells, well past lcsCellCap (1M)
+	old := make([]item, n)
+	next := make([]item, n)
+	for i := 0; i < n; i++ {
+		old[i] = item{ref: -1, xml: fmt.Sprintf("it%d", i), orig: -1}
+		next[i] = old[i]
+	}
+	next[n/2] = item{ref: -1, xml: "changed", orig: -1}
+	removed, added := diffLCS(old, next)
+	if len(removed) != 1 || removed[0] != n/2 {
+		t.Fatalf("removed = %v (len %d), want [%d]", removed[:min(len(removed), 4)], len(removed), n/2)
+	}
+	if len(added) != 1 || added[0].Index != n/2 || added[0].XML != "changed" {
+		t.Fatalf("added = %+v (len %d)", added[:min(len(added), 4)], len(added))
+	}
+	// A genuinely wholesale change past the cap still falls back, and
+	// the fallback's positions still round-trip through Apply.
+	for i := 0; i < n; i++ {
+		next[i] = item{ref: -1, xml: fmt.Sprintf("new%d", i), orig: -1}
+	}
+	removed, added = diffLCS(old, next)
+	if len(removed) != n || len(added) != n {
+		t.Fatalf("wholesale fallback: %d removed, %d added, want %d each", len(removed), len(added), n)
+	}
+	prev := make([]string, n)
+	for i := range prev {
+		prev[i] = old[i].xml
+	}
+	got, err := Delta{Removed: removed, Added: added}.ApplyChecked(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != next[i].xml {
+			t.Fatalf("wholesale round trip diverges at %d: %q != %q", i, got[i], next[i].xml)
+		}
+	}
+}
+
+// FuzzDeltaApply feeds arbitrary wire-format deltas through
+// ApplyChecked: whatever the bytes decode to, application must either
+// succeed with a consistent size or fail with an error — never panic.
+func FuzzDeltaApply(f *testing.F) {
+	f.Add(`{"gen":2,"removed":[0],"added":[{"index":0,"xml":"<b/>"}],"size":1}`, 1)
+	f.Add(`{"gen":1,"removed":[5]}`, 2)
+	f.Add(`{"gen":1,"removed":[0,1,2,3,4]}`, 1)
+	f.Add(`{"gen":1,"added":[{"index":99,"xml":"x"}]}`, 0)
+	f.Add(`{"gen":1,"added":[{"index":-1,"xml":"x"}]}`, 3)
+	f.Add(`{"gen":1,"removed":[1,0]}`, 2)
+	f.Add(`{"gen":3,"removed":[0],"added":`, 1) // truncated payload
+	f.Fuzz(func(t *testing.T, payload string, stateSize int) {
+		var d Delta
+		if err := json.Unmarshal([]byte(payload), &d); err != nil {
+			return
+		}
+		if stateSize < 0 {
+			stateSize = -stateSize
+		}
+		stateSize %= 64
+		prev := make([]string, stateSize)
+		for i := range prev {
+			prev[i] = fmt.Sprintf("s%d", i)
+		}
+		out, err := d.ApplyChecked(prev)
+		if err != nil {
+			return
+		}
+		if want := len(prev) - len(d.Removed) + len(d.Added); len(out) != want {
+			t.Fatalf("applied size %d, want %d (delta %+v over %d items)", len(out), want, d, len(prev))
+		}
+	})
+}

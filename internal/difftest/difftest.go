@@ -46,7 +46,9 @@ func Reference() Config {
 // configuration is valid for every corpus query. The parallel variants
 // request explicit worker budgets, which the executor honors regardless
 // of the host's core count — that keeps the partitioned code paths
-// exercised even on single-core CI.
+// exercised even on single-core CI. The batched variants run the same
+// strategies on the compiled batch kernels (Options.Batched), which
+// must be byte-identical to their interpreted counterparts.
 func Configs() []Config {
 	return []Config{
 		{Name: "nok", Opts: xqp.Options{Strategy: xqp.NoK}},
@@ -61,6 +63,16 @@ func Configs() []Config {
 		{Name: "pathstack-j4", Opts: xqp.Options{Strategy: xqp.PathStack, Parallelism: 4}},
 		{Name: "auto-cost", Opts: xqp.Options{CostBased: true}},
 		{Name: "auto-cost-j4", Opts: xqp.Options{CostBased: true, Parallelism: 4}},
+		{Name: "nok-batched", Opts: xqp.Options{Strategy: xqp.NoK, Batched: true}},
+		{Name: "nok-batched-j2", Opts: xqp.Options{Strategy: xqp.NoK, Batched: true, Parallelism: 2}},
+		{Name: "nok-batched-j4", Opts: xqp.Options{Strategy: xqp.NoK, Batched: true, Parallelism: 4}},
+		{Name: "nok-batched-j8", Opts: xqp.Options{Strategy: xqp.NoK, Batched: true, Parallelism: 8}},
+		{Name: "naive-batched", Opts: xqp.Options{Strategy: xqp.Naive, Batched: true}},
+		{Name: "twigstack-batched", Opts: xqp.Options{Strategy: xqp.TwigStack, Batched: true}},
+		{Name: "pathstack-batched", Opts: xqp.Options{Strategy: xqp.PathStack, Batched: true}},
+		{Name: "hybrid-batched", Opts: xqp.Options{Strategy: xqp.Hybrid, Batched: true}},
+		{Name: "auto-cost-batched", Opts: xqp.Options{CostBased: true, Batched: true}},
+		{Name: "auto-cost-batched-j4", Opts: xqp.Options{CostBased: true, Batched: true, Parallelism: 4}},
 	}
 }
 

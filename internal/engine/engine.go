@@ -338,12 +338,18 @@ type QueryOptions struct {
 	// plan, so it is not part of the plan-cache key either.
 	// xqvet:cachekey exec-only
 	Parallelism int
+	// Batched runs τ batch-at-a-time on compiled batch kernels. The
+	// compiler stamps the plan's pattern graphs with batch Programs, so
+	// a batched plan is a different artifact from an interpreted one
+	// and the flag is part of the plan-cache key (via compileOptions).
+	Batched bool
 }
 
 func (o QueryOptions) compileOptions() compile.Options {
 	return compile.Options{
 		DisableAnalyzer: o.DisableAnalyzer,
 		DisableRewrites: o.DisableRewrites,
+		Batched:         o.Batched,
 	}
 }
 
@@ -448,6 +454,7 @@ func (e *Engine) run(ctx context.Context, doc, src string, opts QueryOptions, wa
 		Interrupt:   ctx.Err,
 		Trace:       opts.Trace,
 		Parallelism: opts.Parallelism,
+		Batched:     opts.Batched,
 	}
 	if opts.CostBased || opts.Trace {
 		// Model over the snapshot synopsis (immutable, so shared safely
@@ -458,7 +465,7 @@ func (e *Engine) run(ctx context.Context, doc, src string, opts QueryOptions, wa
 				if cs != st {
 					return exec.Choice{Strategy: exec.StrategyNoK} // secondary doc() targets: no synopsis at hand
 				}
-				return model.ChoiceParallel(g, rootAnchored, opts.Parallelism)
+				return model.ChoiceBatched(g, rootAnchored, opts.Parallelism)
 			}
 		}
 		if opts.Trace {

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"xqp/internal/ast"
+	"xqp/internal/batch"
 	"xqp/internal/core"
 	"xqp/internal/join"
 	"xqp/internal/naive"
@@ -64,6 +65,14 @@ type Options struct {
 	// steps, reproducing the worst-case exponential behaviour of purely
 	// pipelined evaluation (experiment E6). Never enable in production.
 	NoStepDedup bool
+	// Batched runs τ on the compiled batch kernels (package batch):
+	// operators exchange blocks of node ids and the matcher's recursion
+	// is replaced by linear scans of the parenthesis sequence. Results
+	// are bit-identical to the interpreted matchers. Dispatches the
+	// kernels cannot serve (patterns over batch.MaxVertices vertices,
+	// strategies without a batched mode) fall back to the interpreter
+	// with a recorded reason — never silently.
+	Batched bool
 	// Chooser, when non-nil and Strategy is StrategyAuto, picks the
 	// strategy per τ invocation (wired to the cost model). rootAnchored
 	// reports whether the context is exactly the document root — the
@@ -117,6 +126,12 @@ type Metrics struct {
 	// or the strategy has no parallel mode).
 	ParallelTau       int64
 	ParallelFallbacks int64
+	// BatchedTau counts τ dispatches executed by the compiled batch
+	// kernels; BatchedFallbacks counts dispatches where batched
+	// execution was requested but the interpreted matcher ran (pattern
+	// too large, or the executed strategy has no batched mode).
+	BatchedTau       int64
+	BatchedFallbacks int64
 }
 
 // MaxParallelism is the hard cap on Options.Parallelism: a backstop
@@ -556,16 +571,30 @@ func (e *Engine) matchStore(st *storage.Store, g *pattern.Graph, contexts []stor
 	chosen := e.opts.Strategy
 	workers := e.workers()
 	wantParallel := workers > 1
+	wantBatched := e.opts.Batched
 	var est *CostEstimate
 	if chosen == StrategyAuto {
 		if e.opts.Chooser != nil {
 			c := e.opts.Chooser(st, g, rootAnchored)
 			chosen, est = c.Strategy, c.Estimate
 			// The model decides serial vs parallel for the strategy it
-			// picked; the worker budget only bounds the pool.
+			// picked; the worker budget only bounds the pool. Batched
+			// execution is bit-identical, so a model verdict for it is
+			// honored even without Options.Batched.
 			wantParallel = wantParallel && c.Parallel
+			wantBatched = wantBatched || c.Batched
 		} else {
 			chosen = StrategyNoK
+		}
+	}
+	// A compiled pattern is the precondition for every batched mode;
+	// oversized patterns fall back to the interpreter with a reason.
+	useBatched, batchedReason := false, ""
+	if wantBatched {
+		if _, berr := batch.For(g); berr != nil {
+			batchedReason = "pattern too large for batch kernels"
+		} else {
+			useBatched = true
 		}
 	}
 	if est == nil && e.opts.Trace && e.opts.Estimator != nil {
@@ -612,8 +641,13 @@ func (e *Engine) matchStore(st *storage.Store, g *pattern.Graph, contexts []stor
 	switch executed {
 	case StrategyNaive:
 		if wantParallel {
+			if useBatched {
+				useBatched, batchedReason = false, "parallel naive has no batched mode"
+			}
 			refs, partitions, parReason, err = naive.MatchOutputParallel(st, g, contexts, workers, e.opts.Interrupt, sink)
 			ranParallel = parReason == "" && err == nil
+		} else if useBatched {
+			refs, err = naive.MatchOutputBatched(st, g, contexts, e.opts.Interrupt, sink)
 		} else {
 			refs, err = naive.MatchOutputCounted(st, g, contexts, e.opts.Interrupt, sink)
 		}
@@ -622,11 +656,17 @@ func (e *Engine) matchStore(st *storage.Store, g *pattern.Graph, contexts []stor
 		if wantParallel {
 			parReason = "hybrid matcher has no parallel mode"
 		}
+		if useBatched {
+			useBatched, batchedReason = false, "hybrid matcher has no batched mode"
+		}
 		refs, err = nok.MatchHybridCounted(st, g, contexts, e.opts.Interrupt, sink)
 	case StrategyTwigStack:
 		e.Metrics.JoinCalls += int64(g.VertexCount() - 1)
 		var s join.Stream
 		if wantParallel && g.VertexCount() > 2 {
+			if useBatched {
+				useBatched, batchedReason = false, "parallel stream scan replaces batched streams"
+			}
 			var streams []join.Stream
 			var parts []tally.Partition
 			streams, parts, err = join.VertexStreamsParallel(st, g, workers, e.opts.Interrupt)
@@ -638,13 +678,20 @@ func (e *Engine) matchStore(st *storage.Store, g *pattern.Graph, contexts []stor
 			if wantParallel {
 				parReason = "single vertex stream"
 			}
-			s, err = join.TwigStackCounted(st, g, e.opts.Interrupt, sink)
+			if useBatched {
+				s, err = join.TwigStackBatched(st, g, e.opts.Interrupt, sink)
+			} else {
+				s, err = join.TwigStackCounted(st, g, e.opts.Interrupt, sink)
+			}
 		}
 		refs = s.Refs()
 	case StrategyPathStack:
 		e.Metrics.JoinCalls += int64(g.VertexCount() - 1)
 		var s join.Stream
 		if wantParallel && g.VertexCount() > 2 {
+			if useBatched {
+				useBatched, batchedReason = false, "parallel stream scan replaces batched streams"
+			}
 			var streams []join.Stream
 			var parts []tally.Partition
 			streams, parts, err = join.VertexStreamsParallel(st, g, workers, e.opts.Interrupt)
@@ -656,14 +703,24 @@ func (e *Engine) matchStore(st *storage.Store, g *pattern.Graph, contexts []stor
 			if wantParallel {
 				parReason = "single vertex stream"
 			}
-			s, err = join.PathStackCounted(st, g, e.opts.Interrupt, sink)
+			if useBatched {
+				s, err = join.PathStackBatched(st, g, e.opts.Interrupt, sink)
+			} else {
+				s, err = join.PathStackCounted(st, g, e.opts.Interrupt, sink)
+			}
 		}
 		refs = s.Refs()
 	default:
 		if wantParallel {
 			var pres nok.ParallelResult
-			refs, pres, err = nok.MatchOutputParallel(st, g, contexts, workers, e.opts.Interrupt, sink)
+			if useBatched {
+				refs, pres, err = nok.MatchOutputParallelBatched(st, g, contexts, workers, e.opts.Interrupt, sink)
+			} else {
+				refs, pres, err = nok.MatchOutputParallel(st, g, contexts, workers, e.opts.Interrupt, sink)
+			}
 			ranParallel, parReason, partitions = pres.Parallel(), pres.Fallback, pres.Partitions
+		} else if useBatched {
+			refs, err = nok.MatchOutputBatched(st, g, contexts, e.opts.Interrupt, sink)
 		} else {
 			refs, err = nok.MatchOutputCounted(st, g, contexts, e.opts.Interrupt, sink)
 		}
@@ -678,6 +735,13 @@ func (e *Engine) matchStore(st *storage.Store, g *pattern.Graph, contexts []stor
 			e.Metrics.ParallelFallbacks++
 		}
 	}
+	if wantBatched {
+		if useBatched {
+			e.Metrics.BatchedTau++
+		} else {
+			e.Metrics.BatchedFallbacks++
+		}
+	}
 	if rec != nil {
 		rec.Matches = len(refs)
 		rec.Parallel = ranParallel
@@ -686,6 +750,8 @@ func (e *Engine) matchStore(st *storage.Store, g *pattern.Graph, contexts []stor
 		if wantParallel {
 			rec.Workers = workers
 		}
+		rec.Batched = useBatched
+		rec.BatchedReason = batchedReason
 	}
 	return refs, rec, nil
 }

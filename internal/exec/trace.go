@@ -35,6 +35,12 @@ type Choice struct {
 	// It only takes effect when the executor has a worker budget
 	// (Options.Parallelism > 1).
 	Parallel bool
+	// Batched asks for batch-at-a-time execution by the compiled
+	// kernels; the cost model sets it when the pattern compiles (at
+	// most batch.MaxVertices vertices) and the modeled kernel cost
+	// beats the interpreter's. Results are identical either way, so
+	// the executor honors it even without Options.Batched.
+	Batched bool
 }
 
 // StrategyRecord documents one τ dispatch: what the chooser said, what
@@ -67,6 +73,12 @@ type StrategyRecord struct {
 	Workers        int               `json:"workers,omitempty"`
 	ParallelReason string            `json:"parallel_reason,omitempty"`
 	Partitions     []tally.Partition `json:"partitions,omitempty"`
+	// Batched reports whether the dispatch ran on the compiled batch
+	// kernels; BatchedReason explains a fallback to the interpreter
+	// when batched execution was requested ("pattern too large for
+	// batch kernels", "hybrid matcher has no batched mode").
+	Batched       bool   `json:"batched,omitempty"`
+	BatchedReason string `json:"batched_reason,omitempty"`
 }
 
 // MarshalJSON renders strategies by name, so trace JSON reads
@@ -143,6 +155,11 @@ func (s *Span) Format() string {
 				fmt.Fprintf(&b, " parallel{workers=%d partitions=%d}", r.Workers, len(r.Partitions))
 			} else if r.ParallelReason != "" {
 				fmt.Fprintf(&b, " parallel=off (%s)", r.ParallelReason)
+			}
+			if r.Batched {
+				fmt.Fprintf(&b, " batched")
+			} else if r.BatchedReason != "" {
+				fmt.Fprintf(&b, " batched=off (%s)", r.BatchedReason)
 			}
 			fmt.Fprintf(&b, " actual{nodes=%d stream=%d sols=%d} contexts=%d matches=%d\n",
 				r.Actual.NodesVisited, r.Actual.StreamElems, r.Actual.Solutions, r.Contexts, r.Matches)

@@ -19,8 +19,8 @@ func TestAnalyzers(t *testing.T) {
 	}{
 		{"guardedby", GuardedBy, []string{"guardedby/a"}},
 		{"cachekey", CacheKey, []string{"cachekey/a"}},
-		{"ctxpoll", CtxPoll, []string{"ctxpoll/nok", "ctxpoll/other"}},
-		{"tallydiscipline", TallyDiscipline, []string{"tallydiscipline/exec"}},
+		{"ctxpoll", CtxPoll, []string{"ctxpoll/nok", "ctxpoll/batch", "ctxpoll/other"}},
+		{"tallydiscipline", TallyDiscipline, []string{"tallydiscipline/exec", "tallydiscipline/nok"}},
 		{"nopanic", NoPanic, []string{"nopanic/exec"}},
 		{"exporteddoc", ExportedDoc, []string{"suppress/a"}},
 	}

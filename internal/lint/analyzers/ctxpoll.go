@@ -14,11 +14,12 @@ import (
 // Options.Interrupt into a lie (the ctx.Done() deadline simply never
 // fires mid-query).
 //
-// Scope: packages named exec, nok, join and naive. A "scan loop" is a
-// for/range statement whose condition, post statement or body (outside
-// nested function literals) advances a storage scan — calls
-// FirstChild/NextSibling/Parent/NodeCount on a storage.Store, or
-// Advance on a join Cursor. Such a loop must reach a poll — a call to a
+// Scope: packages named exec, nok, join, naive and batch. A "scan loop"
+// is a for/range statement whose condition, post statement or body
+// (outside nested function literals) advances a storage scan — calls
+// FirstChild/NextSibling/Parent/NodeCount/Tag/Kind on a storage.Store,
+// IsOpen on a parenthesis Sequence (the batch kernels' scan primitive),
+// or Advance on a join Cursor. Such a loop must reach a poll — a call to a
 // function or method named poll, Poll, interrupt, Interrupt or Err —
 // either directly in its body or transitively through same-package
 // functions (bounded depth), counting deferred catchInterrupt-style
@@ -32,12 +33,16 @@ var CtxPoll = &lint.Analyzer{
 
 // ctxPollPackages are the packages whose scan loops are checked.
 var ctxPollPackages = map[string]bool{
-	"exec": true, "nok": true, "join": true, "naive": true,
+	"exec": true, "nok": true, "join": true, "naive": true, "batch": true,
 }
 
-// navStoreMethods advance a node scan on a storage.Store.
+// navStoreMethods advance a node scan on a storage.Store. Tag and Kind
+// are per-node reads rather than navigation, but a loop that issues one
+// per iteration is walking nodes all the same (the batch kernels' scans
+// never navigate, they only read).
 var navStoreMethods = map[string]bool{
 	"FirstChild": true, "NextSibling": true, "Parent": true, "NodeCount": true,
+	"Tag": true, "Kind": true,
 }
 
 // isPollName reports whether a callee name counts as a cancellation
@@ -163,14 +168,15 @@ func (c *pollChecker) anyAdvancesScan(nodes []ast.Node) bool {
 }
 
 // isNavCall reports whether a call advances a store or cursor scan:
-// Store.FirstChild/NextSibling/Parent/NodeCount, or Cursor.Advance.
+// Store.FirstChild/NextSibling/Parent/NodeCount/Tag/Kind,
+// Sequence.IsOpen, or Cursor.Advance.
 func (c *pollChecker) isNavCall(call *ast.CallExpr) bool {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return false
 	}
 	name := sel.Sel.Name
-	if !navStoreMethods[name] && name != "Advance" {
+	if !navStoreMethods[name] && name != "Advance" && name != "IsOpen" {
 		return false
 	}
 	tv, ok := c.pass.TypesInfo.Types[sel.X]
@@ -178,8 +184,11 @@ func (c *pollChecker) isNavCall(call *ast.CallExpr) bool {
 		return false
 	}
 	recv := namedTypeName(tv.Type)
-	if name == "Advance" {
+	switch name {
+	case "Advance":
 		return recv == "Cursor"
+	case "IsOpen":
+		return recv == "Sequence"
 	}
 	return recv == "Store"
 }

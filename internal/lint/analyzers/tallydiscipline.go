@@ -13,9 +13,9 @@ import (
 // TallyDiscipline enforces the executor's instrumentation contract:
 //
 //   - Rule A: the executor dispatch must call the tally-Counted (or
-//     Parallel) variants of the matcher entry points, never the bare
-//     ones — otherwise EXPLAIN ANALYZE silently under-reports node
-//     visits and the cost model trains on garbage.
+//     Parallel, or Batched) variants of the matcher entry points, never
+//     the bare ones — otherwise EXPLAIN ANALYZE silently under-reports
+//     node visits and the cost model trains on garbage.
 //
 //   - Rule B: a plain re-assignment to a Strategy-typed variable must
 //     record why, by assigning a "...reason..." variable in the same
@@ -23,7 +23,14 @@ import (
 //     a fallback quietly overwrote the executed strategy with no trace
 //     of the reason, so traces claimed one algorithm while another ran.
 //
-// Scope: package exec only (the only package that dispatches matchers).
+//   - Rule C: an exported Batched entry point of a matcher package must
+//     take a *tally.Counters parameter. Rule A accepts Batched calls on
+//     the strength of that signature — a Batched variant without the
+//     counter would silently reopen the under-reporting hole Rule A
+//     closes.
+//
+// Scope: package exec (Rules A and B — the only package that dispatches
+// matchers) and the matcher packages (Rule C).
 var TallyDiscipline = &lint.Analyzer{
 	Name:       "tallydiscipline",
 	Doc:        "executor dispatch must use Counted matcher variants and record strategy-fallback reasons",
@@ -39,6 +46,10 @@ var matcherEntryRe = regexp.MustCompile(`^(Match|TwigStack|PathStack|VertexStrea
 var matcherPackages = map[string]bool{"nok": true, "join": true, "naive": true}
 
 func runTallyDiscipline(pass *lint.Pass) error {
+	if matcherPackages[pass.Pkg.Name()] {
+		checkBatchedSignatures(pass)
+		return nil
+	}
 	if pass.Pkg.Name() != "exec" {
 		return nil
 	}
@@ -73,10 +84,44 @@ func checkMatcherCall(pass *lint.Pass, call *ast.CallExpr) {
 	if !matcherEntryRe.MatchString(name) {
 		return
 	}
-	if strings.Contains(name, "Counted") || strings.Contains(name, "Parallel") {
+	if strings.Contains(name, "Counted") || strings.Contains(name, "Parallel") || strings.Contains(name, "Batched") {
 		return
 	}
 	pass.Reportf(call.Pos(), "executor calls uncounted matcher %s.%s (use the Counted/Parallel variant so tallies reach the trace)", pkgID.Name, name)
+}
+
+// checkBatchedSignatures enforces Rule C: every exported Batched
+// function of a matcher package carries a *tally.Counters parameter.
+func checkBatchedSignatures(pass *lint.Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !fd.Name.IsExported() || !strings.Contains(fd.Name.Name, "Batched") {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sig := fn.Type().(*types.Signature)
+			hasCounters := false
+			for i := 0; i < sig.Params().Len(); i++ {
+				pt := sig.Params().At(i).Type()
+				if p, ok := pt.(*types.Pointer); ok {
+					pt = p.Elem()
+				}
+				if named, ok := pt.(*types.Named); ok &&
+					named.Obj().Name() == "Counters" &&
+					named.Obj().Pkg() != nil && named.Obj().Pkg().Name() == "tally" {
+					hasCounters = true
+					break
+				}
+			}
+			if !hasCounters {
+				pass.Reportf(fd.Pos(), "batched matcher %s takes no *tally.Counters (batched entry points must report tallies like the Counted variants)", fd.Name.Name)
+			}
+		}
+	}
 }
 
 // checkStrategyAssign reports plain `=` assignments to a Strategy-typed

@@ -1,0 +1,60 @@
+// Package batch exercises ctxpoll over the batch-kernel idioms: the
+// kernels never navigate, their scans read Tag/Kind per node or walk
+// the parenthesis sequence with IsOpen, and those loops must poll too.
+package batch
+
+import "storage"
+
+type kernel struct {
+	st        *storage.Store
+	seq       *storage.Sequence
+	interrupt func() error
+	visits    int
+}
+
+func (k *kernel) poll() {
+	k.visits++
+	if k.interrupt != nil && k.visits%256 == 0 {
+		if err := k.interrupt(); err != nil {
+			panic(err)
+		}
+	}
+}
+
+func (k *kernel) badSeqScan() int {
+	opens := 0
+	for pos := 0; pos < k.seq.Len(); pos++ { // want `store-scan loop does not poll cancellation`
+		if k.seq.IsOpen(pos) {
+			opens++
+		}
+	}
+	return opens
+}
+
+func (k *kernel) goodSeqScan() int {
+	opens := 0
+	for pos := 0; pos < k.seq.Len(); pos++ {
+		k.poll()
+		if k.seq.IsOpen(pos) {
+			opens++
+		}
+	}
+	return opens
+}
+
+func (k *kernel) badTagScan(n int) int {
+	sum := 0
+	for i := 0; i < n; i++ { // want `store-scan loop does not poll cancellation`
+		sum += int(k.st.Tag(storage.NodeRef(i)))
+	}
+	return sum
+}
+
+func (k *kernel) goodKindScan(n int) int {
+	sum := 0
+	for i := 0; i < n; i++ {
+		k.poll()
+		sum += k.st.Kind(storage.NodeRef(i))
+	}
+	return sum
+}

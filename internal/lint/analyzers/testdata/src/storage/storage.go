@@ -43,3 +43,18 @@ func (s *Store) Parent(n NodeRef) NodeRef {
 
 // NodeCount reports the number of nodes in the store.
 func (s *Store) NodeCount() int { return len(s.up) + 1 }
+
+// Tag returns the vocabulary symbol of n's tag (fixture: the ref).
+func (s *Store) Tag(n NodeRef) int32 { return int32(n) }
+
+// Kind returns the node kind of n (fixture: always 0).
+func (s *Store) Kind(n NodeRef) int { return 0 }
+
+// Sequence is a fixture balanced-parenthesis sequence.
+type Sequence struct{ bits []bool }
+
+// Len reports the number of parentheses.
+func (q *Sequence) Len() int { return len(q.bits) }
+
+// IsOpen reports whether position i holds an opening parenthesis.
+func (q *Sequence) IsOpen(i int) bool { return q.bits[i] }

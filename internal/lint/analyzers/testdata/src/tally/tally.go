@@ -1,0 +1,9 @@
+// Package tally is a fixture stub of the engine's tally package: the
+// Counters type the tallydiscipline analyzer requires Batched matcher
+// entry points to take.
+package tally
+
+// Counters accumulates per-query work tallies.
+type Counters struct {
+	NodesVisited int64
+}

@@ -32,5 +32,5 @@ func dispatch(n int) int {
 }
 
 func countedDispatch(n int) int {
-	return nok.MatchCounted(n) + nok.MatchOutputParallel(n) + nok.Prepare(n)
+	return nok.MatchCounted(n) + nok.MatchOutputParallel(n) + nok.MatchOutputBatched(n, nil) + nok.Prepare(n)
 }

@@ -1,6 +1,8 @@
 // Package nok is a fixture matcher package for the tallydiscipline
-// analyzer: it exposes bare and Counted/Parallel entry points.
+// analyzer: it exposes bare, Counted/Parallel and Batched entry points.
 package nok
+
+import "tally"
 
 // Match is the bare entry point (uncounted).
 func Match(n int) int { return n }
@@ -13,3 +15,14 @@ func MatchOutputParallel(n int) int { return n }
 
 // Prepare is not a matcher entry point.
 func Prepare(n int) int { return n }
+
+// MatchOutputBatched is a batched variant that reports its tallies.
+func MatchOutputBatched(n int, c *tally.Counters) int {
+	if c != nil {
+		c.NodesVisited++
+	}
+	return n
+}
+
+// MatchBatched is a batched variant that drops its tallies.
+func MatchBatched(n int) int { return n } // want `batched matcher MatchBatched takes no \*tally\.Counters \(batched entry points must report tallies like the Counted variants\)`

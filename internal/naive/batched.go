@@ -1,0 +1,82 @@
+package naive
+
+import (
+	"sort"
+
+	"xqp/internal/ast"
+	"xqp/internal/batch"
+	"xqp/internal/pattern"
+	"xqp/internal/storage"
+	"xqp/internal/tally"
+	"xqp/internal/vocab"
+)
+
+// MatchOutputBatched is MatchOutputCounted over a batched candidate
+// stream: instead of testing bind at every document node, candidates
+// for the output vertex come from the tag index (name-test outputs) or
+// the context list (anchor outputs), consumed in blocks. Verdicts use
+// the same memoized recursion, and every candidate source is a superset
+// of the nodes passing the output vertex's test (bind implies test), so
+// results are identical to the full scan.
+func MatchOutputBatched(st *storage.Store, g *pattern.Graph, contexts []storage.NodeRef, interrupt func() error, c *tally.Counters) (refs []storage.NodeRef, err error) {
+	defer catchInterrupt(&err)
+	ctxSet := map[storage.NodeRef]bool{}
+	for _, ctx := range contexts {
+		ctxSet[ctx] = true
+	}
+	e := newEvaluator(st, g, ctxSet, interrupt)
+	defer func() {
+		if c != nil {
+			c.NodesVisited += e.visits
+		}
+	}()
+	var out []storage.NodeRef
+	scan := func(cands []storage.NodeRef) {
+		for _, n := range cands {
+			if n < 0 || int(n) >= st.NodeCount() {
+				continue
+			}
+			if e.bind(n, g.Output) {
+				out = append(out, n)
+			}
+		}
+	}
+	vx := g.Vertices[g.Output]
+	switch {
+	case g.Output == 0:
+		// The anchor only binds at context nodes.
+		scan(contexts)
+	case vx.Test.Kind == ast.TestName && vx.Test.Name != "*":
+		name := vx.Test.Name
+		if vx.Attribute {
+			name = "@" + name
+		}
+		sym := st.Vocab.Lookup(name)
+		if sym == vocab.None {
+			return nil, nil // tag absent: the output test passes nowhere
+		}
+		scan(st.TagRefs(sym))
+	default:
+		// Generic output tests (wildcards, kind tests) have no index:
+		// scan every node, block by block.
+		total := st.NodeCount()
+		blk := make([]storage.NodeRef, 0, batch.BlockSize)
+		for i := 0; i < total; i++ {
+			blk = append(blk, storage.NodeRef(i))
+			if len(blk) == batch.BlockSize || i == total-1 {
+				scan(blk)
+				blk = blk[:0]
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	// Candidate streams are unique except for repeated context nodes;
+	// drop adjacent duplicates so results match the full scan exactly.
+	dd := out[:0]
+	for i, r := range out {
+		if i == 0 || r != out[i-1] {
+			dd = append(dd, r)
+		}
+	}
+	return dd, nil
+}

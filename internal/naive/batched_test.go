@@ -1,0 +1,99 @@
+package naive
+
+import (
+	"errors"
+	"testing"
+
+	"xqp/internal/pattern"
+	"xqp/internal/storage"
+	"xqp/internal/tally"
+	"xqp/internal/xmark"
+)
+
+// TestBatchedMatchesCounted: the candidate-prefiltered batched evaluator
+// must reproduce the full-scan evaluator exactly, across output shapes
+// (anchor output, named output, attribute output, wildcard, kind test).
+func TestBatchedMatchesCounted(t *testing.T) {
+	st := storage.FromDoc(xmark.Auction(2))
+	root := []storage.NodeRef{st.Root()}
+	items := st.ElementRefs("item")
+	for _, tc := range []struct {
+		q        string
+		contexts []storage.NodeRef
+	}{
+		{"//item/name", root},
+		{"//item[payment]", root},
+		{"//item[nosuch]", root},
+		{"//nosuch", root},
+		{"/site/*", root},
+		{"//item[@id]", root},
+		{"name", items},
+		{"//text()", root},
+	} {
+		g := graphOf(t, tc.q)
+		var cw, cb tally.Counters
+		want, err := MatchOutputCounted(st, g, tc.contexts, nil, &cw)
+		if err != nil {
+			t.Fatalf("%s counted: %v", tc.q, err)
+		}
+		got, err := MatchOutputBatched(st, g, tc.contexts, nil, &cb)
+		if err != nil {
+			t.Fatalf("%s batched: %v", tc.q, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: batched %d refs, counted %d refs", tc.q, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s: ref %d differs: %d vs %d", tc.q, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// anchorOutput retargets a graph's output to the anchor vertex, the
+// shape hybrid decomposition produces ("contexts satisfying the
+// pattern"). FromPath never emits it directly.
+func anchorOutput(g *pattern.Graph) *pattern.Graph {
+	g.Vertices[g.Output].Output = false
+	g.Output = 0
+	g.Vertices[0].Output = true
+	return g
+}
+
+// TestBatchedAnchorOutput: with the anchor as output, candidates are the
+// context nodes themselves; repeated contexts must not duplicate results.
+func TestBatchedAnchorOutput(t *testing.T) {
+	st := storage.FromDoc(xmark.Auction(2))
+	items := st.ElementRefs("item")
+	dup := append(append([]storage.NodeRef{}, items...), items...)
+	g := anchorOutput(graphOf(t, "payment"))
+	want, err := MatchOutputCounted(st, g, items, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("oracle found no items with payment")
+	}
+	got, err := MatchOutputBatched(st, g, dup, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d refs from duplicated contexts, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("ref %d differs: %d vs %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBatchedInterrupt(t *testing.T) {
+	st := storage.FromDoc(xmark.Auction(2))
+	g := graphOf(t, "/site/*") // wildcard output: full scan, polls every block
+	boom := errors.New("boom")
+	if _, err := MatchOutputBatched(st, g, []storage.NodeRef{st.Root()}, func() error { return boom }, nil); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}

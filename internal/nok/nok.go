@@ -206,6 +206,12 @@ type matcher struct {
 	// aux is the pollAux cadence counter; kept separate from visits so
 	// bookkeeping polls do not distort the NodesVisited tally.
 	aux int64
+	// floor holds per-vertex low-water marks into the top-down
+	// accumulator: rollback never truncates below them. runTopDown sets
+	// the marks at each context's start so a failing context cannot
+	// erase bindings recorded by an earlier, overlapping context (nested
+	// contexts interleave their recordings in the shared accumulator).
+	floor []int
 }
 
 func (m *matcher) s(n storage.NodeRef) uint64       { return m.smask[n-m.base] }
@@ -344,7 +350,16 @@ func (m *matcher) runTopDown(contexts []storage.NodeRef, acc [][]storage.NodeRef
 			return
 		}
 	}
+	if m.floor == nil {
+		m.floor = make([]int, m.g.VertexCount())
+	}
 	for _, ctx := range contexts {
+		// Mark the accumulator's high water before this context: a
+		// failing constraint rolls back only this context's recordings,
+		// never an earlier context's (their subtrees may overlap).
+		for v := range m.floor {
+			m.floor[v] = len(acc[v])
+		}
 		// The anchor matches the context node itself; check its pattern
 		// children below the context.
 		ok := true
@@ -403,12 +418,18 @@ func (m *matcher) topDown(n storage.NodeRef, v pattern.VertexID, acc [][]storage
 
 // rollback removes bindings of v's pattern descendants that lie inside
 // n's subtree (they were recorded before an ancestor constraint failed).
+// It stops at the current context's floor: bindings recorded by earlier
+// contexts survive even when they fall inside n's subtree.
 func (m *matcher) rollback(acc [][]storage.NodeRef, v pattern.VertexID, n storage.NodeRef) {
 	end := n + storage.NodeRef(m.st.SubtreeSize(n))
 	var clear func(v pattern.VertexID)
 	clear = func(v pattern.VertexID) {
 		refs := acc[v]
-		for len(refs) > 0 && refs[len(refs)-1] >= n && refs[len(refs)-1] < end {
+		fl := 0
+		if m.floor != nil {
+			fl = m.floor[int(v)]
+		}
+		for len(refs) > fl && refs[len(refs)-1] >= n && refs[len(refs)-1] < end {
 			refs = refs[:len(refs)-1]
 		}
 		acc[v] = refs

@@ -11,6 +11,7 @@ import (
 	"xqp/internal/parser"
 	"xqp/internal/pattern"
 	"xqp/internal/storage"
+	"xqp/internal/xmark"
 )
 
 const bibXML = `<bib>
@@ -288,6 +289,31 @@ func BenchmarkNoKMatch(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := MatchOutput(st, g, root); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// TestTopDownNestedContextRollback is a regression test: with nested
+// contexts the top-down path records every context's bindings into one
+// shared accumulator, and a later failing context used to roll back the
+// earlier contexts' recordings when their subtrees overlapped (every
+// ancestor section of a matching chain is also a context here). The
+// rollback floor pins each context's recordings once its pass ends.
+func TestTopDownNestedContextRollback(t *testing.T) {
+	st := storage.FromDoc(xmark.Deep(2, 3))
+	sections := nodesNamed(st, "section")
+	if len(sections) < 4 {
+		t.Fatalf("want nested sections, got %d", len(sections))
+	}
+	for _, q := range []string{"section/title", "section[title]", "*/title"} {
+		g := graphOf(t, q)
+		want := naive.MatchOutput(st, g, sections)
+		got, err := MatchOutput(st, g, sections)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !refsEqual(got, want) {
+			t.Fatalf("%s over nested contexts: NoK %v != naive %v", q, got, want)
 		}
 	}
 }

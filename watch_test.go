@@ -2,9 +2,23 @@ package xqp
 
 import (
 	"context"
+	"encoding/json"
 	"testing"
 	"time"
 )
+
+// TestDeltaApplyCheckedFacade pins the facade surface for untrusted
+// deltas: a corrupt wire payload decoded into xqp.Delta errors cleanly
+// through ApplyChecked instead of panicking.
+func TestDeltaApplyCheckedFacade(t *testing.T) {
+	var d Delta
+	if err := json.Unmarshal([]byte(`{"gen":2,"removed":[3],"size":0}`), &d); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.ApplyChecked([]string{"a"}); err == nil {
+		t.Fatal("out-of-range delta applied without error")
+	}
+}
 
 func TestWatcherFacade(t *testing.T) {
 	e := NewEngine(EngineConfig{})

@@ -105,6 +105,13 @@ type Options struct {
 	// dispatch; a forced Strategy parallelizes unconditionally.
 	// xqvet:cachekey exec-only
 	Parallelism int
+	// Batched runs pattern matching batch-at-a-time on compiled batch
+	// kernels: the compiler stamps each τ pattern with a batch Program
+	// (shaping the plan, hence part of the cache fingerprint) and the
+	// executor runs the kernels where a batched mode exists, falling
+	// back to the interpreted matchers with a recorded reason
+	// elsewhere. Results are bit-identical to interpreted execution.
+	Batched bool
 }
 
 // Diagnostic is a static-analyzer finding (see ANALYZER.md for the codes).
@@ -266,7 +273,7 @@ func (db *Database) choice(st *storage.Store, g *pattern.Graph, rootAnchored boo
 	if m == nil {
 		return exec.Choice{Strategy: exec.StrategyNoK}
 	}
-	return m.ChoiceParallel(g, rootAnchored, workers)
+	return m.ChoiceBatched(g, rootAnchored, workers)
 }
 
 // estimate is the executor's trace estimator hook: cost estimates for
@@ -286,6 +293,7 @@ func compileQuery(src string, opts Options, st *storage.Store, syn *stats.Synops
 		DisableAnalyzer: opts.DisableAnalyzer,
 		DisableRewrites: opts.DisableRewrites,
 		Rewrites:        opts.Rewrites,
+		Batched:         opts.Batched,
 	}, st, syn)
 	if err != nil {
 		return nil, err
@@ -362,6 +370,7 @@ func (db *Database) Run(q *Query) (*Result, error) {
 		StrictDocs:  q.opts.StrictDocs,
 		Trace:       q.opts.Trace,
 		Parallelism: q.opts.Parallelism,
+		Batched:     q.opts.Batched,
 	}
 	if q.opts.CostBased && eo.Strategy == Auto {
 		workers := q.opts.Parallelism
