@@ -7,6 +7,7 @@
 //	xq -doc bib.xml -check 'for $x in /bib/nosuch return $x'
 //	xq -doc site.xml -strategy twigstack '//item/name'
 //	xq -doc site.xml -cost -trace '//item/name'
+//	xq -doc site.xml -cost -calibrate -trace '//item/name'
 //	xq -doc site.xml -j 4 '//item/name'
 //	echo '<a><b/></a>' | xq '/a/b'
 //	xq -watch http://localhost:8080 -doc bib '//book/title'
@@ -55,6 +56,7 @@ func run(stdin io.Reader, stdout, stderr io.Writer, argv []string) int {
 	indent := fs.Bool("indent", false, "pretty-print node results with indentation")
 	workers := fs.Int("j", 0, "worker budget for partitioned pattern matching (0 or 1: serial, -1: one per CPU)")
 	batched := fs.Bool("batched", false, "run pattern matching batch-at-a-time on compiled batch kernels")
+	calib := fs.Bool("calibrate", false, "feed dispatch records into the cost-model calibrator; with -cost the fitted constants tune strategy choice")
 	watch := fs.String("watch", "", "subscribe to a continuous query on the xqd daemon at this base URL (-doc names the server document)")
 	watchCount := fs.Int("n", 0, "with -watch: exit after this many deltas (0: stream forever)")
 	if err := fs.Parse(argv); err != nil {
@@ -93,7 +95,7 @@ func run(stdin io.Reader, stdout, stderr io.Writer, argv []string) int {
 
 	// StrictDocs: a doc() reference that cannot be resolved is an error,
 	// never a silent fallback to the default document.
-	opts := xqp.Options{DisableRewrites: *noRewrite, DisableAnalyzer: *noAnalyze, CostBased: *costBased, Trace: *trace, StrictDocs: true, Parallelism: *workers, Batched: *batched}
+	opts := xqp.Options{DisableRewrites: *noRewrite, DisableAnalyzer: *noAnalyze, CostBased: *costBased, Trace: *trace, StrictDocs: true, Parallelism: *workers, Batched: *batched, Calibrate: *calib}
 	switch *strategy {
 	case "auto":
 		opts.Strategy = xqp.Auto
@@ -159,6 +161,10 @@ func run(stdin io.Reader, stdout, stderr io.Writer, argv []string) int {
 		if res.Trace != nil {
 			fmt.Fprint(stdout, res.Trace.Format())
 		}
+		if *calib {
+			observed, regret := db.CalibrationStats()
+			fmt.Fprintf(stdout, "calibration: observed=%d regret=%d\n", observed, regret)
+		}
 		return 0
 	}
 	if *indent {
@@ -170,6 +176,10 @@ func run(stdin io.Reader, stdout, stderr io.Writer, argv []string) int {
 		m := res.Metrics
 		fmt.Fprintf(stderr, "items=%d τ=%d πs=%d joins=%d γ=%d env-bindings=%d preds=%d\n",
 			res.Len(), m.TPMCalls, m.StepCalls, m.JoinCalls, m.CtorCalls, m.EnvLeaves, m.PredEvals)
+		if *calib {
+			observed, regret := db.CalibrationStats()
+			fmt.Fprintf(stderr, "calibration: observed=%d regret=%d\n", observed, regret)
+		}
 	}
 	return 0
 }

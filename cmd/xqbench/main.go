@@ -47,6 +47,7 @@ var registry = []struct {
 	{"E17B", "serial stability after partition hooks", func() *experiments.Table { return experiments.E17SerialRegression(8) }},
 	{"E18", "continuous bid-watch delta latency", func() *experiments.Table { return experiments.E18BidWatch(2, 40) }},
 	{"E19", "batched vs interpreted pattern matching", func() *experiments.Table { return experiments.E19Batched([]int{4, 8, 16}) }},
+	{"E20", "chooser regret: static vs calibrated constants", func() *experiments.Table { return experiments.E20Calibration(2) }},
 }
 
 func main() {

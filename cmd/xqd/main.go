@@ -63,6 +63,7 @@ func main() {
 	cacheSize := fs.Int("cache", 0, "compiled-plan cache size (0: 256, <0: disabled)")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-query deadline (0: none)")
 	drain := fs.Duration("drain", 10*time.Second, "shutdown drain deadline for in-flight requests")
+	calibFile := fs.String("calibration", "", "calibration state file: restored at startup, written back on shutdown so restarts keep their tuning")
 	fs.Parse(os.Args[1:])
 
 	eng := xqp.NewEngine(xqp.EngineConfig{
@@ -83,6 +84,23 @@ func main() {
 		}
 		log.Printf("registered %s from %s", d.name, d.path)
 	}
+	if *calibFile != "" {
+		// Restore after registration (entries target registered docs); a
+		// missing file is a fresh start, a corrupt one is a hard error so
+		// tuning is never silently discarded.
+		data, err := os.ReadFile(*calibFile)
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+			log.Printf("calibration state %s not found, starting fresh", *calibFile)
+		case err != nil:
+			log.Fatalf("xqd: %v", err)
+		default:
+			if err := eng.RestoreCalibration(data); err != nil {
+				log.Fatalf("xqd: restoring calibration from %s: %v", *calibFile, err)
+			}
+			log.Printf("restored calibration state from %s", *calibFile)
+		}
+	}
 
 	srv := newServer(eng)
 	hs := newHTTPServer(*addr, srv)
@@ -102,8 +120,30 @@ func main() {
 		if err := hs.Shutdown(sctx); err != nil {
 			log.Printf("xqd: drain incomplete: %v", err)
 		}
+		if *calibFile != "" {
+			if err := saveCalibration(eng, *calibFile); err != nil {
+				log.Printf("xqd: saving calibration: %v", err)
+			} else {
+				log.Printf("saved calibration state to %s", *calibFile)
+			}
+		}
 		log.Printf("xqd: shutdown complete")
 	}
+}
+
+// saveCalibration snapshots the engine's calibration state and writes
+// it atomically (temp file + rename), so a crash mid-write leaves the
+// previous state intact.
+func saveCalibration(eng *xqp.Engine, path string) error {
+	data, err := eng.CalibrationSnapshot()
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // newHTTPServer wires a server into an http.Server whose Shutdown also
@@ -194,6 +234,8 @@ func writePrometheus(w io.Writer, s xqp.EngineStats) {
 	counter("xqp_strategy_fallbacks_total", "Tau dispatches where the executed strategy differed from the chooser's pick.", s.StrategyFallbacks)
 	counter("xqp_tau_parallel_total", "Tau dispatches that fanned out over partitions.", s.ParallelTau)
 	counter("xqp_parallel_fallbacks_total", "Tau dispatches where requested parallelism fell back to serial.", s.ParallelFallbacks)
+	counter("xqp_calibration_observations_total", "Tau dispatch records folded into the cost-model calibrators.", s.CalibrationObservations)
+	counter("xqp_chooser_regret_total", "Dispatches where the chooser's pick was beaten by the best observed strategy for that shape.", s.ChooserRegret)
 	counter("xqp_updates_total", "Committed mutation batches (Apply/Append).", s.Updates)
 	counter("xqp_update_nodes_inserted_total", "Nodes inserted by committed mutations.", s.UpdateNodesInserted)
 	counter("xqp_update_nodes_deleted_total", "Nodes deleted by committed mutations.", s.UpdateNodesDeleted)

@@ -284,6 +284,8 @@ func TestMetricsEndpoint(t *testing.T) {
 		"xqp_served_total 1",
 		"xqp_tau_total{strategy=",
 		"xqp_strategy_fallbacks_total",
+		"xqp_calibration_observations_total",
+		"xqp_chooser_regret_total",
 		`xqp_exec_seconds_bucket{le="+Inf"} 1`,
 		"xqp_exec_seconds_count 1",
 	} {

@@ -89,6 +89,23 @@ func (e *Engine) Docs() []DocInfo { return e.inner.Docs() }
 // Stats snapshots the engine counters.
 func (e *Engine) Stats() EngineStats { return e.inner.Stats() }
 
+// CalibrationSnapshot serializes every document's cost-model
+// calibration state (per-shape strategy fits, batched-speed and
+// parallel-degree accumulators, observation/regret counters) as
+// deterministic JSON. Persist it across restarts and feed it back
+// through RestoreCalibration so a service keeps its tuning.
+func (e *Engine) CalibrationSnapshot() ([]byte, error) {
+	return e.inner.CalibrationSnapshot()
+}
+
+// RestoreCalibration loads a CalibrationSnapshot produced by this or a
+// previous process. Documents must be registered first; entries for
+// unknown documents are ignored, and an invalid snapshot is rejected
+// whole without touching any state.
+func (e *Engine) RestoreCalibration(data []byte) error {
+	return e.inner.RestoreCalibration(data)
+}
+
 // Query runs src against the named document with default options,
 // honoring ctx cancellation and deadlines throughout (queue wait,
 // operator boundaries, and inside long scans).

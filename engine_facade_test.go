@@ -41,3 +41,62 @@ func TestEngineFacade(t *testing.T) {
 		t.Fatalf("docs = %+v", docs)
 	}
 }
+
+// TestEngineCalibrationRoundTrip drives the engine-level calibration
+// loop: served queries must feed the per-document calibrators
+// (calibration is on by default), and a snapshot restored into a second
+// engine with the same documents must carry the accumulated tuning.
+func TestEngineCalibrationRoundTrip(t *testing.T) {
+	const doc = "bib.xml"
+	const src = `<bib><book><title>T1</title></book><book><title>T2</title></book></bib>`
+	e := xqp.NewEngine(xqp.EngineConfig{})
+	if err := e.RegisterString(doc, src); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := e.QueryWith(ctx, doc, `//book/title`, xqp.EngineQueryOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := e.Stats()
+	if s.CalibrationObservations == 0 {
+		t.Fatalf("served queries fed no calibration records: %+v", s)
+	}
+	data, err := e.CalibrationSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e2 := xqp.NewEngine(xqp.EngineConfig{})
+	if err := e2.RegisterString(doc, src); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.RestoreCalibration(data); err != nil {
+		t.Fatal(err)
+	}
+	s2 := e2.Stats()
+	if s2.CalibrationObservations != s.CalibrationObservations || s2.ChooserRegret != s.ChooserRegret {
+		t.Fatalf("restored counters = %d/%d, want %d/%d",
+			s2.CalibrationObservations, s2.ChooserRegret, s.CalibrationObservations, s.ChooserRegret)
+	}
+	// A corrupt snapshot must be rejected whole, leaving state intact.
+	if err := e2.RestoreCalibration([]byte(`{"version":99}`)); err == nil {
+		t.Fatal("corrupt snapshot accepted")
+	}
+	if got := e2.Stats().CalibrationObservations; got != s.CalibrationObservations {
+		t.Fatalf("rejected restore clobbered state: %d", got)
+	}
+
+	// Calibration can be opted out of entirely.
+	off := xqp.NewEngine(xqp.EngineConfig{DisableCalibration: true})
+	if err := off.RegisterString(doc, src); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := off.Query(ctx, doc, `//book/title`); err != nil {
+		t.Fatal(err)
+	}
+	if got := off.Stats().CalibrationObservations; got != 0 {
+		t.Fatalf("disabled engine observed %d records", got)
+	}
+}

@@ -1,0 +1,51 @@
+package calibrate
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzStateDecode hardens the calibration-state decoder: arbitrary
+// bytes must either be rejected or produce a state that (a) restores
+// into a fresh Calibrator without panicking, and (b) survives an
+// encode/decode round trip — snapshots written by one process are read
+// by the next, so any accepted state must be re-encodable.
+func FuzzStateDecode(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version":1,"observed":0,"regret":0}`))
+	f.Add([]byte(`{"version":1,"observed":3,"regret":1,` +
+		`"shapes":{"Ra(/b*)":{"arms":[{"strategy":"nok","count":3,"est_sum":30,"act_sum":90}]}},` +
+		`"batch":{"nok":{"interp_ns":100,"interp_work":10,"interp_count":3,"batch_ns":20,"batch_work":10,"batch_count":3}},` +
+		`"parallel":{"8":{"sum":12,"count":3}}}`))
+	f.Add([]byte(`{"version":1,"observed":0,"regret":0,"parallel":{"4":{"sum":1e308,"count":1}}}`))
+	f.Add([]byte(`{"version":1,"observed":0,"regret":0,"shapes":{"R":{"arms":null}}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeState(data)
+		if err != nil {
+			return
+		}
+		c := New()
+		if err := c.Restore(s); err != nil {
+			t.Fatalf("validated state rejected by Restore: %v", err)
+		}
+		enc, err := c.Snapshot().Encode()
+		if err != nil {
+			t.Fatalf("restored state does not encode: %v", err)
+		}
+		s2, err := DecodeState(enc)
+		if err != nil {
+			t.Fatalf("re-encoded state does not decode: %v\n%s", err, enc)
+		}
+		c2 := New()
+		if err := c2.Restore(s2); err != nil {
+			t.Fatalf("round-tripped state rejected: %v", err)
+		}
+		enc2, err := c2.Snapshot().Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("encode not a fixpoint:\n%s\nvs\n%s", enc, enc2)
+		}
+	})
+}

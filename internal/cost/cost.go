@@ -20,12 +20,14 @@ package cost
 import (
 	"fmt"
 	"runtime"
+	"strings"
 
 	"xqp/internal/batch"
 	"xqp/internal/exec"
 	"xqp/internal/pattern"
 	"xqp/internal/stats"
 	"xqp/internal/storage"
+	"xqp/internal/tally"
 )
 
 // Tunable per-unit weights, calibrated roughly on the bundled benchmarks;
@@ -83,6 +85,73 @@ const (
 	// the join cost shrinks, the stack phases are unchanged.
 	batchStreamFactor = 0.7
 )
+
+// Tuner adjusts the model's verdicts from observed execution feedback.
+// It is implemented by the calibration layer (cost/calibrate); package
+// cost only defines the contract so the model itself stays a stateless
+// function of the synopsis. A nil Tuner everywhere means the hand-tuned
+// static constants above.
+type Tuner interface {
+	// Scale returns multiplicative corrections for the three
+	// strategy-family estimates of g (1 means keep the static model).
+	Scale(g *pattern.Graph) (nok, join, hybrid float64)
+	// BatchFactors returns the fitted batched-vs-interpreted cost
+	// ratios replacing batchNoKFactor and batchStreamFactor.
+	BatchFactors() (nokFactor, streamFactor float64)
+	// EffectiveWorkers returns the learned parallel degree achievable
+	// under a worker budget (replacing the static NumCPU cap); 0 means
+	// no observation yet, falling back to the static cap.
+	EffectiveWorkers(budget int) int
+}
+
+// ShapeKey renders the calibration shape of a pattern: the structural
+// features the static model's error actually varies with — vertex
+// labels and tests, child vs descendant arcs, predicate counts, the
+// output vertex, root anchoring — in a stable textual form usable as a
+// map key. Two τ dispatches with equal ShapeKeys are priced identically
+// by the static model, so fitted corrections accumulate per ShapeKey.
+func ShapeKey(g *pattern.Graph) string {
+	var b strings.Builder
+	if g.Rooted {
+		b.WriteByte('R')
+	}
+	var walk func(v pattern.VertexID)
+	walk = func(v pattern.VertexID) {
+		vx := &g.Vertices[v]
+		b.WriteString(vx.Label())
+		if len(vx.Preds) > 0 {
+			fmt.Fprintf(&b, "[%d]", len(vx.Preds))
+		}
+		if v == g.Output {
+			b.WriteByte('*')
+		}
+		for _, e := range g.Children[v] {
+			b.WriteByte('(')
+			b.WriteString(e.Rel.String())
+			walk(e.To)
+			b.WriteByte(')')
+		}
+	}
+	walk(0)
+	return b.String()
+}
+
+// StaticBatchFactors exposes the hand-tuned batched-execution factors,
+// so the calibration layer can fall back to them (and tests can pin
+// verdict boundaries) without duplicating the constants.
+func StaticBatchFactors() (nokFactor, streamFactor float64) {
+	return batchNoKFactor, batchStreamFactor
+}
+
+// ActualCost converts a matcher's actual work counters into the model's
+// abstract cost units, using the same per-unit weights the estimates
+// are built from, so estimated and observed cost are directly
+// comparable (the calibration layer's fit is their ratio).
+func ActualCost(c tally.Counters) float64 {
+	return nokPerNode*float64(c.NodesVisited) +
+		joinPerElem*float64(c.StreamElems) +
+		joinPerSolution*float64(c.Solutions)
+}
 
 // Estimate holds the modeled costs for one pattern.
 type Estimate struct {
@@ -205,19 +274,8 @@ func (m *Model) Choice(g *pattern.Graph, rootAnchored bool) exec.Choice {
 // runtime.NumCPU()) — so on a single-core host the model never prefers
 // the parallel variant even under a large worker budget.
 func (m *Model) ChoiceParallel(g *pattern.Graph, rootAnchored bool, workers int) exec.Choice {
-	e := m.Estimate(g)
-	s := chooseFrom(e, g, rootAnchored)
-	ch := exec.Choice{Strategy: s, Estimate: e.ForExec()}
-	if workers > 1 {
-		switch s {
-		case exec.StrategyTwigStack, exec.StrategyPathStack:
-			ch.Parallel = e.JoinParallel(workers) < e.Join
-		case exec.StrategyHybrid:
-			// The hybrid matcher has no parallel mode.
-		default:
-			ch.Parallel = e.NoKParallel(workers) < e.NoK
-		}
-	}
+	ch := m.ChoiceTuned(g, rootAnchored, workers, nil)
+	ch.Batched = false
 	return ch
 }
 
@@ -228,26 +286,85 @@ func (m *Model) ChoiceParallel(g *pattern.Graph, rootAnchored bool, workers int)
 // batch.MaxVertices vertices) and strategies without a batched mode
 // (Hybrid) stay interpreted.
 func (m *Model) ChoiceBatched(g *pattern.Graph, rootAnchored bool, workers int) exec.Choice {
-	ch := m.ChoiceParallel(g, rootAnchored, workers)
+	return m.ChoiceTuned(g, rootAnchored, workers, nil)
+}
+
+// ChoiceTuned is the full chooser pipeline — strategy, parallel and
+// batched verdicts — with an optional Tuner whose fitted corrections
+// replace the static constants: per-shape estimate scales steer the
+// strategy pick, fitted batch factors the batched verdict, and the
+// learned parallel-degree table the modeled fan-out speedup. The
+// Choice's Estimate always carries the raw (untuned) model estimate,
+// so downstream calibration keeps fitting against a stable baseline
+// instead of chasing its own corrections.
+func (m *Model) ChoiceTuned(g *pattern.Graph, rootAnchored bool, workers int, t Tuner) exec.Choice {
+	e := m.Estimate(g)
+	te := e
+	if t != nil {
+		nokS, joinS, hybS := t.Scale(g)
+		te.NoK *= nokS
+		te.Join *= joinS
+		te.Hybrid *= hybS
+	}
+	s := chooseFrom(te, g, rootAnchored)
+	ch := exec.Choice{Strategy: s, Estimate: e.ForExec()}
+	eff := float64(tunedWorkers(workers, t))
+	if workers > 1 {
+		switch s {
+		case exec.StrategyTwigStack, exec.StrategyPathStack:
+			ch.Parallel = te.joinParallelEff(eff) < te.Join
+		case exec.StrategyHybrid:
+			// The hybrid matcher has no parallel mode.
+		default:
+			ch.Parallel = te.nokParallelEff(workers, eff) < te.NoK
+		}
+	}
 	if g.VertexCount() > batch.MaxVertices {
 		return ch
 	}
-	e := m.Estimate(g)
-	switch ch.Strategy {
+	bNoK, bStream := batchNoKFactor, batchStreamFactor
+	if t != nil {
+		bNoK, bStream = t.BatchFactors()
+	}
+	ch.Batched = batchedVerdict(te, s, ch.Parallel, eff, bNoK, bStream)
+	return ch
+}
+
+// WithinCost models the candidate-wise naive membership test the
+// continuous-query layer uses for incremental re-evaluation: for each
+// candidate node a bounded navigation of at most the pattern size along
+// paths no deeper than the document (ancestor checks up, local descents
+// down), with no global scan. Comparable against the Estimate families,
+// so the cq dispatcher can ask whether a full re-match by the chosen
+// strategy would beat re-testing the dirty candidates one by one.
+func (m *Model) WithinCost(g *pattern.Graph, candidates int) float64 {
+	perCand := float64(m.syn.MaxDepth()) + float64(g.VertexCount())
+	return joinSetup + nokPerNode*perCand*float64(candidates)
+}
+
+// batchedVerdict asks whether the compiled batch kernels would beat the
+// interpreted matcher for the chosen strategy and mode. Only the work
+// the kernels actually accelerate is scaled by the batch factor: for
+// the joins the stream cost priced into e.Join, and for NoK the scan
+// itself — under parallel dispatch that is the per-worker scan slice
+// e.NoK/eff, not the parSetup/per-partition/merge overheads of the
+// parallel estimate, which the kernels leave untouched.
+func batchedVerdict(e Estimate, s exec.Strategy, parallel bool, eff float64, bNoK, bStream float64) bool {
+	switch s {
 	case exec.StrategyTwigStack, exec.StrategyPathStack:
 		// The parallel stream scan already avoids per-element
 		// FindClose; batched streams only compete with the serial form.
-		ch.Batched = !ch.Parallel && e.Join*batchStreamFactor+batchSetup < e.Join
+		return !parallel && e.Join*bStream+batchSetup < e.Join
 	case exec.StrategyHybrid:
 		// The hybrid matcher has no batched mode.
+		return false
 	default:
-		base := e.NoK
-		if ch.Parallel {
-			base = e.NoKParallel(workers)
+		scan := e.NoK
+		if parallel {
+			scan = e.NoK / eff
 		}
-		ch.Batched = base*batchNoKFactor+batchSetup < base
+		return scan*bNoK+batchSetup < scan
 	}
-	return ch
 }
 
 // NoKParallel models the partitioned NoK matcher under a worker
@@ -255,8 +372,14 @@ func (m *Model) ChoiceBatched(g *pattern.Graph, rootAnchored bool, workers int) 
 // cores, plus fixed planning, per-partition task, and document-order
 // merge costs.
 func (e Estimate) NoKParallel(workers int) float64 {
+	return e.nokParallelEff(workers, float64(effectiveWorkers(workers)))
+}
+
+// nokParallelEff is NoKParallel with the effective parallel degree
+// factored out, so a Tuner's learned degree can replace the static cap.
+func (e Estimate) nokParallelEff(workers int, eff float64) float64 {
 	parts := float64(workers * parPartitionsPerWorker)
-	return e.NoK/float64(effectiveWorkers(workers)) +
+	return e.NoK/eff +
 		parSetup + parPerPartition*parts + parMergePerMatch*e.OutputCard
 }
 
@@ -265,7 +388,12 @@ func (e Estimate) NoKParallel(workers int) float64 {
 // cores; the coordinated stack merge stays serial (Amdahl's law in
 // one line).
 func (e Estimate) JoinParallel(workers int) float64 {
-	eff := float64(effectiveWorkers(workers))
+	return e.joinParallelEff(float64(effectiveWorkers(workers)))
+}
+
+// joinParallelEff is JoinParallel with the effective parallel degree
+// factored out, so a Tuner's learned degree can replace the static cap.
+func (e Estimate) joinParallelEff(eff float64) float64 {
 	scan := joinPerElem * e.StreamTotal * parScanShare
 	return e.Join - scan + scan/eff +
 		parSetup + parPerPartition*eff + parMergePerMatch*e.OutputCard
@@ -281,6 +409,22 @@ func effectiveWorkers(workers int) int {
 		workers = 1
 	}
 	return workers
+}
+
+// tunedWorkers resolves the effective parallel degree for a worker
+// budget: the tuner's learned table when it has observations for the
+// budget (derived from per-partition span overlap), else the static
+// NumCPU cap. Never above the budget itself, never below 1.
+func tunedWorkers(workers int, t Tuner) int {
+	if t != nil {
+		if n := t.EffectiveWorkers(workers); n > 0 {
+			if n > workers && workers >= 1 {
+				n = workers
+			}
+			return n
+		}
+	}
+	return effectiveWorkers(workers)
 }
 
 // ForExec converts the estimate to the executor's trace record shape.

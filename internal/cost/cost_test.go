@@ -108,3 +108,81 @@ func TestNewModelWith(t *testing.T) {
 		t.Fatal("synopsis not reused")
 	}
 }
+
+// TestBatchedVerdictScalesOnlyScanShare pins the parallel-NoK batched
+// boundary: the kernels accelerate the scan slice (NoK/eff) only, so
+// the verdict must compare batchSetup against the savings on that slice
+// — never against the parallel estimate's parSetup/per-partition/merge
+// constants, which batching leaves untouched. The serial boundary sits
+// at scan > batchSetup/(1-batchNoKFactor) ≈ 853.3.
+func TestBatchedVerdictScalesOnlyScanShare(t *testing.T) {
+	mk := func(nok float64) Estimate { return Estimate{NoK: nok} }
+	// Serial boundary: 853 stays interpreted, 854 batches.
+	if batchedVerdict(mk(853), exec.StrategyNoK, false, 1, batchNoKFactor, batchStreamFactor) {
+		t.Fatal("serial scan below the boundary chose batched")
+	}
+	if !batchedVerdict(mk(854), exec.StrategyNoK, false, 1, batchNoKFactor, batchStreamFactor) {
+		t.Fatal("serial scan above the boundary stayed interpreted")
+	}
+	// Parallel: NoK=3200 over eff=4 leaves a per-worker slice of 800,
+	// below the boundary — batching cannot amortize its setup.
+	const eff = 4.0
+	e := mk(3200)
+	if batchedVerdict(e, exec.StrategyNoK, true, eff, batchNoKFactor, batchStreamFactor) {
+		t.Fatal("parallel scan slice below the boundary chose batched")
+	}
+	// The mispriced form — scaling the whole NoKParallel estimate,
+	// parallel overhead constants included — would have said batched
+	// here; keep the premise pinned so the regression stays meaningful.
+	full := e.nokParallelEff(4, eff)
+	if !(full*batchNoKFactor+batchSetup < full) {
+		t.Fatalf("premise lost: whole-estimate pricing no longer favours batched (full=%.0f)", full)
+	}
+	// Above the boundary (slice 900) parallel batching pays again.
+	if !batchedVerdict(mk(3600), exec.StrategyNoK, true, eff, batchNoKFactor, batchStreamFactor) {
+		t.Fatal("parallel scan slice above the boundary stayed interpreted")
+	}
+}
+
+// stubTuner drives ChoiceTuned with fixed corrections.
+type stubTuner struct {
+	nok, join, hyb float64
+	bNoK, bStream  float64
+	workers        int
+}
+
+func (s stubTuner) Scale(*pattern.Graph) (float64, float64, float64) { return s.nok, s.join, s.hyb }
+func (s stubTuner) BatchFactors() (float64, float64)                 { return s.bNoK, s.bStream }
+func (s stubTuner) EffectiveWorkers(int) int                         { return s.workers }
+
+func TestChoiceTunedSteersStrategyKeepsRawEstimate(t *testing.T) {
+	st := xmark.StoreAuction(4)
+	m := NewModel(st)
+	g := graphOf(t, "//profile/interest")
+	base := m.ChoiceTuned(g, true, 0, nil)
+	if base.Strategy != exec.StrategyPathStack {
+		t.Fatalf("untuned selective pattern chose %v", base.Strategy)
+	}
+	// A tuner that has observed the join estimate to be a huge
+	// underestimate must flip the pick away from the joins.
+	tuned := m.ChoiceTuned(g, true, 0, stubTuner{nok: 1, join: 1e6, hyb: 1e6, bNoK: batchNoKFactor, bStream: batchStreamFactor})
+	switch tuned.Strategy {
+	case exec.StrategyPathStack, exec.StrategyTwigStack:
+		t.Fatalf("tuner correction did not steer the pick (still %v)", tuned.Strategy)
+	}
+	// The reported estimate stays raw either way: calibration must fit
+	// against the static baseline, not its own corrections.
+	if *tuned.Estimate != *base.Estimate {
+		t.Fatalf("tuned choice reported a scaled estimate: %+v vs %+v", tuned.Estimate, base.Estimate)
+	}
+}
+
+func TestWithinCostGrowsWithCandidates(t *testing.T) {
+	st := xmark.StoreAuction(2)
+	m := NewModel(st)
+	g := graphOf(t, "//item/description")
+	small, large := m.WithinCost(g, 4), m.WithinCost(g, 4000)
+	if small <= 0 || large <= small {
+		t.Fatalf("WithinCost not monotone: %v vs %v", small, large)
+	}
+}

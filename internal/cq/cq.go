@@ -212,8 +212,11 @@ func (r *Registry) handle(qc queuedCommit) {
 		Calls: 1,
 	}
 	start := time.Now()
+	// One dispatcher per commit: all of the document's queries share the
+	// snapshot model and the engine's calibrator for this generation.
+	rm := newRematcher(ev.Doc, ev.Store, ev.Syn, r.eng)
 	for _, q := range qs {
-		if child := q.processCommit(qc, &r.met, r.cfg); child != nil {
+		if child := q.processCommit(qc, &r.met, r.cfg, rm); child != nil {
 			span.Children = append(span.Children, child)
 			span.Out += child.Out
 		}
@@ -322,7 +325,7 @@ func (r *Registry) register(doc, src string) (*query, error) {
 		return nil, fmt.Errorf("%w: query references other documents via doc()", ErrNotWatchable)
 	}
 	inc, why := incrementalPlan(c.Plan)
-	items, err := fullEval(doc, st, c.Plan, r.cfg.Strategy)
+	items, err := fullEval(doc, st, c.Plan, r.cfg.Strategy, newRematcher(doc, st, syn, r.eng))
 	if err != nil {
 		return nil, fmt.Errorf("cq: initial evaluation of %q: %w", src, err)
 	}
@@ -359,7 +362,7 @@ func (q *query) shutdown() {
 // processCommit advances one query across one commit and fans the delta
 // out. It returns a trace span describing the path taken, or nil when
 // the commit predates the query's state.
-func (q *query) processCommit(qc queuedCommit, met *cqMetrics, cfg Config) *exec.Span {
+func (q *query) processCommit(qc queuedCommit, met *cqMetrics, cfg Config, rm *rematcher) *exec.Span {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	ev := qc.ev
@@ -386,7 +389,7 @@ func (q *query) processCommit(qc queuedCommit, met *cqMetrics, cfg Config) *exec
 		state := withOrigins(q.items)
 		for _, rec := range ev.Records {
 			var ok bool
-			state, ok = q.inc.step(rec, state, maxCand)
+			state, ok = q.inc.step(rec, state, maxCand, q.doc, q.plan, rm)
 			if !ok {
 				fb = fbThreshold
 				break
@@ -403,7 +406,7 @@ func (q *query) processCommit(qc queuedCommit, met *cqMetrics, cfg Config) *exec
 		removed, added = diffByOrig(q.items, next)
 		met.incRuns.Add(1)
 	} else {
-		full, err := fullEval(q.doc, ev.Store, q.plan, q.strategy)
+		full, err := fullEval(q.doc, ev.Store, q.plan, q.strategy, rm)
 		if err != nil {
 			// Keep state and generation: the next commit will see the gap
 			// and run a healing full re-evaluation.

@@ -24,7 +24,7 @@ func freshResult(t testing.TB, e *engine.Engine, doc, src string, strat exec.Str
 	if err != nil {
 		t.Fatal(err)
 	}
-	items, err := fullEval(doc, st, c.Plan, strat)
+	items, err := fullEval(doc, st, c.Plan, strat, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

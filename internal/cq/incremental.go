@@ -3,14 +3,19 @@ package cq
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"xqp/internal/ast"
 	"xqp/internal/core"
+	"xqp/internal/cost"
+	"xqp/internal/cost/calibrate"
 	"xqp/internal/engine"
 	"xqp/internal/exec"
 	"xqp/internal/naive"
 	"xqp/internal/pattern"
+	"xqp/internal/stats"
 	"xqp/internal/storage"
+	"xqp/internal/tally"
 	"xqp/internal/value"
 	"xqp/internal/xmldoc"
 )
@@ -205,12 +210,130 @@ func mergeIntervals(ivs []interval) ([]interval, int) {
 	return out, count
 }
 
+// rematcher prices continuous-query re-matches with the cost model and
+// feeds their dispatch records to the engine's calibrator, so cq
+// traffic tunes the chooser exactly like ad-hoc queries do. The model
+// is built from the commit's snapshot synopsis; cal is the watched
+// document's calibrator (nil when the engine runs with calibration
+// disabled — dispatches then still run, just unrecorded and untuned).
+type rematcher struct {
+	st    *storage.Store
+	model *cost.Model
+	cal   *calibrate.Calibrator
+}
+
+// newRematcher builds the dispatcher for one snapshot of doc. Any of
+// the inputs may be missing (nil synopsis on untracked replacements,
+// nil engine in direct tests); the zero pieces degrade gracefully down
+// to the plain naive walk.
+func newRematcher(doc string, st *storage.Store, syn *stats.Synopsis, eng *engine.Engine) *rematcher {
+	rm := &rematcher{st: st}
+	if st != nil && syn != nil {
+		rm.model = cost.NewModelWith(st, syn)
+	}
+	if eng != nil {
+		rm.cal = eng.Calibrator(doc)
+	}
+	return rm
+}
+
+// chosenEstimate picks the modeled cost of the choice's strategy family
+// out of its estimate (which the caller has checked is non-nil).
+func chosenEstimate(ch exec.Choice) float64 {
+	switch ch.Strategy {
+	case exec.StrategyTwigStack, exec.StrategyPathStack:
+		return ch.Estimate.Join
+	case exec.StrategyHybrid:
+		return ch.Estimate.Hybrid
+	default:
+		return ch.Estimate.NoK
+	}
+}
+
+// rematch re-tests the dirty candidates: the cost model prices the
+// region-restricted naive walk (WithinCost) against a full re-match by
+// its chosen strategy and runs the cheaper. Verdicts are
+// strategy-independent — a full match filtered to the candidates equals
+// the region-restricted walk by construction — so the dispatch affects
+// cost only, never results. Either way a StrategyRecord flows into the
+// calibrator: the walk's record carries the within estimate it was
+// priced on plus counted actual work, and the full path runs through
+// exec, which emits its record like any other τ dispatch.
+func (rm *rematcher) rematch(doc string, st *storage.Store, plan core.Op, g *pattern.Graph, cands []storage.NodeRef) ([]storage.NodeRef, error) {
+	if rm == nil || rm.model == nil {
+		return naive.MatchOutputWithin(st, g, []storage.NodeRef{0}, cands)
+	}
+	var tuner cost.Tuner
+	if rm.cal != nil {
+		tuner = rm.cal
+	}
+	ch := rm.model.ChoiceTuned(g, true, 0, tuner)
+	within := rm.model.WithinCost(g, len(cands))
+	if ch.Estimate == nil || within <= chosenEstimate(ch) {
+		var c tally.Counters
+		start := time.Now()
+		out, err := naive.MatchOutputWithinCounted(st, g, []storage.NodeRef{0}, cands, &c)
+		if err != nil {
+			return nil, err
+		}
+		if rm.cal != nil {
+			rm.cal.Observe(g, &exec.StrategyRecord{
+				Chosen:   exec.StrategyNaive,
+				Executed: exec.StrategyNaive,
+				Estimate: &exec.CostEstimate{NoK: within},
+				Contexts: 1,
+				Matches:  len(out),
+				Actual:   c,
+				Dur:      time.Since(start),
+			})
+		}
+		return out, nil
+	}
+	// Full re-match by the model's choice, filtered to the candidates.
+	// The estimator only answers for the snapshot the model was built on
+	// (intermediate stores of a multi-record commit get no estimate, so
+	// the calibrator is never fed a mispriced one).
+	eo := exec.Options{Strategy: ch.Strategy, StrictDocs: true}
+	eo.Estimator = func(cs *storage.Store, gg *pattern.Graph) *exec.CostEstimate {
+		if cs != rm.st {
+			return nil
+		}
+		return rm.model.Estimate(gg).ForExec()
+	}
+	if cal := rm.cal; cal != nil {
+		eo.Record = func(_ *storage.Store, gg *pattern.Graph, rec *exec.StrategyRecord) {
+			cal.Observe(gg, rec)
+		}
+	}
+	ex := exec.New(st, eo)
+	ex.AddDocument(doc, st)
+	seq, err := ex.Eval(plan, exec.Root())
+	if err != nil {
+		return nil, err
+	}
+	want := make(map[storage.NodeRef]bool, len(cands))
+	for _, r := range cands {
+		want[r] = true
+	}
+	var out []storage.NodeRef
+	for _, it := range seq {
+		if n, ok := it.(value.Node); ok && n.Store == st && want[n.Ref] {
+			out = append(out, n.Ref)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
 // step advances retained result state across one mutation record: remap
 // refs through the edit point, re-match only the dirty candidate region
 // (edit ancestors ∪ inserted interval ∪ lifted subtree), and splice the
-// fresh matches over the dropped ones. Returns false when the candidate
-// region exceeds maxCand — the caller falls back to a full re-run.
-func (p *incPlan) step(rec engine.MutationRecord, items []item, maxCand int) ([]item, bool) {
+// fresh matches over the dropped ones. The re-match dispatches through
+// rm (cost-priced and fed to calibration); doc and plan identify the
+// query in case the model prefers a full re-match. Returns false when
+// the candidate region exceeds maxCand or the re-match fails — the
+// caller falls back to a full re-run.
+func (p *incPlan) step(rec engine.MutationRecord, items []item, maxCand int, doc string, plan core.Op, rm *rematcher) ([]item, bool) {
 	st := rec.After
 	ins, del := rec.Stats.NodesInserted, rec.Stats.NodesDeleted
 	ep := rec.Stats.EditPoint
@@ -255,15 +378,19 @@ func (p *incPlan) step(rec engine.MutationRecord, items []item, maxCand int) ([]
 		return nil, false
 	}
 
-	// 3. Re-match just the candidates with the oracle evaluator (its
-	// verdicts agree with a full scan by construction).
+	// 3. Re-match just the candidates through the cost-priced dispatcher
+	// (its verdicts agree with a full scan by construction, whichever
+	// strategy the model picks).
 	cands := make([]storage.NodeRef, 0, count)
 	for _, iv := range merged {
 		for r := iv.lo; r < iv.hi; r++ {
 			cands = append(cands, r)
 		}
 	}
-	matched, _ := naive.MatchOutputWithin(st, p.graph, []storage.NodeRef{0}, cands)
+	matched, err := rm.rematch(doc, st, plan, p.graph, cands)
+	if err != nil {
+		return nil, false
+	}
 
 	// 4. Splice: retained items inside the candidate region give way to
 	// the fresh matches; a re-matched ref keeps its origin position so
@@ -371,9 +498,25 @@ func nodeXML(st *storage.Store, r storage.NodeRef) string {
 // fullEval runs the compiled plan from scratch against a snapshot and
 // serializes the result. Node items of the watched store carry their
 // ref so later deltas can track them; atoms and constructed nodes do
-// not (ref -1).
-func fullEval(doc string, st *storage.Store, plan core.Op, strat exec.Strategy) ([]item, error) {
-	ex := exec.New(st, exec.Options{Strategy: strat, StrictDocs: true})
+// not (ref -1). When rm carries a model and calibrator, every τ
+// dispatch of the run is estimated and recorded into calibration.
+func fullEval(doc string, st *storage.Store, plan core.Op, strat exec.Strategy, rm *rematcher) ([]item, error) {
+	eo := exec.Options{Strategy: strat, StrictDocs: true}
+	if rm != nil && rm.model != nil {
+		eo.Estimator = func(cs *storage.Store, g *pattern.Graph) *exec.CostEstimate {
+			if cs != rm.st {
+				return nil
+			}
+			return rm.model.Estimate(g).ForExec()
+		}
+	}
+	if rm != nil && rm.cal != nil {
+		cal := rm.cal
+		eo.Record = func(_ *storage.Store, g *pattern.Graph, rec *exec.StrategyRecord) {
+			cal.Observe(g, rec)
+		}
+	}
+	ex := exec.New(st, eo)
 	ex.AddDocument(doc, st)
 	seq, err := ex.Eval(plan, exec.Root())
 	if err != nil {

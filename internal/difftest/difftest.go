@@ -73,6 +73,28 @@ func Configs() []Config {
 		{Name: "hybrid-batched", Opts: xqp.Options{Strategy: xqp.Hybrid, Batched: true}},
 		{Name: "auto-cost-batched", Opts: xqp.Options{CostBased: true, Batched: true}},
 		{Name: "auto-cost-batched-j4", Opts: xqp.Options{CostBased: true, Batched: true, Parallelism: 4}},
+		// Calibrated variants: Options.Calibrate feeds every dispatch
+		// into the database's calibrator, and with CostBased set lets
+		// the fitted corrections steer strategy, parallel and batched
+		// verdicts. Check runs many queries against one Database, so by
+		// the time the later configs run the calibrator has accumulated
+		// fits from the forced-strategy sweeps above — exactly the
+		// regime where a bad tuner could flip a verdict. Whatever it
+		// picks must stay byte-identical to the serial naive oracle.
+		{Name: "nok-cal", Opts: xqp.Options{Strategy: xqp.NoK, Calibrate: true}},
+		{Name: "naive-cal", Opts: xqp.Options{Strategy: xqp.Naive, Calibrate: true}},
+		{Name: "twigstack-cal", Opts: xqp.Options{Strategy: xqp.TwigStack, Calibrate: true}},
+		{Name: "pathstack-cal", Opts: xqp.Options{Strategy: xqp.PathStack, Calibrate: true}},
+		{Name: "hybrid-cal", Opts: xqp.Options{Strategy: xqp.Hybrid, Calibrate: true}},
+		{Name: "nok-cal-j4", Opts: xqp.Options{Strategy: xqp.NoK, Calibrate: true, Parallelism: 4}},
+		{Name: "twigstack-cal-j4", Opts: xqp.Options{Strategy: xqp.TwigStack, Calibrate: true, Parallelism: 4}},
+		{Name: "nok-cal-batched", Opts: xqp.Options{Strategy: xqp.NoK, Calibrate: true, Batched: true}},
+		{Name: "pathstack-cal-batched", Opts: xqp.Options{Strategy: xqp.PathStack, Calibrate: true, Batched: true}},
+		{Name: "auto-cost-cal", Opts: xqp.Options{CostBased: true, Calibrate: true}},
+		{Name: "auto-cost-cal-j4", Opts: xqp.Options{CostBased: true, Calibrate: true, Parallelism: 4}},
+		{Name: "auto-cost-cal-j8", Opts: xqp.Options{CostBased: true, Calibrate: true, Parallelism: 8}},
+		{Name: "auto-cost-cal-batched", Opts: xqp.Options{CostBased: true, Calibrate: true, Batched: true}},
+		{Name: "auto-cost-cal-batched-j4", Opts: xqp.Options{CostBased: true, Calibrate: true, Batched: true, Parallelism: 4}},
 	}
 }
 

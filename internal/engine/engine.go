@@ -30,6 +30,7 @@ package engine
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -43,6 +44,7 @@ import (
 	"xqp/internal/compile"
 	"xqp/internal/core"
 	"xqp/internal/cost"
+	"xqp/internal/cost/calibrate"
 	"xqp/internal/exec"
 	"xqp/internal/pattern"
 	"xqp/internal/stats"
@@ -83,6 +85,13 @@ type Config struct {
 	// document so Snapshot.PagesTouched reports the modeled I/O volume.
 	// Costs one mutex operation per page access; off by default.
 	TrackPages bool
+	// DisableCalibration turns off the per-document cost-model
+	// calibration loop (cost/calibrate): no strategy records are
+	// accumulated, cost-based choosers run on the static constants
+	// only, and Snapshot's calibration counters stay zero. On by
+	// default because observation costs one short critical section per
+	// τ dispatch and repays it with shape-fitted strategy choice.
+	DisableCalibration bool
 }
 
 func (c Config) withDefaults() Config {
@@ -117,6 +126,12 @@ type document struct {
 	syn  *stats.Synopsis     // guarded by mu
 	gen  uint64              // guarded by mu
 	acct *storage.Accountant // guarded by mu
+	// cal accumulates this document's cost-model calibration (nil when
+	// disabled). Like the accountant it survives store replacements so
+	// tuning keeps accruing across generations; the pointer is written
+	// once before the document is published and never reassigned, and
+	// the Calibrator synchronizes itself internally.
+	cal *calibrate.Calibrator
 }
 
 func (d *document) snapshot() (*storage.Store, *stats.Synopsis, uint64) {
@@ -203,8 +218,12 @@ func (e *Engine) RegisterStore(name string, st *storage.Store) {
 		acct = storage.NewAccountant()
 		st.SetAccountant(acct)
 	}
+	var cal *calibrate.Calibrator
+	if !e.cfg.DisableCalibration {
+		cal = calibrate.New()
+	}
 	gen := e.lastGen[name] + 1
-	e.docs[name] = &document{name: name, st: st, syn: syn, gen: gen, acct: acct}
+	e.docs[name] = &document{name: name, st: st, syn: syn, gen: gen, acct: acct, cal: cal}
 	e.emit(CommitEvent{Doc: name, Gen: gen, Store: st, Syn: syn})
 }
 
@@ -300,6 +319,95 @@ func (e *Engine) lookup(name string) (*document, error) {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownDocument, name)
 	}
 	return d, nil
+}
+
+// ObserveRecord feeds one externally-produced strategy record into a
+// document's calibrator (the continuous-query layer calls it for its
+// incremental re-match dispatches, which run outside Query). A no-op
+// for unknown documents or when calibration is disabled.
+func (e *Engine) ObserveRecord(doc string, g *pattern.Graph, rec *exec.StrategyRecord) {
+	d, err := e.lookup(doc)
+	if err != nil || d.cal == nil {
+		return
+	}
+	d.cal.Observe(g, rec)
+}
+
+// Calibrator returns the named document's calibration accumulator, or
+// nil when the document is unknown or calibration is disabled.
+func (e *Engine) Calibrator(doc string) *calibrate.Calibrator {
+	d, err := e.lookup(doc)
+	if err != nil {
+		return nil
+	}
+	return d.cal
+}
+
+// CalibrationSnapshot serializes the calibration state of every
+// registered document as deterministic JSON (document name → calibrate
+// state), suitable for persisting across restarts.
+func (e *Engine) CalibrationSnapshot() ([]byte, error) {
+	e.mu.RLock()
+	cals := make(map[string]*calibrate.Calibrator, len(e.docs))
+	for name, d := range e.docs {
+		if d.cal != nil {
+			cals[name] = d.cal
+		}
+	}
+	e.mu.RUnlock()
+	states := make(map[string]calibrate.State, len(cals))
+	for name, cal := range cals {
+		states[name] = cal.Snapshot()
+	}
+	return json.MarshalIndent(states, "", "  ")
+}
+
+// RestoreCalibration loads a CalibrationSnapshot, restoring the state
+// of every document present in both the snapshot and the catalog.
+// Entries for unknown documents are ignored (register first, restore
+// second); an invalid snapshot fails whole without touching any state.
+func (e *Engine) RestoreCalibration(data []byte) error {
+	var states map[string]json.RawMessage
+	if err := json.Unmarshal(data, &states); err != nil {
+		return fmt.Errorf("engine: restore calibration: %w", err)
+	}
+	decoded := make(map[string]calibrate.State, len(states))
+	for name, raw := range states {
+		s, err := calibrate.DecodeState(raw)
+		if err != nil {
+			return fmt.Errorf("engine: restore calibration for %q: %w", name, err)
+		}
+		decoded[name] = s
+	}
+	for name, s := range decoded {
+		d, err := e.lookup(name)
+		if err != nil || d.cal == nil {
+			continue
+		}
+		if err := d.cal.Restore(s); err != nil {
+			return fmt.Errorf("engine: restore calibration for %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// calibrationTotals sums the observation and regret counters across the
+// catalog for Stats.
+func (e *Engine) calibrationTotals() (observed, regret int64) {
+	e.mu.RLock()
+	cals := make([]*calibrate.Calibrator, 0, len(e.docs))
+	for _, d := range e.docs {
+		if d.cal != nil {
+			cals = append(cals, d.cal)
+		}
+	}
+	e.mu.RUnlock()
+	for _, cal := range cals {
+		o, r := cal.Stats()
+		observed += o
+		regret += r
+	}
+	return observed, regret
 }
 
 // QueryOptions configures one query execution.
@@ -456,19 +564,35 @@ func (e *Engine) run(ctx context.Context, doc, src string, opts QueryOptions, wa
 		Parallelism: opts.Parallelism,
 		Batched:     opts.Batched,
 	}
-	if opts.CostBased || opts.Trace {
+	cal := d.cal
+	if cal != nil {
+		eo.Record = func(cs *storage.Store, g *pattern.Graph, rec *exec.StrategyRecord) {
+			if cs == st {
+				cal.Observe(g, rec)
+			}
+		}
+	}
+	if opts.CostBased || opts.Trace || cal != nil {
 		// Model over the snapshot synopsis (immutable, so shared safely
 		// across this query's τ dispatches).
 		model := cost.NewModelWith(st, syn)
 		if opts.CostBased && eo.Strategy == exec.StrategyAuto {
+			// The calibrator's fitted corrections steer the verdicts; a
+			// nil interface keeps the static constants.
+			var tuner cost.Tuner
+			if cal != nil {
+				tuner = cal
+			}
 			eo.Chooser = func(cs *storage.Store, g *pattern.Graph, rootAnchored bool) exec.Choice {
 				if cs != st {
 					return exec.Choice{Strategy: exec.StrategyNoK} // secondary doc() targets: no synopsis at hand
 				}
-				return model.ChoiceBatched(g, rootAnchored, opts.Parallelism)
+				return model.ChoiceTuned(g, rootAnchored, opts.Parallelism, tuner)
 			}
 		}
-		if opts.Trace {
+		if opts.Trace || cal != nil {
+			// Calibration needs estimates on every record (that is the
+			// estimated side of each fit), even for forced strategies.
 			eo.Estimator = func(cs *storage.Store, g *pattern.Graph) *exec.CostEstimate {
 				if cs != st {
 					return nil

@@ -101,6 +101,13 @@ type Snapshot struct {
 	// fallbacks are counted).
 	ParallelTau       int64 `json:"parallel_tau"`
 	ParallelFallbacks int64 `json:"parallel_fallbacks"`
+	// CalibrationObservations counts τ dispatch records folded into the
+	// per-document calibrators; ChooserRegret counts dispatches where
+	// the chooser stood by its pick yet the best observed strategy for
+	// that pattern shape was measurably cheaper (cost/calibrate). Both
+	// stay zero under Config.DisableCalibration.
+	CalibrationObservations int64 `json:"calibration_observations"`
+	ChooserRegret           int64 `json:"chooser_regret"`
 	// Updates counts committed document updates (Update/Apply/Append).
 	// The dirty-region aggregates sum storage.UpdateStats over Apply and
 	// Append commits: nodes inserted/deleted, and the bytes each encoding
@@ -180,6 +187,7 @@ func (e *Engine) Stats() Snapshot {
 	if s.Queued < 0 {
 		s.Queued = 0 // tickets release before slots; brief skew possible
 	}
+	s.CalibrationObservations, s.ChooserRegret = e.calibrationTotals()
 	e.mu.RLock()
 	s.Documents = len(e.docs)
 	docs := make([]*document, 0, len(e.docs))

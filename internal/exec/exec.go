@@ -79,11 +79,19 @@ type Options struct {
 	// executor can only run the holistic join matchers there, so a
 	// model must not recommend them for other contexts.
 	Chooser func(st *storage.Store, g *pattern.Graph, rootAnchored bool) Choice
-	// Estimator, when non-nil and tracing, supplies cost estimates for
-	// strategy records even when no Chooser is installed (so a trace
-	// shows estimated-vs-actual without changing the executed plan).
-	// It is not consulted for strategy choice.
+	// Estimator, when non-nil and strategy records are being built
+	// (tracing or a Record hook), supplies cost estimates for the
+	// records even when no Chooser is installed (so a trace shows
+	// estimated-vs-actual without changing the executed plan). It is
+	// not consulted for strategy choice.
 	Estimator func(st *storage.Store, g *pattern.Graph) *CostEstimate
+	// Record, when non-nil, receives the strategy record of every τ
+	// dispatch (one per distinct store per evaluation) together with
+	// the store and pattern it served, independently of Trace. It is
+	// the feed for the cost-model calibration layer (cost/calibrate);
+	// the record is complete (actuals, partitions, wall time) by the
+	// time the hook runs, and the hook must not retain the graph.
+	Record func(st *storage.Store, g *pattern.Graph, rec *StrategyRecord)
 	// Trace enables execution-trace collection: each top-level Eval
 	// builds a Span tree (see Trace()) mirroring the operator tree,
 	// with per-τ strategy records and actual-work counters.
@@ -563,7 +571,8 @@ func (e *Engine) evalTPM(o *core.TPMOp, ctx *Context) (value.Sequence, error) {
 // records any remaining fallback explicitly (Metrics.StrategyFallbacks
 // plus the trace's strategy record — never a silent override), and
 // counts the executed strategy in Metrics.TauByStrategy. The returned
-// record is nil unless tracing.
+// record is nil unless tracing or a Record hook is installed; when a
+// hook is installed it also receives the record.
 func (e *Engine) matchStore(st *storage.Store, g *pattern.Graph, contexts []storage.NodeRef) ([]storage.NodeRef, *StrategyRecord, error) {
 	// The holistic join matchers evaluate the pattern from the document
 	// root; they can only serve a τ whose context is exactly the root.
@@ -597,7 +606,8 @@ func (e *Engine) matchStore(st *storage.Store, g *pattern.Graph, contexts []stor
 			useBatched = true
 		}
 	}
-	if est == nil && e.opts.Trace && e.opts.Estimator != nil {
+	wantRecord := e.opts.Trace || e.opts.Record != nil
+	if est == nil && wantRecord && e.opts.Estimator != nil {
 		est = e.opts.Estimator(st, g)
 	}
 	if e.opts.Interrupt != nil {
@@ -618,7 +628,7 @@ func (e *Engine) matchStore(st *storage.Store, g *pattern.Graph, contexts []stor
 	e.Metrics.TauByStrategy[executed]++
 	var rec *StrategyRecord
 	var sink *tally.Counters
-	if e.opts.Trace {
+	if wantRecord {
 		rec = &StrategyRecord{
 			Chosen:   chosen,
 			Executed: executed,
@@ -628,6 +638,10 @@ func (e *Engine) matchStore(st *storage.Store, g *pattern.Graph, contexts []stor
 			Contexts: len(contexts),
 		}
 		sink = &rec.Actual
+	}
+	var dispatchStart time.Time
+	if rec != nil {
+		dispatchStart = time.Now()
 	}
 	var refs []storage.NodeRef
 	var err error
@@ -743,6 +757,7 @@ func (e *Engine) matchStore(st *storage.Store, g *pattern.Graph, contexts []stor
 		}
 	}
 	if rec != nil {
+		rec.Dur = time.Since(dispatchStart)
 		rec.Matches = len(refs)
 		rec.Parallel = ranParallel
 		rec.ParallelReason = parReason
@@ -752,6 +767,9 @@ func (e *Engine) matchStore(st *storage.Store, g *pattern.Graph, contexts []stor
 		}
 		rec.Batched = useBatched
 		rec.BatchedReason = batchedReason
+		if e.opts.Record != nil {
+			e.opts.Record(st, g, rec)
+		}
 	}
 	return refs, rec, nil
 }

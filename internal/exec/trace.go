@@ -79,6 +79,12 @@ type StrategyRecord struct {
 	// batch kernels", "hybrid matcher has no batched mode").
 	Batched       bool   `json:"batched,omitempty"`
 	BatchedReason string `json:"batched_reason,omitempty"`
+	// Dur is the wall time of the dispatch itself (matcher entry to
+	// exit). The work counters in Actual are mode-independent — the
+	// batched kernels do the same logical work as the interpreter — so
+	// wall time is what lets the calibration layer fit the batched
+	// speed factors from observed records.
+	Dur time.Duration `json:"wall_ns,omitempty"`
 }
 
 // MarshalJSON renders strategies by name, so trace JSON reads
@@ -161,8 +167,12 @@ func (s *Span) Format() string {
 			} else if r.BatchedReason != "" {
 				fmt.Fprintf(&b, " batched=off (%s)", r.BatchedReason)
 			}
-			fmt.Fprintf(&b, " actual{nodes=%d stream=%d sols=%d} contexts=%d matches=%d\n",
+			fmt.Fprintf(&b, " actual{nodes=%d stream=%d sols=%d} contexts=%d matches=%d",
 				r.Actual.NodesVisited, r.Actual.StreamElems, r.Actual.Solutions, r.Contexts, r.Matches)
+			if r.Dur > 0 {
+				fmt.Fprintf(&b, " wall=%s", r.Dur.Round(time.Microsecond))
+			}
+			b.WriteByte('\n')
 			for _, p := range r.Partitions {
 				fmt.Fprintf(&b, "%s    · partition %s@%d nodes=%d matches=%d wall=%s\n",
 					pad, p.Kind, p.Root, p.Nodes, p.Matches, p.Dur.Round(time.Microsecond))

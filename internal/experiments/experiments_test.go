@@ -70,6 +70,7 @@ func TestExperimentsSmoke(t *testing.T) {
 		{"E17b", func() *Table { return E17SerialRegression(1) }},
 		{"E18", func() *Table { return E18BidWatch(1, 4) }},
 		{"E19", func() *Table { return E19Batched([]int{1}) }},
+		{"E20", func() *Table { return E20Calibration(1) }},
 	}
 	for _, r := range runs {
 		r := r

@@ -11,6 +11,7 @@ import "xqp/internal/lint"
 func All() []*lint.Analyzer {
 	return []*lint.Analyzer{
 		GuardedBy,
+		CalibLock,
 		CacheKey,
 		CtxPoll,
 		TallyDiscipline,

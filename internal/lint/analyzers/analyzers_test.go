@@ -18,6 +18,7 @@ func TestAnalyzers(t *testing.T) {
 		pkgs []string
 	}{
 		{"guardedby", GuardedBy, []string{"guardedby/a"}},
+		{"caliblock", CalibLock, []string{"caliblock/calibrate", "caliblock/other"}},
 		{"cachekey", CacheKey, []string{"cachekey/a"}},
 		{"ctxpoll", CtxPoll, []string{"ctxpoll/nok", "ctxpoll/batch", "ctxpoll/other"}},
 		{"tallydiscipline", TallyDiscipline, []string{"tallydiscipline/exec", "tallydiscipline/nok"}},
@@ -54,7 +55,7 @@ func TestAllIncludesEveryAnalyzer(t *testing.T) {
 	for _, a := range All() {
 		names[a.Name] = true
 	}
-	for _, want := range []string{"guardedby", "cachekey", "ctxpoll", "tallydiscipline", "nopanic", "exporteddoc"} {
+	for _, want := range []string{"guardedby", "caliblock", "cachekey", "ctxpoll", "tallydiscipline", "nopanic", "exporteddoc"} {
 		if !names[want] {
 			t.Errorf("All() is missing analyzer %s", want)
 		}

@@ -1,0 +1,83 @@
+package analyzers
+
+import (
+	"go/ast"
+
+	"xqp/internal/lint"
+)
+
+// CalibLock closes the annotation gap guardedby cannot see: guardedby
+// enforces lock discipline only on fields that carry a "guarded by"
+// comment, so a calibration field added without the annotation is
+// silently unchecked — and calibration state is exactly the state that
+// is mutated on query goroutines while the chooser reads it
+// concurrently. In packages named calibrate, every named field of a
+// struct that holds a sync.Mutex/RWMutex must therefore carry a
+// "guarded by <mu>" annotation (the mutex fields themselves are
+// exempt). Whether the named guard exists and whether accesses actually
+// hold it remains guardedby's job; this check only refuses unannotated
+// — hence unenforced — state. A deliberately lock-free field needs an
+// explicit //xqvet:ignore caliblock <reason> directive.
+var CalibLock = &lint.Analyzer{
+	Name:       "caliblock",
+	Doc:        "calibration-state fields of mutex-holding structs must carry a guarded-by annotation",
+	NeedsTypes: true,
+	Run:        runCalibLock,
+}
+
+func runCalibLock(pass *lint.Pass) error {
+	if pass.Pkg == nil || pass.Pkg.Name() != "calibrate" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			if !holdsMutex(pass, st) {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if isMutexField(pass, field) {
+					continue
+				}
+				if matchGuardComment(field) != "" {
+					continue
+				}
+				for _, name := range field.Names {
+					pass.Reportf(name.Pos(), "calibration field %s shares a struct with a mutex but has no 'guarded by' annotation", name.Name)
+				}
+				if len(field.Names) == 0 {
+					pass.Reportf(field.Pos(), "embedded calibration field shares a struct with a mutex but has no 'guarded by' annotation")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// holdsMutex reports whether the struct declares at least one
+// sync.Mutex or sync.RWMutex field (named or embedded).
+func holdsMutex(pass *lint.Pass, st *ast.StructType) bool {
+	for _, field := range st.Fields.List {
+		if isMutexField(pass, field) {
+			return true
+		}
+	}
+	return false
+}
+
+// isMutexField reports whether a struct field is itself a lock.
+func isMutexField(pass *lint.Pass, field *ast.Field) bool {
+	tv, ok := pass.TypesInfo.Types[field.Type]
+	if !ok {
+		return false
+	}
+	switch tv.Type.String() {
+	case "sync.Mutex", "sync.RWMutex":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,48 @@
+// Package calibrate exercises the caliblock analyzer: in calibration
+// packages, every non-mutex field of a mutex-holding struct needs a
+// "guarded by" annotation so guardedby actually enforces it.
+package calibrate
+
+import "sync"
+
+type fitted struct {
+	mu     sync.RWMutex
+	shapes map[string]float64 // guarded by mu
+	count  int64              // guarded by mu
+}
+
+type leaky struct {
+	mu     sync.Mutex
+	scales []float64 // want `calibration field scales shares a struct with a mutex but has no 'guarded by' annotation`
+	// observed carries a doc comment, but not the annotation.
+	observed int64 // want `calibration field observed shares a struct with a mutex but has no 'guarded by' annotation`
+	regret   int64 // guarded by mu
+}
+
+type multi struct {
+	mu   sync.Mutex
+	a, b int64 // want `calibration field a shares a struct with a mutex but has no 'guarded by' annotation` `calibration field b shares a struct with a mutex but has no 'guarded by' annotation`
+}
+
+type embedded struct {
+	sync.Mutex
+	acc // want `embedded calibration field shares a struct with a mutex but has no 'guarded by' annotation`
+}
+
+// acc is lock-free on its own: no mutex, no annotations required.
+type acc struct {
+	sum   float64
+	count int64
+}
+
+// waived documents why a field is deliberately outside the lock.
+type waived struct {
+	mu sync.Mutex
+	n  int64 // guarded by mu
+	//xqvet:ignore caliblock atomically accessed, never under mu
+	fast int64
+}
+
+var _ = []any{fitted{}, leaky{}, multi{}, waived{}}
+
+func use(e *embedded) int64 { return e.count }

@@ -1,0 +1,12 @@
+// Package other is outside caliblock's scope: mutex-holding structs in
+// non-calibration packages may keep their annotation conventions loose.
+package other
+
+import "sync"
+
+type registry struct {
+	mu    sync.Mutex
+	items map[string]int // no annotation, no finding
+}
+
+var _ = registry{}

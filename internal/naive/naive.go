@@ -121,12 +121,25 @@ func MatchOutputCounted(st *storage.Store, g *pattern.Graph, contexts []storage.
 // (internal/cq): after a local update, only nodes whose membership could
 // have changed are re-tested.
 func MatchOutputWithin(st *storage.Store, g *pattern.Graph, contexts, candidates []storage.NodeRef) (refs []storage.NodeRef, err error) {
+	return MatchOutputWithinCounted(st, g, contexts, candidates, nil)
+}
+
+// MatchOutputWithinCounted is MatchOutputWithin reporting actual work
+// into c (when non-nil), with the same node-visit accounting as
+// MatchOutputCounted — the feed that lets region-restricted dispatches
+// carry honest work counters into the calibration layer.
+func MatchOutputWithinCounted(st *storage.Store, g *pattern.Graph, contexts, candidates []storage.NodeRef, c *tally.Counters) (refs []storage.NodeRef, err error) {
 	defer catchInterrupt(&err)
 	ctxSet := map[storage.NodeRef]bool{}
 	for _, ctx := range contexts {
 		ctxSet[ctx] = true
 	}
 	e := newEvaluator(st, g, ctxSet, nil)
+	defer func() {
+		if c != nil {
+			c.NodesVisited += e.visits
+		}
+	}()
 	var out []storage.NodeRef
 	for _, n := range candidates {
 		if n < 0 || int(n) >= st.NodeCount() {

@@ -30,6 +30,7 @@ import (
 	"xqp/internal/compile"
 	"xqp/internal/core"
 	"xqp/internal/cost"
+	"xqp/internal/cost/calibrate"
 	"xqp/internal/exec"
 	"xqp/internal/pattern"
 	"xqp/internal/rewrite"
@@ -112,6 +113,12 @@ type Options struct {
 	// back to the interpreted matchers with a recorded reason
 	// elsewhere. Results are bit-identical to interpreted execution.
 	Batched bool
+	// Calibrate feeds every τ dispatch record into the database's
+	// per-document calibrators (cost/calibrate) and, with CostBased set,
+	// lets the fitted scales, batch factors and parallel-degree table
+	// tune the chooser. Results are unchanged — only strategy choice is.
+	// xqvet:cachekey exec-only
+	Calibrate bool
 }
 
 // Diagnostic is a static-analyzer finding (see ANALYZER.md for the codes).
@@ -136,6 +143,10 @@ type Database struct {
 	// store, keyed by identity; entries are dropped when a catalog URI
 	// is replaced, so closed stores are not retained.
 	models map[*storage.Store]*cost.Model // guarded by mu
+	// cals holds one calibrator per registered store, created alongside
+	// the cost model and dropped with it; Calibrator is internally
+	// synchronized, so queries only need the read lock to look one up.
+	cals map[*storage.Store]*calibrate.Calibrator // guarded by mu
 }
 
 // Open loads the primary document from r.
@@ -175,13 +186,15 @@ func OpenFile(path string) (*Database, error) {
 func FromStore(st *storage.Store) *Database {
 	catalog := map[string]*storage.Store{}
 	models := map[*storage.Store]*cost.Model{}
+	cals := map[*storage.Store]*calibrate.Calibrator{}
 	if st != nil {
 		models[st] = cost.NewModel(st)
+		cals[st] = calibrate.New()
 		if st.URI != "" {
 			catalog[st.URI] = st
 		}
 	}
-	return &Database{store: st, catalog: catalog, models: models}
+	return &Database{store: st, catalog: catalog, models: models, cals: cals}
 }
 
 // Store exposes the underlying succinct store (for experiments and
@@ -201,9 +214,11 @@ func (db *Database) AddDocument(uri string, r io.Reader) error {
 	defer db.mu.Unlock()
 	if old, ok := db.catalog[uri]; ok && old != db.store {
 		delete(db.models, old)
+		delete(db.cals, old)
 	}
 	db.catalog[uri] = st
 	db.models[st] = cost.NewModel(st)
+	db.cals[st] = calibrate.New()
 	return nil
 }
 
@@ -265,15 +280,47 @@ func (db *Database) synopsis() *stats.Synopsis {
 // choice is the executor's cost-based chooser hook: it resolves the
 // model for the τ's store under a read lock. Stores without a model
 // (γ-constructed temporaries) run NoK. workers is the query's worker
-// budget, so the model can weigh serial against partitioned variants.
-func (db *Database) choice(st *storage.Store, g *pattern.Graph, rootAnchored bool, workers int) exec.Choice {
+// budget, so the model can weigh serial against partitioned variants;
+// calibrated selects the store's calibrator as the model's tuner.
+func (db *Database) choice(st *storage.Store, g *pattern.Graph, rootAnchored bool, workers int, calibrated bool) exec.Choice {
 	db.mu.RLock()
 	m := db.models[st]
+	cal := db.cals[st]
 	db.mu.RUnlock()
 	if m == nil {
 		return exec.Choice{Strategy: exec.StrategyNoK}
 	}
-	return m.ChoiceBatched(g, rootAnchored, workers)
+	var tuner cost.Tuner
+	if calibrated && cal != nil {
+		tuner = cal
+	}
+	return m.ChoiceTuned(g, rootAnchored, workers, tuner)
+}
+
+// Calibrator returns the primary document's calibrator (nil without a
+// primary document). Use it to inspect fits or snapshot/restore tuning
+// around process restarts; it is safe for concurrent use.
+func (db *Database) Calibrator() *calibrate.Calibrator {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.cals[db.store]
+}
+
+// CalibrationStats sums the observation and regret counters over every
+// registered document's calibrator.
+func (db *Database) CalibrationStats() (observed, regret int64) {
+	db.mu.RLock()
+	cals := make([]*calibrate.Calibrator, 0, len(db.cals))
+	for _, c := range db.cals {
+		cals = append(cals, c)
+	}
+	db.mu.RUnlock()
+	for _, c := range cals {
+		o, r := c.Stats()
+		observed += o
+		regret += r
+	}
+	return observed, regret
 }
 
 // estimate is the executor's trace estimator hook: cost estimates for
@@ -374,12 +421,23 @@ func (db *Database) Run(q *Query) (*Result, error) {
 	}
 	if q.opts.CostBased && eo.Strategy == Auto {
 		workers := q.opts.Parallelism
+		calibrated := q.opts.Calibrate
 		eo.Chooser = func(st *storage.Store, g *pattern.Graph, rootAnchored bool) exec.Choice {
-			return db.choice(st, g, rootAnchored, workers)
+			return db.choice(st, g, rootAnchored, workers, calibrated)
 		}
 	}
-	if q.opts.Trace {
+	if q.opts.Trace || q.opts.Calibrate {
 		eo.Estimator = db.estimate
+	}
+	if q.opts.Calibrate {
+		eo.Record = func(st *storage.Store, g *pattern.Graph, rec *exec.StrategyRecord) {
+			db.mu.RLock()
+			cal := db.cals[st]
+			db.mu.RUnlock()
+			if cal != nil {
+				cal.Observe(g, rec)
+			}
+		}
 	}
 	db.mu.RLock()
 	catalog := make(map[string]*storage.Store, len(db.catalog))
