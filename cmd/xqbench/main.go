@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"xqp/internal/experiments"
 )
@@ -48,6 +49,9 @@ var registry = []struct {
 	{"E18", "continuous bid-watch delta latency", func() *experiments.Table { return experiments.E18BidWatch(2, 40) }},
 	{"E19", "batched vs interpreted pattern matching", func() *experiments.Table { return experiments.E19Batched([]int{4, 8, 16}) }},
 	{"E20", "chooser regret: static vs calibrated constants", func() *experiments.Table { return experiments.E20Calibration(2) }},
+	{"E21", "cluster scale-out: 1-node vs 3-shard", func() *experiments.Table {
+		return experiments.E21Cluster(12, 32, 2*time.Second)
+	}},
 }
 
 func main() {

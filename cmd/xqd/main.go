@@ -64,13 +64,35 @@ func main() {
 	timeout := fs.Duration("timeout", 30*time.Second, "per-query deadline (0: none)")
 	drain := fs.Duration("drain", 10*time.Second, "shutdown drain deadline for in-flight requests")
 	calibFile := fs.String("calibration", "", "calibration state file: restored at startup, written back on shutdown so restarts keep their tuning")
+	tenantQuota := fs.Int("tenant-quota", 0, "max in-flight queries per tenant (0: no per-tenant quota); rejections are 429")
+	routerMode := fs.Bool("router", false, "run as a cluster router over -shard backends instead of serving a local engine")
+	var shards shardFlags
+	fs.Var(&shards, "shard", "router mode: shard backend as name=http://host:port (repeatable)")
+	replicas := fs.Int("replicas", 1, "router mode: copies per document, including the owner")
+	fanout := fs.Int("fanout", 8, "router mode: max concurrently outstanding shard requests per federated query")
+	shardTimeout := fs.Duration("shard-timeout", 0, "router mode: per-shard deadline inside a federated query (0: inherit)")
+	partial := fs.String("partial", "fail", "router mode: federated partial-failure policy, fail|degrade")
 	fs.Parse(os.Args[1:])
+
+	if *routerMode {
+		runRouter(routerOptions{
+			addr:         *addr,
+			drain:        *drain,
+			shards:       shards,
+			replicas:     *replicas,
+			fanout:       *fanout,
+			shardTimeout: *shardTimeout,
+			partial:      *partial,
+		})
+		return
+	}
 
 	eng := xqp.NewEngine(xqp.EngineConfig{
 		MaxConcurrent:  *maxConcurrent,
 		QueueDepth:     *queueDepth,
 		PlanCacheSize:  *cacheSize,
 		DefaultTimeout: *timeout,
+		TenantQuota:    *tenantQuota,
 	})
 	for _, d := range docs {
 		f, err := os.Open(d.path)
@@ -170,6 +192,21 @@ func (f *docFlags) Set(s string) error {
 	return nil
 }
 
+type shardFlag struct{ name, url string }
+
+type shardFlags []shardFlag
+
+func (f *shardFlags) String() string { return fmt.Sprint(*f) }
+
+func (f *shardFlags) Set(s string) error {
+	name, url, ok := strings.Cut(s, "=")
+	if !ok || name == "" || url == "" {
+		return fmt.Errorf("want name=url, got %q", s)
+	}
+	*f = append(*f, shardFlag{name, url})
+	return nil
+}
+
 // maxQueryBody bounds request bodies (queries and uploaded documents).
 const maxQueryBody = 16 << 20
 
@@ -228,6 +265,7 @@ func writePrometheus(w io.Writer, s xqp.EngineStats) {
 	counter("xqp_failed_total", "Queries that ended in an error.", s.Failed)
 	counter("xqp_canceled_total", "Queries ended by cancellation or deadline.", s.Canceled)
 	counter("xqp_rejected_total", "Queries refused at admission (saturated).", s.Rejected)
+	counter("xqp_tenant_rejected_total", "Queries refused at their tenant's quota.", s.TenantRejected)
 	counter("xqp_plan_cache_hits_total", "Plan-cache hits.", s.CacheHits)
 	counter("xqp_plan_cache_misses_total", "Plan-cache misses.", s.CacheMisses)
 	counter("xqp_compilations_total", "Full compile pipeline runs.", s.Compilations)
@@ -303,6 +341,17 @@ type queryRequest struct {
 	// Parallel is the worker budget for partitioned pattern matching
 	// (0 or 1: serial; N>1: up to N workers; -1: one per CPU).
 	Parallel int `json:"parallel,omitempty"`
+	// Batched runs pattern matching batch-at-a-time on compiled batch
+	// kernels.
+	Batched bool `json:"batched,omitempty"`
+	// Tenant is the multi-tenancy key: it selects the plan-cache
+	// partition and the admission-quota bucket. The X-Tenant header and
+	// ?tenant= query parameter set it too (the body field wins).
+	Tenant string `json:"tenant,omitempty"`
+	// Docs federates the query over several documents (router mode
+	// only): each document routes to its owning shard and the answers
+	// merge in this order. Mutually exclusive with Doc.
+	Docs []string `json:"docs,omitempty"`
 }
 
 type queryResponse struct {
@@ -331,6 +380,8 @@ func handleQuery(eng *xqp.Engine, w http.ResponseWriter, r *http.Request) {
 		req.Strategy = q.Get("strategy")
 		req.CostBased = boolParam(q.Get("cost"))
 		req.Trace = boolParam(q.Get("trace"))
+		req.Batched = boolParam(q.Get("batched"))
+		req.Tenant = q.Get("tenant")
 		if p := q.Get("parallel"); p != "" {
 			n, err := strconv.Atoi(p)
 			if err != nil {
@@ -357,6 +408,9 @@ func handleQuery(eng *xqp.Engine, w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "doc and query are required")
 		return
 	}
+	if req.Tenant == "" {
+		req.Tenant = r.Header.Get("X-Tenant")
+	}
 	opts := xqp.EngineQueryOptions{
 		CostBased:       req.CostBased,
 		Trace:           req.Trace,
@@ -364,6 +418,8 @@ func handleQuery(eng *xqp.Engine, w http.ResponseWriter, r *http.Request) {
 		DisableRewrites: req.NoRewrite,
 		DisableAnalyzer: req.NoAnalyze,
 		Parallelism:     req.Parallel,
+		Batched:         req.Batched,
+		Tenant:          req.Tenant,
 	}
 	var ok bool
 	if opts.Strategy, ok = parseStrategy(req.Strategy); !ok {
@@ -419,6 +475,10 @@ func handleDocs(eng *xqp.Engine, w http.ResponseWriter, r *http.Request) {
 func (s *server) handleDoc(w http.ResponseWriter, r *http.Request) {
 	name := strings.TrimPrefix(r.URL.Path, "/docs/")
 	if docName, action, ok := cutLast(name, "/"); ok {
+		if action == "xml" {
+			s.handleDocXML(w, r, docName)
+			return
+		}
 		s.handleDocMutation(w, r, docName, action)
 		return
 	}
@@ -432,7 +492,12 @@ func (s *server) handleDoc(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]string{"registered": name})
+		gen, err := s.eng.Generation(name)
+		if err != nil {
+			httpError(w, statusFor(err), err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"registered": name, "generation": gen})
 	case http.MethodDelete:
 		if err := s.eng.Close(name); err != nil {
 			httpError(w, statusFor(err), err.Error())
@@ -442,6 +507,28 @@ func (s *server) handleDoc(w http.ResponseWriter, r *http.Request) {
 	default:
 		httpError(w, http.StatusMethodNotAllowed, "PUT or DELETE only")
 	}
+}
+
+// handleDocXML serves GET /docs/{name}/xml: the document's current
+// snapshot serialized as XML, with its generation in the
+// X-Xqp-Generation header — the cluster migration transfer format.
+func (s *server) handleDocXML(w http.ResponseWriter, r *http.Request, name string) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	if name == "" || strings.Contains(name, "/") {
+		httpError(w, http.StatusNotFound, "bad document path")
+		return
+	}
+	xml, gen, err := s.eng.DocXML(name)
+	if err != nil {
+		httpError(w, statusFor(err), err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/xml")
+	w.Header().Set("X-Xqp-Generation", strconv.FormatUint(gen, 10))
+	io.WriteString(w, xml)
 }
 
 // cutLast splits s at its last sep, returning (before, after, true)
@@ -479,6 +566,8 @@ func statusFor(err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, xqp.ErrSaturated):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, xqp.ErrTenantQuota):
+		return http.StatusTooManyRequests
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):

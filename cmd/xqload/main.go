@@ -1,0 +1,129 @@
+// Command xqload drives an xqd (or xqd -router) with a measured
+// workload: closed-loop for peak throughput, open-loop for latency
+// under a fixed offered rate. The report — throughput plus exact
+// p50/p90/p99/p999 latency — prints as JSON on stdout, so runs diff
+// and script cleanly (the cluster smoke test in CI greps it).
+//
+// Examples:
+//
+//	xqload -url http://localhost:8080 -doc bib.xml -q '//book/title' \
+//	       -mode closed -c 8 -duration 10s
+//	xqload -url http://localhost:8080 -docs a.xml,b.xml -q '//title' \
+//	       -mode open -rate 500 -c 64 -duration 30s -tenant alice
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"xqp/internal/load"
+)
+
+type queryRequest struct {
+	Doc    string `json:"doc,omitempty"`
+	Query  string `json:"query"`
+	Tenant string `json:"tenant,omitempty"`
+}
+
+func main() {
+	var (
+		url      = flag.String("url", "http://localhost:8080", "xqd base URL")
+		doc      = flag.String("doc", "", "document to query (round-robins over -docs when empty)")
+		docs     = flag.String("docs", "", "comma-separated documents; each request targets docs[seq % len]")
+		query    = flag.String("q", "//*", "query source")
+		mode     = flag.String("mode", "closed", "arrival process: closed (fixed concurrency) or open (fixed rate)")
+		conc     = flag.Int("c", 4, "workers (closed) or in-flight cap (open)")
+		rate     = flag.Float64("rate", 0, "open-loop arrival rate, requests/second")
+		duration = flag.Duration("duration", 10*time.Second, "measured phase length")
+		warmup   = flag.Duration("warmup", 0, "unmeasured warmup length")
+		tenant   = flag.String("tenant", "", "tenant key sent with every request (X-Tenant)")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-request HTTP timeout")
+	)
+	flag.Parse()
+
+	var targets []string
+	if *doc != "" {
+		targets = []string{*doc}
+	} else if *docs != "" {
+		for _, d := range strings.Split(*docs, ",") {
+			if d = strings.TrimSpace(d); d != "" {
+				targets = append(targets, d)
+			}
+		}
+	}
+	if len(targets) == 0 {
+		fmt.Fprintln(os.Stderr, "xqload: -doc or -docs is required")
+		os.Exit(2)
+	}
+	var m load.Mode
+	switch *mode {
+	case "closed":
+		m = load.Closed
+	case "open":
+		m = load.Open
+		if *rate <= 0 {
+			fmt.Fprintln(os.Stderr, "xqload: open mode needs -rate > 0")
+			os.Exit(2)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "xqload: unknown -mode %q (closed|open)\n", *mode)
+		os.Exit(2)
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	endpoint := strings.TrimRight(*url, "/") + "/query"
+	req := func(ctx context.Context, seq int) error {
+		body, err := json.Marshal(queryRequest{
+			Doc:    targets[seq%len(targets)],
+			Query:  *query,
+			Tenant: *tenant,
+		})
+		if err != nil {
+			return err
+		}
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, endpoint, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		if *tenant != "" {
+			hreq.Header.Set("X-Tenant", *tenant)
+		}
+		resp, err := client.Do(hreq)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("http %d", resp.StatusCode)
+		}
+		return nil
+	}
+
+	rep := load.Run(context.Background(), load.Options{
+		Mode:        m,
+		Concurrency: *conc,
+		Rate:        *rate,
+		Duration:    *duration,
+		Warmup:      *warmup,
+	}, req)
+
+	out, err := rep.MarshalHuman()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xqload:", err)
+		os.Exit(1)
+	}
+	fmt.Println(string(out))
+	if rep.Requests == 0 || rep.Errors == rep.Requests {
+		os.Exit(1) // nothing succeeded: make scripts notice
+	}
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"xqp/internal/load"
+)
+
+// TestXqloadRequestShape: the generated requests carry the document
+// rotation, the query, and the tenant in both body and header.
+func TestXqloadRequestShape(t *testing.T) {
+	var hits atomic.Int64
+	seenDocs := make(chan string, 64)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		if r.Method != http.MethodPost || r.URL.Path != "/query" {
+			t.Errorf("unexpected request %s %s", r.Method, r.URL.Path)
+		}
+		if got := r.Header.Get("X-Tenant"); got != "alice" {
+			t.Errorf("X-Tenant = %q", got)
+		}
+		var req queryRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("bad body: %v", err)
+		}
+		if req.Query != `//book` || req.Tenant != "alice" {
+			t.Errorf("request = %+v", req)
+		}
+		select {
+		case seenDocs <- req.Doc:
+		default:
+		}
+		w.Write([]byte(`{"items":[],"count":0}`))
+	}))
+	defer srv.Close()
+
+	targets := []string{"a.xml", "b.xml"}
+	client := srv.Client()
+	endpoint := srv.URL + "/query"
+	req := func(ctx context.Context, seq int) error {
+		body := strings.NewReader(`{"doc":"` + targets[seq%len(targets)] + `","query":"//book","tenant":"alice"}`)
+		hreq, _ := http.NewRequestWithContext(ctx, http.MethodPost, endpoint, body)
+		hreq.Header.Set("X-Tenant", "alice")
+		resp, err := client.Do(hreq)
+		if err != nil {
+			return err
+		}
+		resp.Body.Close()
+		return nil
+	}
+	rep := load.Run(context.Background(), load.Options{Concurrency: 2, Duration: 80 * time.Millisecond}, req)
+	if rep.Requests == 0 || hits.Load() == 0 {
+		t.Fatalf("no traffic reached the server: %+v", rep)
+	}
+	docs := map[string]bool{}
+	for len(seenDocs) > 0 {
+		docs[<-seenDocs] = true
+	}
+	if !docs["a.xml"] || !docs["b.xml"] {
+		t.Fatalf("document rotation incomplete: %v", docs)
+	}
+}
+
+// TestXqloadReportJSON: the human report is valid JSON with the fields
+// the CI smoke greps for.
+func TestXqloadReportJSON(t *testing.T) {
+	rep := load.Report{
+		Mode: load.Closed, Concurrency: 2, Requests: 10,
+		Throughput: 123.4, P50: time.Millisecond, P99: 2 * time.Millisecond,
+	}
+	out, err := rep.MarshalHuman()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal(out, &parsed); err != nil {
+		t.Fatalf("report not JSON: %v\n%s", err, out)
+	}
+	for _, field := range []string{"throughput_rps", "p50_ms", "p99_ms", "requests", "mode"} {
+		if _, ok := parsed[field]; !ok {
+			t.Fatalf("report missing %q:\n%s", field, out)
+		}
+	}
+}

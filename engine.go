@@ -48,6 +48,9 @@ var (
 	// ErrInvalidQuery wraps compilation failures in the submitted query
 	// text (a client mistake, not an engine fault).
 	ErrInvalidQuery = engine.ErrInvalidQuery
+	// ErrTenantQuota reports that one tenant's in-flight queries reached
+	// EngineConfig.TenantQuota; other tenants keep being admitted.
+	ErrTenantQuota = engine.ErrTenantQuota
 )
 
 // NewEngine creates a concurrent query service.
@@ -85,6 +88,23 @@ func (e *Engine) Close(name string) error { return e.inner.Close(name) }
 
 // Docs lists the registered documents, sorted by name.
 func (e *Engine) Docs() []DocInfo { return e.inner.Docs() }
+
+// Generation reports the named document's current generation number.
+func (e *Engine) Generation(name string) (uint64, error) {
+	_, _, gen, err := e.inner.Snapshot(name)
+	return gen, err
+}
+
+// DocXML serializes the named document's current snapshot and reports
+// the generation it captures — the transfer format cluster routers use
+// to migrate a document between shards.
+func (e *Engine) DocXML(name string) (string, uint64, error) {
+	st, _, gen, err := e.inner.Snapshot(name)
+	if err != nil {
+		return "", 0, err
+	}
+	return st.XMLString(st.Root()), gen, nil
+}
 
 // Stats snapshots the engine counters.
 func (e *Engine) Stats() EngineStats { return e.inner.Stats() }

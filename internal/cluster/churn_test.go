@@ -1,0 +1,252 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"xqp"
+)
+
+// recordingShard wraps a Shard and logs every write-acked generation
+// per document, in commit order. Router writes and migrations hold the
+// document's write lock across the underlying call, so the log order
+// for one (shard, doc) pair IS the commit order.
+type recordingShard struct {
+	Shard
+	mu   sync.Mutex
+	gens map[string][]uint64 // doc → generations in commit order
+}
+
+func newRecordingShard(s Shard) *recordingShard {
+	return &recordingShard{Shard: s, gens: map[string][]uint64{}}
+}
+
+func (s *recordingShard) record(doc string, gen uint64) {
+	s.mu.Lock()
+	s.gens[doc] = append(s.gens[doc], gen)
+	s.mu.Unlock()
+}
+
+func (s *recordingShard) Register(doc, xml string) (uint64, error) {
+	gen, err := s.Shard.Register(doc, xml)
+	if err == nil {
+		s.record(doc, gen)
+	}
+	return gen, err
+}
+
+func (s *recordingShard) Append(doc, xml string) (*xqp.ApplyResult, error) {
+	res, err := s.Shard.Append(doc, xml)
+	if err == nil {
+		s.record(doc, res.Generation)
+	}
+	return res, err
+}
+
+func (s *recordingShard) Apply(doc string, muts []xqp.Mutation) (*xqp.ApplyResult, error) {
+	res, err := s.Shard.Apply(doc, muts)
+	if err == nil {
+		s.record(doc, res.Generation)
+	}
+	return res, err
+}
+
+// TestRouterChurnHammer runs concurrent queries, appends, mutation
+// batches, document re-registration, and shard membership churn against
+// one router, then asserts the invariants that make the cluster safe to
+// operate live:
+//
+//   - no reader ever observes a stale generation (StaleReads == 0);
+//   - every write-acked generation stream is gapless: per (shard, doc)
+//     the committed generations step by exactly +1, across migrations
+//     and re-registrations (the engine's lastGen continuation);
+//   - after the dust settles, every document answers from its current
+//     owner with the result of all its committed writes.
+//
+// Run it under -race: the interleavings are the point.
+func TestRouterChurnHammer(t *testing.T) {
+	mkShard := func(name string) *recordingShard {
+		return newRecordingShard(NewLocalShard(name, xqp.NewEngine(xqp.EngineConfig{MaxConcurrent: 16})))
+	}
+	rt := New(Config{Replicas: 2})
+	recorders := map[string]*recordingShard{}
+	for _, name := range []string{"s1", "s2", "s3"} {
+		sh := mkShard(name)
+		recorders[name] = sh
+		if err := rt.AddShard(sh); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ctx := context.Background()
+	const nDocs = 8
+	docName := func(i int) string { return fmt.Sprintf("churn-%d.xml", i) }
+	for i := 0; i < nDocs; i++ {
+		if err := rt.Register(docName(i), `<log><e n="0"/></log>`); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// flux.xml gets closed and re-registered mid-flight; readers treat
+	// ErrUnknownDocument on it as expected.
+	const fluxDoc = "flux.xml"
+	if err := rt.Register(fluxDoc, `<log><e n="0"/></log>`); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	fail := make(chan error, 64)
+	report := func(err error) {
+		select {
+		case fail <- err:
+		default:
+		}
+	}
+
+	// Readers: stable docs must always answer; flux.xml may be between
+	// close and re-register.
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 150; i++ {
+				doc := docName((w + i) % nDocs)
+				if i%5 == 0 {
+					doc = fluxDoc
+				}
+				_, err := rt.Query(ctx, doc, `/log/e`, xqp.EngineQueryOptions{})
+				if err != nil && !(doc == fluxDoc && errors.Is(err, xqp.ErrUnknownDocument)) {
+					report(fmt.Errorf("reader %d doc %s: %w", w, doc, err))
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Writers: appends and mutation batches on the stable docs.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 60; i++ {
+				doc := docName((w*3 + i) % nDocs)
+				var err error
+				if i%2 == 0 {
+					_, err = rt.Append(doc, fmt.Sprintf(`<e n="%d-%d"/>`, w, i))
+				} else {
+					_, err = rt.Apply(doc, []xqp.Mutation{{Op: xqp.MutationInsert, Path: "/", XML: fmt.Sprintf(`<m n="%d-%d"/>`, w, i)}})
+				}
+				if err != nil {
+					report(fmt.Errorf("writer %d doc %s: %w", w, doc, err))
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Membership churner: s4 joins and leaves repeatedly; every join and
+	// leave migrates the documents whose ownership moves.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			sh := mkShard("s4")
+			if err := rt.AddShard(sh); err != nil {
+				report(fmt.Errorf("churner add: %w", err))
+				return
+			}
+			if err := rt.RemoveShard("s4"); err != nil {
+				report(fmt.Errorf("churner remove: %w", err))
+				return
+			}
+		}
+	}()
+
+	// Re-registration churner: flux.xml is dropped and recreated.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			if err := rt.CloseDoc(fluxDoc); err != nil {
+				report(fmt.Errorf("flux close: %w", err))
+				return
+			}
+			if err := rt.Register(fluxDoc, fmt.Sprintf(`<log><e n="round-%d"/></log>`, i)); err != nil {
+				report(fmt.Errorf("flux register: %w", err))
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(fail)
+	for err := range fail {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	s := rt.Stats()
+	if s.StaleReads != 0 {
+		t.Fatalf("StaleReads = %d: a replica served a snapshot older than a write it acked", s.StaleReads)
+	}
+	if s.MigrateErrors != 0 {
+		t.Fatalf("MigrateErrors = %d", s.MigrateErrors)
+	}
+
+	// Gapless generation streams: per (shard, doc), commits step by
+	// exactly +1 — across writes, migrations, and re-registrations.
+	for name, rec := range recorders {
+		rec.mu.Lock()
+		for doc, gens := range rec.gens {
+			for i := 1; i < len(gens); i++ {
+				if gens[i] != gens[i-1]+1 {
+					t.Errorf("shard %s doc %s: generation gap %d→%d at commit %d (stream %v)",
+						name, doc, gens[i-1], gens[i], i, gens)
+					break
+				}
+			}
+		}
+		rec.mu.Unlock()
+	}
+
+	// Settled state: every stable doc answers from its owner and both
+	// replicas agree on content (no shard serves a forgotten copy).
+	for i := 0; i < nDocs; i++ {
+		doc := docName(i)
+		res, err := rt.Query(ctx, doc, `count(/log/e) + count(/log/m)`, xqp.EngineQueryOptions{})
+		if err != nil {
+			t.Fatalf("settled query %s: %v", doc, err)
+		}
+		replicas := rt.ReplicasFor(doc)
+		inSet := false
+		for _, r := range replicas {
+			if res.Shard == r {
+				inSet = true
+			}
+		}
+		if !inSet {
+			t.Fatalf("settled doc %s answered by %s, replica set %v", doc, res.Shard, replicas)
+		}
+		var contents []string
+		for name, rec := range recorders {
+			lr, err := rec.Shard.(*LocalShard).Engine().Query(ctx, doc, `count(/log/e) + count(/log/m)`)
+			if err != nil {
+				if errors.Is(err, xqp.ErrUnknownDocument) {
+					continue
+				}
+				t.Fatalf("settled direct query %s on %s: %v", doc, name, err)
+			}
+			contents = append(contents, lr.XMLItems()[0])
+		}
+		if len(contents) != 2 {
+			t.Fatalf("settled doc %s held by %d shards, want 2 (Replicas)", doc, len(contents))
+		}
+		if contents[0] != contents[1] {
+			t.Fatalf("settled doc %s replica contents diverge: %v", doc, contents)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// FuzzShardRing drives the consistent-hash ring with arbitrary shard
+// sets, keys, and vnode counts, asserting the exact invariants the
+// router depends on (never statistical properties, which would flake):
+//
+//  1. totality: a non-empty ring owns every key;
+//  2. determinism: ownership is independent of shard insertion order;
+//  3. replica sanity: Owners(key, n) is distinct, starts at Owner(key),
+//     and has min(n, shards) entries;
+//  4. minimal disruption: adding a shard moves keys only TO it,
+//     removing a shard moves only the keys it owned;
+//  5. immutability: Add/Remove never mutate the receiver.
+func FuzzShardRing(f *testing.F) {
+	f.Add("s1,s2,s3", "doc-1.xml|doc-2.xml|auction.xml", uint8(8), "s4")
+	f.Add("a", "k", uint8(1), "b")
+	f.Add("shard-x,shard-y", "", uint8(64), "shard-x")     // re-add existing
+	f.Add("n1,n2,n3,n4,n5", "a|b|c|d|e|f|g", uint8(3), "") // empty add name
+	f.Add(",,", "orphan", uint8(2), "s")                   // only empty shard names
+	f.Add("s1,s1,s1,s2", "dup|dup|other", uint8(5), "s2")  // duplicates everywhere
+
+	f.Fuzz(func(t *testing.T, shardCSV, keyPSV string, vnodes uint8, extra string) {
+		shards := strings.Split(shardCSV, ",")
+		keys := strings.Split(keyPSV, "|")
+		if len(shards) > 12 {
+			shards = shards[:12]
+		}
+		if len(keys) > 64 {
+			keys = keys[:64]
+		}
+		vn := int(vnodes%32) + 1
+
+		r := NewRing(shards, vn)
+
+		// (2) determinism: rebuild with reversed insertion order.
+		rev := make([]string, len(shards))
+		for i, s := range shards {
+			rev[len(shards)-1-i] = s
+		}
+		r2 := NewRing(rev, vn)
+		for _, k := range keys {
+			if r.Owner(k) != r2.Owner(k) {
+				t.Fatalf("owner of %q order-dependent: %q vs %q", k, r.Owner(k), r2.Owner(k))
+			}
+		}
+
+		nodes := r.Nodes()
+		nodeSet := map[string]bool{}
+		for i, n := range nodes {
+			if n == "" {
+				t.Fatal("empty shard name on ring")
+			}
+			if nodeSet[n] {
+				t.Fatalf("duplicate shard %q on ring", n)
+			}
+			nodeSet[n] = true
+			if i > 0 && nodes[i-1] >= n {
+				t.Fatalf("Nodes() not sorted: %v", nodes)
+			}
+		}
+
+		for _, k := range keys {
+			owner := r.Owner(k)
+			if len(nodes) == 0 {
+				if owner != "" {
+					t.Fatalf("empty ring owns %q via %q", k, owner)
+				}
+				continue
+			}
+			// (1) totality.
+			if !nodeSet[owner] {
+				t.Fatalf("owner %q of %q not a ring member %v", owner, k, nodes)
+			}
+			// (3) replica sanity at every feasible n.
+			for n := 1; n <= len(nodes)+1; n++ {
+				owners := r.Owners(k, n)
+				wantLen := n
+				if wantLen > len(nodes) {
+					wantLen = len(nodes)
+				}
+				if len(owners) != wantLen {
+					t.Fatalf("Owners(%q, %d) = %v, want %d shards", k, n, owners, wantLen)
+				}
+				if owners[0] != owner {
+					t.Fatalf("Owners(%q)[0] = %q, Owner = %q", k, owners[0], owner)
+				}
+				seen := map[string]bool{}
+				for _, o := range owners {
+					if seen[o] {
+						t.Fatalf("Owners(%q, %d) repeats %q: %v", k, n, o, owners)
+					}
+					seen[o] = true
+				}
+			}
+		}
+
+		// (4)+(5) membership-change invariants, via the fuzzed extra name.
+		beforeOwners := make(map[string]string, len(keys))
+		for _, k := range keys {
+			beforeOwners[k] = r.Owner(k)
+		}
+		added := r.Add(extra)
+		for _, k := range keys {
+			if got := r.Owner(k); got != beforeOwners[k] {
+				t.Fatalf("Add mutated receiver: %q owner %q→%q", k, beforeOwners[k], got)
+			}
+			oa := added.Owner(k)
+			if extra == "" || nodeSet[extra] {
+				// No-op add: ownership must be identical.
+				if oa != beforeOwners[k] {
+					t.Fatalf("no-op Add(%q) moved %q: %q→%q", extra, k, beforeOwners[k], oa)
+				}
+				continue
+			}
+			if oa != beforeOwners[k] && oa != extra {
+				t.Fatalf("Add(%q) moved %q %q→%q: moves must target the new shard", extra, k, beforeOwners[k], oa)
+			}
+		}
+		if len(nodes) > 0 {
+			victim := nodes[int(vnodes)%len(nodes)]
+			removed := r.Remove(victim)
+			for _, k := range keys {
+				or := removed.Owner(k)
+				if beforeOwners[k] != victim && or != beforeOwners[k] {
+					t.Fatalf("Remove(%q) moved %q %q→%q though the victim never owned it", victim, k, beforeOwners[k], or)
+				}
+				if or == victim {
+					t.Fatalf("Remove(%q) left %q mapped to the removed shard", victim, k)
+				}
+			}
+		}
+
+		// Round-trip: Add then Remove of a fresh shard restores ownership.
+		fresh := fmt.Sprintf("fuzz-fresh-%d", vnodes)
+		if !nodeSet[fresh] {
+			rt := r.Add(fresh).Remove(fresh)
+			for _, k := range keys {
+				if rt.Owner(k) != beforeOwners[k] {
+					t.Fatalf("Add+Remove(%q) not identity for %q: %q→%q", fresh, k, beforeOwners[k], rt.Owner(k))
+				}
+			}
+		}
+	})
+}

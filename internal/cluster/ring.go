@@ -1,0 +1,180 @@
+// Package cluster scales the engine out: a consistent-hash ring shards
+// the document catalog across N engine instances, a versioned shard map
+// tracks membership changes, and a Router fans queries out to owning
+// shards — routed single-document reads with generation-consistent
+// replica selection, federated multi-document queries merged in
+// document order, and writes replicated to every copy of a document.
+//
+// The ring is the RadegastXDB-style step from a matcher prototype to a
+// service: document placement is a pure function of (document name,
+// shard set), so any router instance with the same shard map agrees on
+// ownership without coordination, and membership changes move only the
+// minimal K/N fraction of documents.
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// DefaultVirtualNodes is the per-shard virtual-node count when a Ring
+// is built with vnodes <= 0. 128 points per shard keeps the expected
+// per-shard load within a few percent of uniform for small clusters.
+const DefaultVirtualNodes = 128
+
+// ringPoint is one virtual node: the hash of "shard\x00index" mapped
+// onto the 64-bit ring.
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// Ring is an immutable consistent-hash ring over named shards. A key
+// is owned by the shard whose virtual node is the first at or after
+// the key's hash, wrapping at the top of the 64-bit space.
+type Ring struct {
+	nodes  []string // sorted, distinct
+	vnodes int
+	points []ringPoint // sorted by (hash, node)
+}
+
+// NewRing builds a ring over the given shard names (duplicates are
+// collapsed, order is irrelevant) with the given number of virtual
+// nodes per shard (<= 0 selects DefaultVirtualNodes).
+func NewRing(nodes []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	seen := make(map[string]bool, len(nodes))
+	distinct := make([]string, 0, len(nodes))
+	for _, n := range nodes {
+		if n != "" && !seen[n] {
+			seen[n] = true
+			distinct = append(distinct, n)
+		}
+	}
+	sort.Strings(distinct)
+	r := &Ring{nodes: distinct, vnodes: vnodes, points: make([]ringPoint, 0, len(distinct)*vnodes)}
+	for _, n := range distinct {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{hash: hashKey(n + "\x00" + strconv.Itoa(i)), node: n})
+		}
+	}
+	// Ties (identical hashes from different shards) break by node name,
+	// so ownership is deterministic regardless of insertion order.
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// hashKey is FNV-1a over the key bytes: stable across processes and
+// dependency-free, which is what a shard map shared by many routers
+// needs more than cryptographic strength.
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// Nodes returns the shard names on the ring, sorted.
+func (r *Ring) Nodes() []string {
+	out := make([]string, len(r.nodes))
+	copy(out, r.nodes)
+	return out
+}
+
+// Len reports the number of shards.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Owner returns the shard owning key, or "" on an empty ring.
+func (r *Ring) Owner(key string) string {
+	owners := r.Owners(key, 1)
+	if len(owners) == 0 {
+		return ""
+	}
+	return owners[0]
+}
+
+// Owners returns up to n distinct shards for key in ring order: the
+// owner first, then the successor shards that act as its replicas.
+func (r *Ring) Owners(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	h := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for range r.points {
+		p := r.points[i%len(r.points)]
+		i++
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+			if len(out) == n {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Add returns a new ring with node added (a no-op copy if present).
+func (r *Ring) Add(node string) *Ring {
+	return NewRing(append(r.Nodes(), node), r.vnodes)
+}
+
+// Remove returns a new ring without node (a no-op copy if absent).
+func (r *Ring) Remove(node string) *Ring {
+	kept := make([]string, 0, len(r.nodes))
+	for _, n := range r.nodes {
+		if n != node {
+			kept = append(kept, n)
+		}
+	}
+	return NewRing(kept, r.vnodes)
+}
+
+// Map is a versioned shard map: an immutable ring plus a version
+// number bumped on every membership change. Routers compare versions
+// to detect that ownership moved under them; the values themselves are
+// immutable, so a map can be read without locks once obtained.
+type Map struct {
+	version uint64
+	ring    *Ring
+}
+
+// NewMap builds version 1 of a shard map over the given shards.
+func NewMap(nodes []string, vnodes int) *Map {
+	return &Map{version: 1, ring: NewRing(nodes, vnodes)}
+}
+
+// Version reports the map's version (bumped on every change).
+func (m *Map) Version() uint64 { return m.version }
+
+// Nodes lists the member shards, sorted.
+func (m *Map) Nodes() []string { return m.ring.Nodes() }
+
+// Owner returns the shard owning doc, or "" with no shards.
+func (m *Map) Owner(doc string) string { return m.ring.Owner(doc) }
+
+// Replicas returns the owner plus up to n-1 replica shards for doc.
+func (m *Map) Replicas(doc string, n int) []string { return m.ring.Owners(doc, n) }
+
+// WithNode returns the next map version including node.
+func (m *Map) WithNode(node string) *Map {
+	return &Map{version: m.version + 1, ring: m.ring.Add(node)}
+}
+
+// WithoutNode returns the next map version excluding node.
+func (m *Map) WithoutNode(node string) *Map {
+	return &Map{version: m.version + 1, ring: m.ring.Remove(node)}
+}

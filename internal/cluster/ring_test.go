@@ -1,0 +1,157 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("doc-%04d.xml", i)
+	}
+	return keys
+}
+
+// TestRingDeterministic: ownership is a pure function of (key, shard
+// set) — input order and construction path must not matter.
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing([]string{"s1", "s2", "s3"}, 64)
+	b := NewRing([]string{"s3", "s1", "s2", "s1"}, 64) // shuffled + duplicate
+	c := NewRing([]string{"s1"}, 64).Add("s3").Add("s2")
+	for _, key := range testKeys(500) {
+		if a.Owner(key) != b.Owner(key) || a.Owner(key) != c.Owner(key) {
+			t.Fatalf("owner of %q differs across identical rings: %q %q %q",
+				key, a.Owner(key), b.Owner(key), c.Owner(key))
+		}
+	}
+}
+
+// TestRingEmptyAndSingle: boundary shard counts.
+func TestRingEmptyAndSingle(t *testing.T) {
+	empty := NewRing(nil, 0)
+	if got := empty.Owner("x"); got != "" {
+		t.Fatalf("empty ring owner = %q, want \"\"", got)
+	}
+	if got := empty.Owners("x", 3); got != nil {
+		t.Fatalf("empty ring owners = %v, want nil", got)
+	}
+	one := NewRing([]string{"only"}, 0)
+	for _, key := range testKeys(50) {
+		if got := one.Owner(key); got != "only" {
+			t.Fatalf("single-shard ring owner = %q", got)
+		}
+	}
+	if got := one.Owners("x", 3); len(got) != 1 {
+		t.Fatalf("single-shard Owners(3) = %v, want 1 shard", got)
+	}
+}
+
+// TestRingBalance: with DefaultVirtualNodes, a 3-shard ring spreads a
+// large key population within a loose factor of uniform. The bound is
+// deliberately slack (2x) — this guards against gross placement bugs
+// (all keys on one shard), not statistical perfection.
+func TestRingBalance(t *testing.T) {
+	r := NewRing([]string{"s1", "s2", "s3"}, 0)
+	counts := map[string]int{}
+	keys := testKeys(9000)
+	for _, key := range keys {
+		counts[r.Owner(key)]++
+	}
+	want := len(keys) / r.Len()
+	for shard, n := range counts {
+		if n < want/2 || n > want*2 {
+			t.Fatalf("shard %s owns %d of %d keys (uniform share %d): imbalance beyond 2x", shard, n, len(keys), want)
+		}
+	}
+	if len(counts) != 3 {
+		t.Fatalf("only %d shards own keys, want 3", len(counts))
+	}
+}
+
+// TestRingMinimalDisruptionAdd: adding a shard moves only the keys the
+// new shard takes over; every other key keeps its owner.
+func TestRingMinimalDisruptionAdd(t *testing.T) {
+	before := NewRing([]string{"s1", "s2", "s3"}, 0)
+	after := before.Add("s4")
+	keys := testKeys(4000)
+	moved := 0
+	for _, key := range keys {
+		ob, oa := before.Owner(key), after.Owner(key)
+		if ob == oa {
+			continue
+		}
+		if oa != "s4" {
+			t.Fatalf("key %q moved %s→%s on Add(s4): only moves TO the new shard are legal", key, ob, oa)
+		}
+		moved++
+	}
+	if moved == 0 {
+		t.Fatal("no keys moved to the new shard (vnode placement broken)")
+	}
+	// Expected transfer is ~1/4 of the keyspace; 2x slack again.
+	if max := len(keys) / 2; moved > max {
+		t.Fatalf("%d of %d keys moved on Add (expected ~%d): disruption not minimal", moved, len(keys), len(keys)/4)
+	}
+}
+
+// TestRingMinimalDisruptionRemove: removing a shard moves only the
+// keys it owned.
+func TestRingMinimalDisruptionRemove(t *testing.T) {
+	before := NewRing([]string{"s1", "s2", "s3", "s4"}, 0)
+	after := before.Remove("s4")
+	for _, key := range testKeys(4000) {
+		ob, oa := before.Owner(key), after.Owner(key)
+		if ob != "s4" && ob != oa {
+			t.Fatalf("key %q moved %s→%s on Remove(s4) though s4 never owned it", key, ob, oa)
+		}
+		if ob == "s4" && (oa == "s4" || oa == "") {
+			t.Fatalf("key %q still maps to removed shard (owner %q)", key, oa)
+		}
+	}
+}
+
+// TestRingOwners: the replica list starts with the owner, holds
+// distinct shards, and is capped by the shard count.
+func TestRingOwners(t *testing.T) {
+	r := NewRing([]string{"s1", "s2", "s3"}, 0)
+	for _, key := range testKeys(200) {
+		owners := r.Owners(key, 2)
+		if len(owners) != 2 {
+			t.Fatalf("Owners(%q, 2) = %v", key, owners)
+		}
+		if owners[0] != r.Owner(key) {
+			t.Fatalf("Owners(%q)[0] = %q, Owner = %q", key, owners[0], r.Owner(key))
+		}
+		if owners[0] == owners[1] {
+			t.Fatalf("Owners(%q) repeats %q", key, owners[0])
+		}
+		if got := r.Owners(key, 10); len(got) != 3 {
+			t.Fatalf("Owners(%q, 10) = %v, want all 3 shards", key, got)
+		}
+	}
+}
+
+// TestMapVersioning: membership changes bump the version; the ring
+// they wrap follows Add/Remove semantics.
+func TestMapVersioning(t *testing.T) {
+	m := NewMap([]string{"s1"}, 0)
+	if m.Version() != 1 {
+		t.Fatalf("initial version = %d, want 1", m.Version())
+	}
+	m2 := m.WithNode("s2")
+	m3 := m2.WithoutNode("s1")
+	if m2.Version() != 2 || m3.Version() != 3 {
+		t.Fatalf("versions = %d, %d, want 2, 3", m2.Version(), m3.Version())
+	}
+	if got := m.Owner("doc"); got != "s1" {
+		t.Fatalf("v1 owner = %q", got)
+	}
+	if got := m3.Nodes(); len(got) != 1 || got[0] != "s2" {
+		t.Fatalf("v3 nodes = %v, want [s2]", got)
+	}
+	// The original map is untouched (immutability).
+	if got := m.Nodes(); len(got) != 1 || got[0] != "s1" {
+		t.Fatalf("v1 mutated: nodes = %v", got)
+	}
+}

@@ -1,0 +1,682 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xqp"
+)
+
+// PartialPolicy decides what a federated query does when one of its
+// documents cannot be answered.
+type PartialPolicy int
+
+const (
+	// PartialFail fails the whole federated query on the first
+	// unanswerable document (the default: correctness over coverage).
+	PartialFail PartialPolicy = iota
+	// PartialDegrade answers from the reachable documents and reports
+	// the failed ones in FanResult.Degraded, tallied in the router
+	// metrics — coverage over completeness, explicitly accounted.
+	PartialDegrade
+)
+
+// Config sizes a Router; the zero value gives one copy per document,
+// default virtual nodes, and a fan-out of 8.
+type Config struct {
+	// Replicas is the number of copies per document including the owner
+	// (default 1: no replication). Hot catalogs set 2–3 so reads spread
+	// over the replica set with generation-consistent fallbacks.
+	Replicas int
+	// VirtualNodes per shard on the hash ring (default
+	// DefaultVirtualNodes).
+	VirtualNodes int
+	// MaxFanOut bounds concurrently outstanding shard requests within
+	// one federated query (default 8).
+	MaxFanOut int
+	// ShardTimeout caps each per-shard request inside a federated query
+	// (0: inherit the caller's deadline unchanged). The caller's
+	// context deadline always propagates; this only tightens it.
+	ShardTimeout time.Duration
+	// Partial selects the federated partial-failure policy.
+	Partial PartialPolicy
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replicas <= 0 {
+		c.Replicas = 1
+	}
+	if c.MaxFanOut <= 0 {
+		c.MaxFanOut = 8
+	}
+	return c
+}
+
+// docState is the router's per-document bookkeeping: a write lock
+// serializing replicated writes and migrations, the write-acked
+// generation floor per holding shard (the generation-consistency
+// invariant: a read from shard S must come back ≥ acked[S]), and a
+// round-robin cursor spreading reads over the replica set.
+type docState struct {
+	mu    sync.Mutex
+	acked map[string]uint64 // shard → highest write-acked generation; guarded by mu
+	rr    atomic.Uint32
+}
+
+func (ds *docState) ackedGen(shard string) uint64 {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	return ds.acked[shard]
+}
+
+func (ds *docState) holders() []string {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	out := make([]string, 0, len(ds.acked))
+	for s := range ds.acked {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Router owns a shard map and a set of shard backends and routes the
+// engine API across them: single-document queries go to a replica of
+// the owning shard, federated queries fan out and merge, writes go to
+// every copy, and membership changes migrate exactly the documents
+// whose ownership moved. All methods are safe for concurrent use.
+//
+// Lock order: Router.mu before docState.mu is never required (the
+// router snapshots map+shards under RLock, releases, then takes the
+// doc lock); docState.mu is held across a whole replicated write or
+// migration so per-document write history stays totally ordered.
+type Router struct {
+	cfg    Config
+	mu     sync.RWMutex
+	smap   *Map                 // guarded by mu (the *pointer*; Maps are immutable)
+	shards map[string]Shard     // guarded by mu
+	docs   map[string]*docState // guarded by mu
+	met    routerMetrics
+}
+
+// New builds an empty router; add shards with AddShard.
+func New(cfg Config) *Router {
+	cfg = cfg.withDefaults()
+	return &Router{
+		cfg:    cfg,
+		smap:   NewMap(nil, cfg.VirtualNodes),
+		shards: map[string]Shard{},
+		docs:   map[string]*docState{},
+	}
+}
+
+// snapshot returns the current map and backend set without holding the
+// lock afterwards (both are immutable / copied).
+func (rt *Router) snapshot() (*Map, map[string]Shard) {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	shards := make(map[string]Shard, len(rt.shards))
+	for n, s := range rt.shards {
+		shards[n] = s
+	}
+	return rt.smap, shards
+}
+
+func (rt *Router) docState(doc string) *docState {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	ds, ok := rt.docs[doc]
+	if !ok {
+		ds = &docState{acked: map[string]uint64{}}
+		rt.docs[doc] = ds
+	}
+	return ds
+}
+
+func (rt *Router) lookupDocState(doc string) *docState {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.docs[doc]
+}
+
+// MapVersion reports the current shard-map version.
+func (rt *Router) MapVersion() uint64 {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.smap.Version()
+}
+
+// ShardNames lists the member shards, sorted.
+func (rt *Router) ShardNames() []string {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.smap.Nodes()
+}
+
+// Owner reports the shard currently owning doc ("" with no shards).
+func (rt *Router) Owner(doc string) string {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.smap.Owner(doc)
+}
+
+// ReplicasFor reports the shards that should hold doc under the
+// current map: the owner first, then its replicas.
+func (rt *Router) ReplicasFor(doc string) []string {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.smap.Replicas(doc, rt.cfg.Replicas)
+}
+
+// AddShard adds a backend to the cluster, bumps the shard map version,
+// and migrates every document whose replica set now includes the new
+// shard (fetch from a current holder, register on the new one).
+func (rt *Router) AddShard(s Shard) error {
+	rt.mu.Lock()
+	if _, dup := rt.shards[s.Name()]; dup {
+		rt.mu.Unlock()
+		return fmt.Errorf("cluster: shard %q already present", s.Name())
+	}
+	rt.shards[s.Name()] = s
+	rt.smap = rt.smap.WithNode(s.Name())
+	docs := rt.docNamesLocked()
+	rt.mu.Unlock()
+	rt.rebalance(docs)
+	return nil
+}
+
+// RemoveShard removes a backend: the map version bumps first (so new
+// reads route around it), documents it held migrate to their new
+// owners (the leaving shard stays reachable as a fetch source until
+// migration completes), and only then is the backend dropped.
+func (rt *Router) RemoveShard(name string) error {
+	rt.mu.Lock()
+	if _, ok := rt.shards[name]; !ok {
+		rt.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownShard, name)
+	}
+	rt.smap = rt.smap.WithoutNode(name)
+	docs := rt.docNamesLocked()
+	rt.mu.Unlock()
+	rt.rebalance(docs)
+	rt.mu.Lock()
+	delete(rt.shards, name)
+	rt.mu.Unlock()
+	return nil
+}
+
+func (rt *Router) docNamesLocked() []string {
+	out := make([]string, 0, len(rt.docs))
+	for d := range rt.docs {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// rebalance reconciles each document's holder set with the current
+// map: copies the document to shards that should now hold it and drops
+// it from shards that no longer should. Each document reconciles under
+// its own write lock, so writes racing a membership change serialize
+// with its migration instead of landing on a half-moved replica set.
+func (rt *Router) rebalance(docs []string) {
+	for _, doc := range docs {
+		ds := rt.docState(doc)
+		ds.mu.Lock()
+		rt.reconcileLocked(doc, ds)
+		ds.mu.Unlock()
+	}
+}
+
+// reconcileLocked brings doc's holder set in line with the current
+// map. Caller holds ds.mu.
+func (rt *Router) reconcileLocked(doc string, ds *docState) {
+	if len(ds.acked) == 0 {
+		return // never written through this router; nothing to move
+	}
+	smap, shards := rt.snapshot()
+	targets := smap.Replicas(doc, rt.cfg.Replicas)
+	want := make(map[string]bool, len(targets))
+	for _, t := range targets {
+		want[t] = true
+	}
+	// Pick a fetch source among current holders, preferring one that
+	// stays in the target set (cheapest: no copy needed from it).
+	var source string
+	for s := range ds.acked {
+		if shards[s] != nil {
+			source = s
+			break
+		}
+	}
+	var xml string
+	var fetched bool
+	for _, t := range targets {
+		if _, has := ds.acked[t]; has {
+			continue
+		}
+		sh := shards[t]
+		if sh == nil || source == "" {
+			continue
+		}
+		if !fetched {
+			var err error
+			xml, _, err = shards[source].Fetch(doc)
+			if err != nil {
+				rt.met.migrateErrors.Add(1)
+				return // keep the old placement; a later bump retries
+			}
+			fetched = true
+		}
+		gen, err := sh.Register(doc, xml)
+		if err != nil {
+			rt.met.migrateErrors.Add(1)
+			continue
+		}
+		ds.acked[t] = gen
+		rt.met.migratedDocs.Add(1)
+	}
+	// Drop copies that are no longer wanted — only after every target
+	// holds the document, so reads always have a consistent holder.
+	for s := range ds.acked {
+		if want[s] {
+			continue
+		}
+		covered := true
+		for _, t := range targets {
+			if _, has := ds.acked[t]; !has {
+				covered = false
+				break
+			}
+		}
+		if !covered {
+			continue
+		}
+		if sh := shards[s]; sh != nil {
+			if err := sh.CloseDoc(doc); err != nil {
+				rt.met.migrateErrors.Add(1)
+			}
+		}
+		delete(ds.acked, s)
+	}
+}
+
+// Register creates or replaces doc on its owner and every replica.
+func (rt *Router) Register(doc, xml string) error {
+	_, err := rt.write(doc, func(sh Shard) (uint64, error) {
+		return sh.Register(doc, xml)
+	})
+	return err
+}
+
+// Append commits XML fragments to doc on every copy; the returned
+// ApplyResult is the owner's.
+func (rt *Router) Append(doc, xml string) (*xqp.ApplyResult, error) {
+	var first *xqp.ApplyResult
+	_, err := rt.write(doc, func(sh Shard) (uint64, error) {
+		res, err := sh.Append(doc, xml)
+		if err != nil {
+			return 0, err
+		}
+		if first == nil {
+			first = res
+		}
+		return res.Generation, nil
+	})
+	return first, err
+}
+
+// Apply commits a mutation batch to doc on every copy; the returned
+// ApplyResult is the owner's.
+func (rt *Router) Apply(doc string, muts []xqp.Mutation) (*xqp.ApplyResult, error) {
+	var first *xqp.ApplyResult
+	_, err := rt.write(doc, func(sh Shard) (uint64, error) {
+		res, err := sh.Apply(doc, muts)
+		if err != nil {
+			return 0, err
+		}
+		if first == nil {
+			first = res
+		}
+		return res.Generation, nil
+	})
+	return first, err
+}
+
+// CloseDoc drops doc from every shard holding it.
+func (rt *Router) CloseDoc(doc string) error {
+	ds := rt.docState(doc)
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	_, shards := rt.snapshot()
+	var firstErr error
+	for _, name := range ds.holdersLocked() {
+		sh := shards[name]
+		if sh == nil {
+			continue
+		}
+		if err := sh.CloseDoc(doc); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		delete(ds.acked, name)
+	}
+	rt.mu.Lock()
+	delete(rt.docs, doc)
+	rt.mu.Unlock()
+	return firstErr
+}
+
+func (ds *docState) holdersLocked() []string {
+	out := make([]string, 0, len(ds.acked))
+	for s := range ds.acked {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// write performs one replicated write: owner first, then each replica,
+// under the document's write lock so per-shard generation streams stay
+// gapless and totally ordered. The write fails on the first failing
+// copy (already-written copies keep the new generation; their acked
+// floors reflect it, so reads never regress).
+func (rt *Router) write(doc string, f func(sh Shard) (uint64, error)) ([]string, error) {
+	rt.met.writes.Add(1)
+	ds := rt.docState(doc)
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	smap, shards := rt.snapshot()
+	targets := smap.Replicas(doc, rt.cfg.Replicas)
+	if len(targets) == 0 {
+		rt.met.writeErrors.Add(1)
+		return nil, ErrNoShards
+	}
+	// A membership bump may have re-targeted this document before its
+	// migration ran; reconcile first so every target holds the current
+	// snapshot the write applies on top of.
+	for _, name := range targets {
+		if _, holds := ds.acked[name]; !holds && len(ds.acked) > 0 {
+			rt.reconcileLocked(doc, ds)
+			break
+		}
+	}
+	for _, name := range targets {
+		sh := shards[name]
+		if sh == nil {
+			rt.met.writeErrors.Add(1)
+			return nil, fmt.Errorf("%w: %q", ErrUnknownShard, name)
+		}
+		gen, err := f(sh)
+		if err != nil {
+			rt.met.writeErrors.Add(1)
+			return nil, fmt.Errorf("cluster: shard %s: %w", name, err)
+		}
+		if gen > ds.acked[name] {
+			ds.acked[name] = gen
+		}
+	}
+	return targets, nil
+}
+
+// Query routes one single-document read: a replica of the owning shard
+// answers, chosen round-robin; answers below the shard's write-acked
+// generation floor count as stale and fail over to the next copy, as
+// do shards that do not hold the document yet (a migration in flight)
+// or are unreachable. Deterministic query errors (compile errors,
+// saturation, tenant quota) return immediately — retrying them
+// elsewhere wastes capacity without changing the answer.
+func (rt *Router) Query(ctx context.Context, doc, src string, opts xqp.EngineQueryOptions) (*ShardResult, error) {
+	rt.met.routed.Add(1)
+	smap, shards := rt.snapshot()
+	ds := rt.lookupDocState(doc)
+	targets := smap.Replicas(doc, rt.cfg.Replicas)
+	if len(targets) == 0 {
+		return nil, ErrNoShards
+	}
+	// Candidate order: replica set rotated by the round-robin cursor,
+	// then any other shard known to hold the document (covers the
+	// window where the map moved ownership but migration has not
+	// caught up).
+	start := 0
+	if ds != nil {
+		start = int(ds.rr.Add(1)-1) % len(targets)
+	}
+	candidates := make([]string, 0, len(targets)+2)
+	seen := map[string]bool{}
+	for i := 0; i < len(targets); i++ {
+		n := targets[(start+i)%len(targets)]
+		if !seen[n] {
+			seen[n] = true
+			candidates = append(candidates, n)
+		}
+	}
+	if ds != nil {
+		for _, n := range ds.holders() {
+			if !seen[n] {
+				seen[n] = true
+				candidates = append(candidates, n)
+			}
+		}
+	}
+	var lastErr error
+	for i, name := range candidates {
+		sh := shards[name]
+		if sh == nil {
+			lastErr = fmt.Errorf("%w: %q", ErrUnknownShard, name)
+			continue
+		}
+		var floor uint64
+		if ds != nil {
+			floor = ds.ackedGen(name)
+		}
+		res, err := sh.Query(ctx, doc, src, opts)
+		switch {
+		case err == nil:
+			if res.Generation < floor {
+				// The shard answered from a snapshot older than a write
+				// it acknowledged — never acceptable; try another copy.
+				rt.met.staleReads.Add(1)
+				lastErr = fmt.Errorf("cluster: stale read from %s (gen %d < acked %d)", name, res.Generation, floor)
+				continue
+			}
+			if i > 0 {
+				rt.met.replicaRetries.Add(1)
+			}
+			return res, nil
+		case errors.Is(err, xqp.ErrUnknownDocument), errors.Is(err, ErrShardUnavailable):
+			lastErr = err
+			continue
+		case errors.Is(err, ctx.Err()) && ctx.Err() != nil:
+			rt.met.routedErrors.Add(1)
+			return nil, err
+		default:
+			rt.met.routedErrors.Add(1)
+			return nil, err
+		}
+	}
+	rt.met.routedErrors.Add(1)
+	if lastErr == nil {
+		lastErr = ErrNoShards
+	}
+	return nil, lastErr
+}
+
+// DocResult is one document's slice of a federated query.
+type DocResult struct {
+	Doc        string   `json:"doc"`
+	Shard      string   `json:"shard,omitempty"`
+	Count      int      `json:"count"`
+	Generation uint64   `json:"generation,omitempty"`
+	Items      []string `json:"-"`
+	Err        string   `json:"error,omitempty"`
+}
+
+// FanResult is a federated query's merged answer.
+type FanResult struct {
+	// Items concatenates the per-document answers in the request's
+	// document order (within each document, engine document order).
+	Items []string `json:"items"`
+	Count int      `json:"count"`
+	// Docs reports each document's slice, in request order.
+	Docs []DocResult `json:"docs"`
+	// Degraded names the documents that failed under PartialDegrade.
+	Degraded []string `json:"degraded,omitempty"`
+	// MapVersion is the shard-map version the query was routed with.
+	MapVersion uint64 `json:"map_version"`
+}
+
+// Fan answers one query over several documents: each document routes
+// to a replica of its owner (at most Config.MaxFanOut shard requests
+// outstanding), per-shard calls inherit the caller's deadline capped
+// by Config.ShardTimeout, and the per-document answers merge in the
+// request's document order. Failures follow Config.Partial.
+func (rt *Router) Fan(ctx context.Context, docs []string, src string, opts xqp.EngineQueryOptions) (*FanResult, error) {
+	rt.met.fanQueries.Add(1)
+	rt.met.fanDocs.Add(int64(len(docs)))
+	out := &FanResult{Docs: make([]DocResult, len(docs)), MapVersion: rt.MapVersion()}
+	sem := make(chan struct{}, rt.cfg.MaxFanOut)
+	var wg sync.WaitGroup
+	for i, doc := range docs {
+		wg.Add(1)
+		go func(i int, doc string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			qctx := ctx
+			if rt.cfg.ShardTimeout > 0 {
+				var cancel context.CancelFunc
+				qctx, cancel = context.WithTimeout(ctx, rt.cfg.ShardTimeout)
+				defer cancel()
+			}
+			res, err := rt.Query(qctx, doc, src, opts)
+			if err != nil {
+				out.Docs[i] = DocResult{Doc: doc, Err: err.Error()}
+				return
+			}
+			out.Docs[i] = DocResult{
+				Doc:        doc,
+				Shard:      res.Shard,
+				Count:      res.Count,
+				Generation: res.Generation,
+				Items:      res.Items,
+			}
+		}(i, doc)
+	}
+	wg.Wait()
+	for _, dr := range out.Docs {
+		if dr.Err != "" {
+			if rt.cfg.Partial == PartialFail {
+				return nil, fmt.Errorf("cluster: federated query failed on %q: %s", dr.Doc, dr.Err)
+			}
+			rt.met.fanDegraded.Add(1)
+			out.Degraded = append(out.Degraded, dr.Doc)
+			continue
+		}
+		out.Items = append(out.Items, dr.Items...)
+	}
+	out.Count = len(out.Items)
+	return out, nil
+}
+
+// DocPlacement describes where one document lives.
+type DocPlacement struct {
+	Doc    string            `json:"doc"`
+	Owner  string            `json:"owner"`
+	Shards map[string]uint64 `json:"shards"` // holder → write-acked generation
+}
+
+// Placements reports every routed document's owner and holder set,
+// sorted by document name.
+func (rt *Router) Placements() []DocPlacement {
+	rt.mu.RLock()
+	smap := rt.smap
+	docs := make(map[string]*docState, len(rt.docs))
+	for d, ds := range rt.docs {
+		docs[d] = ds
+	}
+	rt.mu.RUnlock()
+	out := make([]DocPlacement, 0, len(docs))
+	for d, ds := range docs {
+		ds.mu.Lock()
+		holders := make(map[string]uint64, len(ds.acked))
+		for s, g := range ds.acked {
+			holders[s] = g
+		}
+		ds.mu.Unlock()
+		out = append(out, DocPlacement{Doc: d, Owner: smap.Owner(d), Shards: holders})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Doc < out[j].Doc })
+	return out
+}
+
+// routerMetrics are the router's lock-free counters.
+type routerMetrics struct {
+	routed         atomic.Int64
+	routedErrors   atomic.Int64
+	replicaRetries atomic.Int64
+	staleReads     atomic.Int64
+	fanQueries     atomic.Int64
+	fanDocs        atomic.Int64
+	fanDegraded    atomic.Int64
+	writes         atomic.Int64
+	writeErrors    atomic.Int64
+	migratedDocs   atomic.Int64
+	migrateErrors  atomic.Int64
+}
+
+// Stats is a point-in-time snapshot of the router counters.
+type Stats struct {
+	MapVersion uint64 `json:"map_version"`
+	Shards     int    `json:"shards"`
+	Docs       int    `json:"docs"`
+	// Routed counts single-document reads; RoutedErrors the ones that
+	// failed after exhausting candidates; ReplicaRetries answers that
+	// needed a failover hop; StaleReads replica answers rejected below
+	// the write-acked generation floor.
+	Routed         int64 `json:"routed"`
+	RoutedErrors   int64 `json:"routed_errors"`
+	ReplicaRetries int64 `json:"replica_retries"`
+	StaleReads     int64 `json:"stale_reads"`
+	// FanQueries counts federated queries, FanDocs their per-document
+	// sub-queries, FanDegraded documents dropped under PartialDegrade.
+	FanQueries  int64 `json:"fan_queries"`
+	FanDocs     int64 `json:"fan_docs"`
+	FanDegraded int64 `json:"fan_degraded"`
+	// Writes counts replicated write operations; WriteErrors the ones
+	// that failed on some copy; MigratedDocs document copies moved by
+	// membership changes; MigrateErrors failed migration steps.
+	Writes        int64 `json:"writes"`
+	WriteErrors   int64 `json:"write_errors"`
+	MigratedDocs  int64 `json:"migrated_docs"`
+	MigrateErrors int64 `json:"migrate_errors"`
+}
+
+// Stats snapshots the router counters.
+func (rt *Router) Stats() Stats {
+	rt.mu.RLock()
+	version := rt.smap.Version()
+	shards := len(rt.shards)
+	docs := len(rt.docs)
+	rt.mu.RUnlock()
+	return Stats{
+		MapVersion:     version,
+		Shards:         shards,
+		Docs:           docs,
+		Routed:         rt.met.routed.Load(),
+		RoutedErrors:   rt.met.routedErrors.Load(),
+		ReplicaRetries: rt.met.replicaRetries.Load(),
+		StaleReads:     rt.met.staleReads.Load(),
+		FanQueries:     rt.met.fanQueries.Load(),
+		FanDocs:        rt.met.fanDocs.Load(),
+		FanDegraded:    rt.met.fanDegraded.Load(),
+		Writes:         rt.met.writes.Load(),
+		WriteErrors:    rt.met.writeErrors.Load(),
+		MigratedDocs:   rt.met.migratedDocs.Load(),
+		MigrateErrors:  rt.met.migrateErrors.Load(),
+	}
+}

@@ -1,0 +1,315 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"xqp"
+)
+
+func docXML(i int) string {
+	return fmt.Sprintf(`<bib><book id="%d"><title>T%d</title><price>%d</price></book><book id="%d"><title>T%d</title></book></bib>`,
+		i, i, 10+i, 100+i, 100+i)
+}
+
+func newLocalRouter(t *testing.T, cfg Config, shardNames ...string) (*Router, map[string]*LocalShard) {
+	t.Helper()
+	rt := New(cfg)
+	shards := map[string]*LocalShard{}
+	for _, name := range shardNames {
+		sh := NewLocalShard(name, xqp.NewEngine(xqp.EngineConfig{}))
+		shards[name] = sh
+		if err := rt.AddShard(sh); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return rt, shards
+}
+
+// TestRouterRoutedQuery: single-document reads land on the owning
+// shard and answer exactly what that shard's engine answers.
+func TestRouterRoutedQuery(t *testing.T) {
+	rt, shards := newLocalRouter(t, Config{}, "s1", "s2", "s3")
+	ctx := context.Background()
+	for i := 0; i < 12; i++ {
+		doc := fmt.Sprintf("doc-%d.xml", i)
+		if err := rt.Register(doc, docXML(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	owned := map[string]int{}
+	for i := 0; i < 12; i++ {
+		doc := fmt.Sprintf("doc-%d.xml", i)
+		res, err := rt.Query(ctx, doc, `//book/title`, xqp.EngineQueryOptions{})
+		if err != nil {
+			t.Fatalf("query %s: %v", doc, err)
+		}
+		owner := rt.Owner(doc)
+		if res.Shard != owner {
+			t.Fatalf("doc %s answered by %s, owner is %s", doc, res.Shard, owner)
+		}
+		owned[owner]++
+		// The owning engine really holds it; the others really don't.
+		want, err := shards[owner].Engine().Query(ctx, doc, `//book/title`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := strings.Join(res.Items, ""); got != strings.Join(want.XMLItems(), "") {
+			t.Fatalf("doc %s: routed answer %q != direct answer %q", doc, got, strings.Join(want.XMLItems(), ""))
+		}
+		for name, sh := range shards {
+			if name == owner {
+				continue
+			}
+			if _, err := sh.Engine().Query(ctx, doc, `//book`); !errors.Is(err, xqp.ErrUnknownDocument) {
+				t.Fatalf("doc %s unexpectedly present on non-owner %s (err=%v)", doc, name, err)
+			}
+		}
+	}
+	if len(owned) < 2 {
+		t.Fatalf("12 documents all landed on %d shard(s): placement not spreading", len(owned))
+	}
+	if s := rt.Stats(); s.Routed != 12 || s.RoutedErrors != 0 {
+		t.Fatalf("stats: routed=%d errors=%d, want 12/0", s.Routed, s.RoutedErrors)
+	}
+}
+
+// TestRouterReplication: with Replicas=2 every document lives on two
+// shards, reads spread across them, and a write is visible from every
+// replica immediately (generation-consistent reads).
+func TestRouterReplication(t *testing.T) {
+	rt, shards := newLocalRouter(t, Config{Replicas: 2}, "s1", "s2", "s3")
+	ctx := context.Background()
+	doc := "replicated.xml"
+	if err := rt.Register(doc, docXML(1)); err != nil {
+		t.Fatal(err)
+	}
+	holders := 0
+	for _, sh := range shards {
+		if _, err := sh.Engine().Query(ctx, doc, `//book`); err == nil {
+			holders++
+		}
+	}
+	if holders != 2 {
+		t.Fatalf("document on %d shards, want 2", holders)
+	}
+	// Append through the router, then read many times: every answer
+	// must reflect the write, whichever replica serves it.
+	if _, err := rt.Append(doc, `<book id="9"><title>T9</title></book>`); err != nil {
+		t.Fatal(err)
+	}
+	answeredBy := map[string]bool{}
+	for i := 0; i < 10; i++ {
+		res, err := rt.Query(ctx, doc, `//book`, xqp.EngineQueryOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Count != 3 {
+			t.Fatalf("read %d: %d books, want 3 (stale read from %s)", i, res.Count, res.Shard)
+		}
+		answeredBy[res.Shard] = true
+	}
+	if len(answeredBy) != 2 {
+		t.Fatalf("10 reads served by %v, want both replicas (round-robin)", answeredBy)
+	}
+	if s := rt.Stats(); s.StaleReads != 0 {
+		t.Fatalf("StaleReads = %d, want 0 (local engines are strongly consistent)", s.StaleReads)
+	}
+}
+
+// TestRouterFanMergesInDocOrder: a federated query's items concatenate
+// per-document answers in the request's document order.
+func TestRouterFanMergesInDocOrder(t *testing.T) {
+	rt, _ := newLocalRouter(t, Config{}, "s1", "s2", "s3")
+	ctx := context.Background()
+	docs := []string{"fan-c.xml", "fan-a.xml", "fan-b.xml"}
+	for i, doc := range docs {
+		if err := rt.Register(doc, fmt.Sprintf(`<bib><book><title>only-%d</title></book></bib>`, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := rt.Fan(ctx, docs, `//title`, xqp.EngineQueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"<title>only-0</title>", "<title>only-1</title>", "<title>only-2</title>"}
+	if res.Count != 3 || strings.Join(res.Items, "|") != strings.Join(want, "|") {
+		t.Fatalf("fan items = %v, want %v (request order, not shard order)", res.Items, want)
+	}
+	if len(res.Degraded) != 0 {
+		t.Fatalf("degraded = %v, want none", res.Degraded)
+	}
+	for i, dr := range res.Docs {
+		if dr.Doc != docs[i] || dr.Count != 1 || dr.Err != "" {
+			t.Fatalf("doc slice %d = %+v", i, dr)
+		}
+	}
+}
+
+// TestRouterFanPartialPolicies: an unanswerable document fails the
+// whole fan under PartialFail and is tallied under PartialDegrade.
+func TestRouterFanPartialPolicies(t *testing.T) {
+	ctx := context.Background()
+	docs := []string{"ok-1.xml", "missing.xml", "ok-2.xml"}
+
+	build := func(p PartialPolicy) *Router {
+		rt, _ := newLocalRouter(t, Config{Partial: p}, "s1", "s2")
+		for _, doc := range []string{"ok-1.xml", "ok-2.xml"} {
+			if err := rt.Register(doc, docXML(1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return rt
+	}
+
+	if _, err := build(PartialFail).Fan(ctx, docs, `//book`, xqp.EngineQueryOptions{}); err == nil {
+		t.Fatal("PartialFail fan over a missing document succeeded")
+	}
+
+	rt := build(PartialDegrade)
+	res, err := rt.Fan(ctx, docs, `//book`, xqp.EngineQueryOptions{})
+	if err != nil {
+		t.Fatalf("PartialDegrade fan: %v", err)
+	}
+	if len(res.Degraded) != 1 || res.Degraded[0] != "missing.xml" {
+		t.Fatalf("degraded = %v, want [missing.xml]", res.Degraded)
+	}
+	if res.Count != 4 { // two docs x two books
+		t.Fatalf("degraded fan count = %d, want 4", res.Count)
+	}
+	if s := rt.Stats(); s.FanDegraded != 1 {
+		t.Fatalf("FanDegraded = %d, want 1", s.FanDegraded)
+	}
+}
+
+// TestRouterAddShardMigrates: growing the cluster moves exactly the
+// documents whose ownership changed, and they answer from the new
+// shard afterwards.
+func TestRouterAddShardMigrates(t *testing.T) {
+	rt, _ := newLocalRouter(t, Config{}, "s1", "s2")
+	ctx := context.Background()
+	const n = 20
+	for i := 0; i < n; i++ {
+		if err := rt.Register(fmt.Sprintf("doc-%d.xml", i), docXML(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ownersBefore := map[string]string{}
+	for i := 0; i < n; i++ {
+		doc := fmt.Sprintf("doc-%d.xml", i)
+		ownersBefore[doc] = rt.Owner(doc)
+	}
+	s3 := NewLocalShard("s3", xqp.NewEngine(xqp.EngineConfig{}))
+	if err := rt.AddShard(s3); err != nil {
+		t.Fatal(err)
+	}
+	if v := rt.MapVersion(); v != 4 { // 1 + three AddShard bumps
+		t.Fatalf("map version = %d, want 4", v)
+	}
+	moved := 0
+	for i := 0; i < n; i++ {
+		doc := fmt.Sprintf("doc-%d.xml", i)
+		owner := rt.Owner(doc)
+		if owner != ownersBefore[doc] {
+			if owner != "s3" {
+				t.Fatalf("doc %s moved %s→%s on AddShard(s3)", doc, ownersBefore[doc], owner)
+			}
+			moved++
+		}
+		res, err := rt.Query(ctx, doc, `//book/title`, xqp.EngineQueryOptions{})
+		if err != nil {
+			t.Fatalf("post-migration query %s: %v", doc, err)
+		}
+		if res.Shard != owner {
+			t.Fatalf("doc %s answered by %s, want owner %s", doc, res.Shard, owner)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no documents migrated to the new shard")
+	}
+	if s := rt.Stats(); s.MigratedDocs < int64(moved) || s.MigrateErrors != 0 {
+		t.Fatalf("migration stats %+v, want ≥%d moved and 0 errors", s, moved)
+	}
+}
+
+// TestRouterRemoveShardMigrates: shrinking the cluster drains the
+// leaving shard's documents to the survivors before dropping it.
+func TestRouterRemoveShardMigrates(t *testing.T) {
+	rt, _ := newLocalRouter(t, Config{}, "s1", "s2", "s3")
+	ctx := context.Background()
+	const n = 20
+	for i := 0; i < n; i++ {
+		if err := rt.Register(fmt.Sprintf("doc-%d.xml", i), docXML(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rt.RemoveShard("s2"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		doc := fmt.Sprintf("doc-%d.xml", i)
+		owner := rt.Owner(doc)
+		if owner == "s2" {
+			t.Fatalf("doc %s still owned by removed shard", doc)
+		}
+		res, err := rt.Query(ctx, doc, `//book/title`, xqp.EngineQueryOptions{})
+		if err != nil {
+			t.Fatalf("post-removal query %s: %v", doc, err)
+		}
+		if res.Shard != owner {
+			t.Fatalf("doc %s answered by %s, want %s", doc, res.Shard, owner)
+		}
+	}
+	if err := rt.RemoveShard("s2"); !errors.Is(err, ErrUnknownShard) {
+		t.Fatalf("double remove err = %v, want ErrUnknownShard", err)
+	}
+}
+
+// TestRouterNoShards: operations against an empty router fail cleanly.
+func TestRouterNoShards(t *testing.T) {
+	rt := New(Config{})
+	if err := rt.Register("d.xml", docXML(1)); !errors.Is(err, ErrNoShards) {
+		t.Fatalf("register err = %v, want ErrNoShards", err)
+	}
+	if _, err := rt.Query(context.Background(), "d.xml", `//x`, xqp.EngineQueryOptions{}); !errors.Is(err, ErrNoShards) {
+		t.Fatalf("query err = %v, want ErrNoShards", err)
+	}
+}
+
+// TestRouterDeterministicErrorsDoNotFailOver: a compile error must
+// return immediately, not burn retries across replicas.
+func TestRouterDeterministicErrorsDoNotFailOver(t *testing.T) {
+	rt, _ := newLocalRouter(t, Config{Replicas: 2}, "s1", "s2")
+	if err := rt.Register("d.xml", docXML(1)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := rt.Query(context.Background(), "d.xml", `//[broken`, xqp.EngineQueryOptions{})
+	if !errors.Is(err, xqp.ErrInvalidQuery) {
+		t.Fatalf("err = %v, want ErrInvalidQuery", err)
+	}
+	if s := rt.Stats(); s.ReplicaRetries != 0 {
+		t.Fatalf("ReplicaRetries = %d, want 0 for a deterministic error", s.ReplicaRetries)
+	}
+}
+
+// TestRouterCloseDoc: a closed document disappears from every holder.
+func TestRouterCloseDoc(t *testing.T) {
+	rt, shards := newLocalRouter(t, Config{Replicas: 2}, "s1", "s2", "s3")
+	if err := rt.Register("d.xml", docXML(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.CloseDoc("d.xml"); err != nil {
+		t.Fatal(err)
+	}
+	for name, sh := range shards {
+		if _, err := sh.Engine().Query(context.Background(), "d.xml", `//book`); !errors.Is(err, xqp.ErrUnknownDocument) {
+			t.Fatalf("doc survives on %s after CloseDoc (err=%v)", name, err)
+		}
+	}
+	if _, err := rt.Query(context.Background(), "d.xml", `//book`, xqp.EngineQueryOptions{}); err == nil {
+		t.Fatal("query after CloseDoc succeeded")
+	}
+}

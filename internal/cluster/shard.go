@@ -1,0 +1,130 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+
+	"xqp"
+)
+
+// Cluster errors, matchable with errors.Is.
+var (
+	// ErrNoShards is returned when the router has no member shards.
+	ErrNoShards = errors.New("cluster: no shards")
+	// ErrUnknownShard is returned when the shard map names a shard the
+	// router holds no backend for.
+	ErrUnknownShard = errors.New("cluster: unknown shard")
+	// ErrShardUnavailable wraps transport-level failures talking to a
+	// shard (connection refused, malformed response); the router treats
+	// these as retryable on another replica.
+	ErrShardUnavailable = errors.New("cluster: shard unavailable")
+)
+
+// ShardResult is one routed query's answer in transfer form: items are
+// serialized exactly as the engine's XMLItems, so results from local
+// and remote shards are byte-comparable and federated merges are
+// concatenations.
+type ShardResult struct {
+	// Items are the serialized result items, in document order.
+	Items []string `json:"items"`
+	// Count is len(Items) (kept explicit for the wire format).
+	Count int `json:"count"`
+	// Generation is the document generation the query executed against;
+	// the router checks it against the write-acked floor for the shard
+	// that answered.
+	Generation uint64 `json:"generation"`
+	// Cached reports a plan-cache hit on the answering shard.
+	Cached bool `json:"cached"`
+	// Shard names the shard that answered.
+	Shard string `json:"shard,omitempty"`
+	// ExecNanos is the shard-side plan execution time.
+	ExecNanos int64 `json:"exec_ns"`
+}
+
+// Shard is one engine instance as the router sees it. Implementations:
+// LocalShard (an in-process engine, the unit tests' and experiments'
+// topology) and HTTPShard (a remote xqd, the deployment topology).
+// All methods must be safe for concurrent use.
+type Shard interface {
+	// Name is the shard's stable identity on the hash ring.
+	Name() string
+	// Query executes src against doc on this shard.
+	Query(ctx context.Context, doc, src string, opts xqp.EngineQueryOptions) (*ShardResult, error)
+	// Register creates or replaces doc from serialized XML and reports
+	// the resulting generation.
+	Register(doc, xml string) (uint64, error)
+	// Append commits XML fragments as one new generation.
+	Append(doc, xml string) (*xqp.ApplyResult, error)
+	// Apply commits a mutation batch as one new generation.
+	Apply(doc string, muts []xqp.Mutation) (*xqp.ApplyResult, error)
+	// CloseDoc drops doc from this shard's catalog.
+	CloseDoc(doc string) error
+	// Fetch serializes doc's current snapshot (the migration transfer
+	// format) and the generation it captures.
+	Fetch(doc string) (xml string, gen uint64, err error)
+	// Docs lists this shard's catalog.
+	Docs() ([]xqp.DocInfo, error)
+}
+
+// LocalShard adapts an in-process xqp.Engine to the Shard interface.
+type LocalShard struct {
+	name string
+	eng  *xqp.Engine
+}
+
+// NewLocalShard wraps an engine as a named shard.
+func NewLocalShard(name string, eng *xqp.Engine) *LocalShard {
+	return &LocalShard{name: name, eng: eng}
+}
+
+// Engine exposes the wrapped engine (for stats in tests/experiments).
+func (s *LocalShard) Engine() *xqp.Engine { return s.eng }
+
+// Name reports the shard name.
+func (s *LocalShard) Name() string { return s.name }
+
+// Query runs src against doc on the wrapped engine.
+func (s *LocalShard) Query(ctx context.Context, doc, src string, opts xqp.EngineQueryOptions) (*ShardResult, error) {
+	res, err := s.eng.QueryWith(ctx, doc, src, opts)
+	if err != nil {
+		return nil, err
+	}
+	items := res.XMLItems()
+	return &ShardResult{
+		Items:      items,
+		Count:      len(items),
+		Generation: res.Generation,
+		Cached:     res.Cached,
+		Shard:      s.name,
+		ExecNanos:  res.ExecTime.Nanoseconds(),
+	}, nil
+}
+
+// Register loads xml as doc and reports its generation.
+func (s *LocalShard) Register(doc, xml string) (uint64, error) {
+	if err := s.eng.RegisterString(doc, xml); err != nil {
+		return 0, err
+	}
+	return s.eng.Generation(doc)
+}
+
+// Append commits xml as appended children of the document element.
+func (s *LocalShard) Append(doc, xml string) (*xqp.ApplyResult, error) {
+	return s.eng.AppendString(doc, xml)
+}
+
+// Apply commits muts as one atomic batch.
+func (s *LocalShard) Apply(doc string, muts []xqp.Mutation) (*xqp.ApplyResult, error) {
+	return s.eng.Apply(doc, muts)
+}
+
+// CloseDoc drops doc from the catalog.
+func (s *LocalShard) CloseDoc(doc string) error { return s.eng.Close(doc) }
+
+// Fetch serializes the current snapshot of doc with its generation.
+func (s *LocalShard) Fetch(doc string) (string, uint64, error) {
+	return s.eng.DocXML(doc)
+}
+
+// Docs lists the catalog.
+func (s *LocalShard) Docs() ([]xqp.DocInfo, error) { return s.eng.Docs(), nil }

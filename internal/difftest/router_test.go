@@ -1,0 +1,89 @@
+package difftest
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"xqp/internal/cluster"
+)
+
+// routerScale keeps the router differential fast: the routing layer is
+// what's under test, not the matchers (TestDifferential sweeps those).
+const routerScale = 2
+
+// familyDocs serializes every generator family at routerScale into the
+// XML both sides of the harness register.
+func familyDocs() map[string]string {
+	docs := map[string]string{}
+	for _, family := range Families {
+		st := Store(family, routerScale)
+		docs[family+".xml"] = st.XMLString(st.Root())
+	}
+	return docs
+}
+
+// TestRouterDifferential: a 3-shard cluster is invisible — for every
+// family, corpus query, and strategy configuration, the routed answer
+// is byte-identical to a single-node engine over the same documents.
+func TestRouterDifferential(t *testing.T) {
+	h, err := NewRouterHarness(3, familyDocs(), cluster.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, family := range Families {
+		for _, q := range Queries(family) {
+			t.Run(fmt.Sprintf("%s/%s", family, q.Name), func(t *testing.T) {
+				if err := h.CheckRouted(ctx, family+".xml", q.Src); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestRouterDifferentialFederated: fanning one query over all family
+// documents merges per-document answers in request order, byte-equal
+// to the single-node answers concatenated the same way.
+func TestRouterDifferentialFederated(t *testing.T) {
+	h, err := NewRouterHarness(3, familyDocs(), cluster.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	docs := []string{"wide.xml", "bib.xml", "deep.xml", "auction.xml"}
+	// Queries that are well-formed on every family (empty answers on
+	// the families lacking the names are part of the contract).
+	for _, src := range []string{
+		`//title`,
+		`//name`,
+		`//*[@id]`,
+		`/child::*/child::*`,
+		`count(//*)`,
+	} {
+		t.Run(src, func(t *testing.T) {
+			if err := h.CheckFederated(ctx, docs, src); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestRouterDifferentialReplicated: the same identity holds with
+// replication on — whichever replica answers, bytes match.
+func TestRouterDifferentialReplicated(t *testing.T) {
+	h, err := NewRouterHarness(3, familyDocs(), cluster.Config{Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// Repeat each check so round-robin reaches both replicas.
+	for round := 0; round < 2; round++ {
+		for _, q := range Queries("bib") {
+			if err := h.CheckRouted(ctx, "bib.xml", q.Src); err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+		}
+	}
+}

@@ -64,6 +64,10 @@ var (
 	// in the submitted query text), distinguishing client mistakes from
 	// unexpected execution failures.
 	ErrInvalidQuery = errors.New("engine: invalid query")
+	// ErrTenantQuota is returned when one tenant's in-flight queries
+	// reach Config.TenantQuota. Unlike ErrSaturated it indicts a single
+	// tenant, not the whole service: other tenants keep being admitted.
+	ErrTenantQuota = errors.New("engine: tenant at quota")
 )
 
 // Config sizes the service; the zero value gives sensible defaults.
@@ -85,6 +89,12 @@ type Config struct {
 	// document so Snapshot.PagesTouched reports the modeled I/O volume.
 	// Costs one mutex operation per page access; off by default.
 	TrackPages bool
+	// TenantQuota bounds in-flight (executing + queued) queries per
+	// tenant key (QueryOptions.Tenant). A tenant at quota fails fast
+	// with ErrTenantQuota before consuming an admission ticket, so one
+	// flooding tenant can never starve the others out of the global
+	// pool. 0 disables per-tenant admission control.
+	TenantQuota int
 	// DisableCalibration turns off the per-document cost-model
 	// calibration loop (cost/calibrate): no strategy records are
 	// accumulated, cost-based choosers run on the static constants
@@ -157,6 +167,9 @@ type Engine struct {
 	// only while executing.
 	tickets chan struct{}
 	slots   chan struct{}
+	// tenants tracks per-tenant in-flight admissions (nil when
+	// Config.TenantQuota is 0).
+	tenants *tenantTable
 	met     metrics
 	// notify holds the commit notifier (see SetCommitNotifier). It is an
 	// atomic pointer rather than a mu-guarded field because emission
@@ -168,6 +181,10 @@ type Engine struct {
 // New returns an Engine with the given configuration.
 func New(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
+	var tenants *tenantTable
+	if cfg.TenantQuota > 0 {
+		tenants = newTenantTable(cfg.TenantQuota)
+	}
 	return &Engine{
 		cfg:     cfg,
 		docs:    map[string]*document{},
@@ -175,6 +192,7 @@ func New(cfg Config) *Engine {
 		cache:   newPlanCache(cfg.PlanCacheSize),
 		tickets: make(chan struct{}, cfg.MaxConcurrent+cfg.QueueDepth),
 		slots:   make(chan struct{}, cfg.MaxConcurrent),
+		tenants: tenants,
 	}
 }
 
@@ -451,6 +469,12 @@ type QueryOptions struct {
 	// a batched plan is a different artifact from an interpreted one
 	// and the flag is part of the plan-cache key (via compileOptions).
 	Batched bool
+	// Tenant is the multi-tenancy key for this query ("" is the shared
+	// anonymous tenant). It never shapes the compiled plan; it selects
+	// the plan-cache partition (each tenant evicts only its own plans)
+	// and the admission-quota bucket (Config.TenantQuota).
+	// xqvet:cachekey exec-only
+	Tenant string
 }
 
 func (o QueryOptions) compileOptions() compile.Options {
@@ -497,6 +521,16 @@ type Result struct {
 // pattern-matching scans. Returns ErrSaturated immediately when the pool
 // and queue are full.
 func (e *Engine) Query(ctx context.Context, doc, src string, opts QueryOptions) (*Result, error) {
+	// Per-tenant admission runs before the global ticket pool: a tenant
+	// at quota is refused without consuming a ticket, so its overload
+	// can never starve other tenants out of admission.
+	if e.tenants != nil {
+		if !e.tenants.acquire(opts.Tenant) {
+			e.met.tenantRejected.Add(1)
+			return nil, fmt.Errorf("%w: tenant %q at %d in-flight", ErrTenantQuota, opts.Tenant, e.cfg.TenantQuota)
+		}
+		defer e.tenants.release(opts.Tenant)
+	}
 	// Admission: a ticket covers the queue wait + execution; refusal is
 	// immediate so overload turns into fast errors, not latency.
 	select {
@@ -652,7 +686,7 @@ func (e *Engine) compiledPlan(src, doc string, gen uint64, opts QueryOptions, st
 	var key cacheKey
 	if e.cache.enabled() && !opts.NoCache {
 		key = cacheKey{doc: doc, gen: gen, fp: opts.compileOptions().Fingerprint(), query: src}
-		if p, ok := e.cache.get(key); ok {
+		if p, ok := e.cache.get(opts.Tenant, key); ok {
 			e.met.cacheHits.Add(1)
 			return p, true, nil
 		}
@@ -665,7 +699,7 @@ func (e *Engine) compiledPlan(src, doc string, gen uint64, opts QueryOptions, st
 	}
 	p := &plan{op: c.Plan, diagnostics: c.Diagnostics, pruned: c.Pruned}
 	if e.cache.enabled() && !opts.NoCache {
-		e.cache.put(key, p)
+		e.cache.put(opts.Tenant, key, p)
 	}
 	return p, false, nil
 }

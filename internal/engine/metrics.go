@@ -26,6 +26,7 @@ type metrics struct {
 	failed         atomic.Int64
 	canceled       atomic.Int64
 	rejected       atomic.Int64
+	tenantRejected atomic.Int64
 	cacheHits      atomic.Int64
 	cacheMisses    atomic.Int64
 	compilations   atomic.Int64
@@ -72,6 +73,10 @@ type Snapshot struct {
 	Failed   int64 `json:"failed"`
 	Canceled int64 `json:"canceled"`
 	Rejected int64 `json:"rejected"`
+	// TenantRejected counts queries refused because their tenant was at
+	// Config.TenantQuota (ErrTenantQuota); these never reach the global
+	// admission pool and are not included in Rejected.
+	TenantRejected int64 `json:"tenant_rejected"`
 	// CacheHits / CacheMisses count plan-cache lookups; Compilations
 	// counts actual pipeline runs (parse→translate→analyze→rewrite).
 	// Served ≥ CacheHits and Compilations ≥ CacheMisses always hold;
@@ -150,18 +155,19 @@ func (s Snapshot) HitRate() float64 {
 // in-flight queries).
 func (e *Engine) Stats() Snapshot {
 	s := Snapshot{
-		Served:       e.met.served.Load(),
-		Failed:       e.met.failed.Load(),
-		Canceled:     e.met.canceled.Load(),
-		Rejected:     e.met.rejected.Load(),
-		CacheHits:    e.met.cacheHits.Load(),
-		CacheMisses:  e.met.cacheMisses.Load(),
-		Compilations: e.met.compilations.Load(),
-		CachedPlans:  e.cache.len(),
-		QueueWait:    time.Duration(e.met.queueWaitNanos.Load()),
-		ExecTime:     time.Duration(e.met.execNanos.Load()),
-		InFlight:     len(e.slots),
-		Queued:       len(e.tickets) - len(e.slots),
+		Served:         e.met.served.Load(),
+		Failed:         e.met.failed.Load(),
+		Canceled:       e.met.canceled.Load(),
+		Rejected:       e.met.rejected.Load(),
+		TenantRejected: e.met.tenantRejected.Load(),
+		CacheHits:      e.met.cacheHits.Load(),
+		CacheMisses:    e.met.cacheMisses.Load(),
+		Compilations:   e.met.compilations.Load(),
+		CachedPlans:    e.cache.len(),
+		QueueWait:      time.Duration(e.met.queueWaitNanos.Load()),
+		ExecTime:       time.Duration(e.met.execNanos.Load()),
+		InFlight:       len(e.slots),
+		Queued:         len(e.tickets) - len(e.slots),
 
 		StrategyFallbacks: e.met.strategyFallbacks.Load(),
 		ParallelTau:       e.met.parallelTau.Load(),

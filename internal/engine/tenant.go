@@ -1,0 +1,41 @@
+package engine
+
+import "sync"
+
+// tenantTable tracks in-flight admissions per tenant key for
+// Config.TenantQuota. A plain mutex-guarded map: the critical sections
+// are two map operations, and contention is dominated by the query
+// itself. Buckets are reaped on release when they drain to zero, so the
+// table's size tracks the set of currently active tenants, not every
+// key ever seen.
+type tenantTable struct {
+	mu       sync.Mutex
+	quota    int
+	inflight map[string]int // guarded by mu
+}
+
+func newTenantTable(quota int) *tenantTable {
+	return &tenantTable{quota: quota, inflight: map[string]int{}}
+}
+
+// acquire admits one query for tenant, reporting false when the tenant
+// is already at quota.
+func (t *tenantTable) acquire(tenant string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.inflight[tenant] >= t.quota {
+		return false
+	}
+	t.inflight[tenant]++
+	return true
+}
+
+func (t *tenantTable) release(tenant string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n := t.inflight[tenant]; n <= 1 {
+		delete(t.inflight, tenant)
+	} else {
+		t.inflight[tenant] = n - 1
+	}
+}

@@ -1,0 +1,134 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestTenantQuotaFastFail: tenant A at quota is refused immediately
+// with ErrTenantQuota while tenant B keeps being admitted — the
+// noisy-neighbor admission property TenantQuota exists for.
+func TestTenantQuotaFastFail(t *testing.T) {
+	e := newBibEngine(t, Config{TenantQuota: 2, MaxConcurrent: 4})
+	// Park tenant A at its quota (the white-box equivalent of two
+	// in-flight A queries).
+	if !e.tenants.acquire("A") || !e.tenants.acquire("A") {
+		t.Fatal("could not fill tenant A's quota")
+	}
+	start := time.Now()
+	_, err := e.Query(context.Background(), "bib.xml", `//book`, QueryOptions{Tenant: "A"})
+	if !errors.Is(err, ErrTenantQuota) {
+		t.Fatalf("tenant A err = %v, want ErrTenantQuota", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("tenant quota rejection took %v, want fast-fail", elapsed)
+	}
+	if got := e.Stats().TenantRejected; got != 1 {
+		t.Fatalf("TenantRejected = %d, want 1", got)
+	}
+	if got := e.Stats().Rejected; got != 0 {
+		t.Fatalf("Rejected = %d, want 0 (quota refusals never reach the pool)", got)
+	}
+	// Tenant B is unaffected: A's quota consumption holds no global
+	// tickets.
+	if _, err := e.Query(context.Background(), "bib.xml", `//book`, QueryOptions{Tenant: "B"}); err != nil {
+		t.Fatalf("tenant B: %v", err)
+	}
+	e.tenants.release("A")
+	e.tenants.release("A")
+	if _, err := e.Query(context.Background(), "bib.xml", `//book`, QueryOptions{Tenant: "A"}); err != nil {
+		t.Fatalf("tenant A after release: %v", err)
+	}
+}
+
+// TestTenantQuotaDisabled: the zero config keeps multi-tenant admission
+// off entirely.
+func TestTenantQuotaDisabled(t *testing.T) {
+	e := newBibEngine(t, Config{})
+	if e.tenants != nil {
+		t.Fatal("tenant table allocated with TenantQuota=0")
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := e.Query(context.Background(), "bib.xml", `//book`, QueryOptions{Tenant: "A"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestTenantTableReap: buckets disappear when a tenant drains, so the
+// table tracks active tenants only.
+func TestTenantTableReap(t *testing.T) {
+	tt := newTenantTable(2)
+	if !tt.acquire("A") || !tt.acquire("A") {
+		t.Fatal("acquire within quota failed")
+	}
+	if tt.acquire("A") {
+		t.Fatal("acquire beyond quota succeeded")
+	}
+	if !tt.acquire("B") {
+		t.Fatal("tenant B blocked by tenant A's quota")
+	}
+	tt.release("A")
+	tt.release("A")
+	tt.release("B")
+	tt.mu.Lock()
+	n := len(tt.inflight)
+	tt.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("inflight table holds %d drained tenants, want 0", n)
+	}
+}
+
+// TestPlanCachePartitioning: tenant A cycling through more plans than
+// one partition holds thrashes only its own partition; tenant B's plans
+// stay resident and keep hitting.
+func TestPlanCachePartitioning(t *testing.T) {
+	e := newBibEngine(t, Config{PlanCacheSize: 2})
+	ctx := context.Background()
+	bQueries := []string{`//book/title`, `//book/price`}
+
+	// Warm tenant B's partition.
+	for _, q := range bQueries {
+		if _, err := e.Query(ctx, "bib.xml", q, QueryOptions{Tenant: "B"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Tenant A cycles through 5 distinct plans against a 2-plan
+	// partition: every A query misses and evicts — inside A only.
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 5; i++ {
+			q := fmt.Sprintf(`/bib/book[%d]`, i+1)
+			res, err := e.Query(ctx, "bib.xml", q, QueryOptions{Tenant: "A"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if round > 0 && res.Cached {
+				// Cyclic access over a working set larger than the
+				// partition: LRU must miss every time.
+				t.Fatalf("tenant A round %d query %d unexpectedly cached", round, i)
+			}
+		}
+	}
+	// B's partition is untouched by A's eviction pressure.
+	for _, q := range bQueries {
+		res, err := e.Query(ctx, "bib.xml", q, QueryOptions{Tenant: "B"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Cached {
+			t.Fatalf("tenant B query %q evicted by tenant A's pressure", q)
+		}
+	}
+	// Partitions are keyed strictly: the anonymous tenant compiled
+	// nothing, so its first lookup misses even for B's hot query.
+	res, err := e.Query(ctx, "bib.xml", bQueries[0], QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cached {
+		t.Fatal("anonymous tenant hit tenant B's partition")
+	}
+}

@@ -1,0 +1,258 @@
+// Package load is the workload generator behind cmd/xqload and the
+// cluster experiments: open-loop (fixed arrival rate, latency measured
+// under offered load — the honest tail-latency regime) and closed-loop
+// (fixed concurrency, each worker fires as soon as its previous request
+// answers — the throughput regime) drivers over an arbitrary request
+// function, with exact percentile reporting from the full latency
+// sample set.
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Request issues one operation and reports whether it succeeded. The
+// driver measures its wall time; seq is the global request sequence
+// number (workers share one counter, so seq also varies request
+// content deterministically under concurrency).
+type Request func(ctx context.Context, seq int) error
+
+// Mode selects the driver's arrival process.
+type Mode string
+
+const (
+	// Closed runs Concurrency workers back-to-back: offered load adapts
+	// to service rate, measuring peak sustainable throughput.
+	Closed Mode = "closed"
+	// Open fires requests at a fixed Rate regardless of completions:
+	// offered load is constant, measuring latency under that load
+	// (including coordinated-omission-free queueing delay).
+	Open Mode = "open"
+)
+
+// Options configures one run.
+type Options struct {
+	// Mode selects closed- or open-loop driving (default Closed).
+	Mode Mode
+	// Concurrency is the worker count (closed loop) or the in-flight
+	// cap (open loop; arrivals beyond it count as Dropped rather than
+	// blocking the arrival process). Default 1.
+	Concurrency int
+	// Rate is the open-loop arrival rate in requests/second (required
+	// for Open, ignored for Closed).
+	Rate float64
+	// Duration bounds the measured phase.
+	Duration time.Duration
+	// Warmup runs the workload unmeasured before the measured phase
+	// (cache warm-in; 0 skips).
+	Warmup time.Duration
+}
+
+// Report is one run's outcome. Latencies are exact order statistics
+// over every measured request (the full sample set is retained during
+// the run), not histogram approximations.
+type Report struct {
+	Mode        Mode          `json:"mode"`
+	Concurrency int           `json:"concurrency"`
+	RateTarget  float64       `json:"rate_target,omitempty"`
+	Duration    time.Duration `json:"duration_nanos"`
+
+	Requests int `json:"requests"`
+	Errors   int `json:"errors"`
+	// Dropped counts open-loop arrivals skipped because Concurrency
+	// requests were already in flight (offered load exceeded capacity).
+	Dropped int `json:"dropped,omitempty"`
+
+	// Throughput is successful requests per second of measured time.
+	Throughput float64 `json:"throughput_rps"`
+
+	Mean time.Duration `json:"mean_nanos"`
+	P50  time.Duration `json:"p50_nanos"`
+	P90  time.Duration `json:"p90_nanos"`
+	P99  time.Duration `json:"p99_nanos"`
+	P999 time.Duration `json:"p999_nanos"`
+	Max  time.Duration `json:"max_nanos"`
+}
+
+// MarshalHuman renders the report as indented JSON with millisecond
+// convenience fields alongside the raw nanos.
+func (r Report) MarshalHuman() ([]byte, error) {
+	type human struct {
+		Report
+		P50MS  float64 `json:"p50_ms"`
+		P90MS  float64 `json:"p90_ms"`
+		P99MS  float64 `json:"p99_ms"`
+		P999MS float64 `json:"p999_ms"`
+	}
+	return json.MarshalIndent(human{
+		Report: r,
+		P50MS:  float64(r.P50) / 1e6,
+		P90MS:  float64(r.P90) / 1e6,
+		P99MS:  float64(r.P99) / 1e6,
+		P999MS: float64(r.P999) / 1e6,
+	}, "", "  ")
+}
+
+// percentile returns the exact q-quantile of sorted by the
+// nearest-rank method (q in (0,1]).
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(q*float64(len(sorted)) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// collector accumulates latency samples across workers.
+type collector struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	errors  int
+}
+
+func (c *collector) add(d time.Duration, err error) {
+	c.mu.Lock()
+	if err != nil {
+		c.errors++
+	} else {
+		c.samples = append(c.samples, d)
+	}
+	c.mu.Unlock()
+}
+
+func (c *collector) report(opts Options, elapsed time.Duration) Report {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rep := Report{
+		Mode:        opts.Mode,
+		Concurrency: opts.Concurrency,
+		RateTarget:  opts.Rate,
+		Duration:    elapsed,
+		Requests:    len(c.samples) + c.errors,
+		Errors:      c.errors,
+	}
+	if elapsed > 0 {
+		rep.Throughput = float64(len(c.samples)) / elapsed.Seconds()
+	}
+	if len(c.samples) == 0 {
+		return rep
+	}
+	sorted := make([]time.Duration, len(c.samples))
+	copy(sorted, c.samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	rep.Mean = sum / time.Duration(len(sorted))
+	rep.P50 = percentile(sorted, 0.50)
+	rep.P90 = percentile(sorted, 0.90)
+	rep.P99 = percentile(sorted, 0.99)
+	rep.P999 = percentile(sorted, 0.999)
+	rep.Max = sorted[len(sorted)-1]
+	return rep
+}
+
+// Run drives req under opts and reports. The context cancels the run
+// early; whatever was measured so far is still reported.
+func Run(ctx context.Context, opts Options, req Request) Report {
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = 1
+	}
+	if opts.Mode == "" {
+		opts.Mode = Closed
+	}
+	if opts.Warmup > 0 {
+		wctx, cancel := context.WithTimeout(ctx, opts.Warmup)
+		warm := opts
+		warm.Warmup = 0
+		warm.Duration = opts.Warmup
+		drive(wctx, warm, req, &collector{}, nil)
+		cancel()
+	}
+	col := &collector{}
+	var dropped int
+	rctx, cancel := context.WithTimeout(ctx, opts.Duration)
+	defer cancel()
+	start := time.Now()
+	drive(rctx, opts, req, col, &dropped)
+	rep := col.report(opts, time.Since(start))
+	rep.Dropped = dropped
+	return rep
+}
+
+// drive runs the arrival process until ctx expires.
+func drive(ctx context.Context, opts Options, req Request, col *collector, dropped *int) {
+	var seqMu sync.Mutex
+	seq := 0
+	nextSeq := func() int {
+		seqMu.Lock()
+		defer seqMu.Unlock()
+		seq++
+		return seq - 1
+	}
+	fire := func() {
+		n := nextSeq()
+		t0 := time.Now()
+		err := req(ctx, n)
+		if ctx.Err() != nil && err != nil {
+			return // shutdown artifact, not a workload failure
+		}
+		col.add(time.Since(t0), err)
+	}
+
+	switch opts.Mode {
+	case Open:
+		interval := time.Duration(float64(time.Second) / opts.Rate)
+		if opts.Rate <= 0 || interval <= 0 {
+			return
+		}
+		slots := make(chan struct{}, opts.Concurrency)
+		var wg sync.WaitGroup
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				wg.Wait()
+				return
+			case <-ticker.C:
+				select {
+				case slots <- struct{}{}:
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						defer func() { <-slots }()
+						fire()
+					}()
+				default:
+					if dropped != nil {
+						*dropped++
+					}
+				}
+			}
+		}
+	default: // Closed
+		var wg sync.WaitGroup
+		for w := 0; w < opts.Concurrency; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for ctx.Err() == nil {
+					fire()
+				}
+			}()
+		}
+		wg.Wait()
+	}
+}

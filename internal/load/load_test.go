@@ -1,0 +1,177 @@
+package load
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPercentileExact: order statistics on a known sample set.
+func TestPercentileExact(t *testing.T) {
+	sorted := make([]time.Duration, 1000)
+	for i := range sorted {
+		sorted[i] = time.Duration(i+1) * time.Millisecond
+	}
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 500 * time.Millisecond},
+		{0.90, 900 * time.Millisecond},
+		{0.99, 990 * time.Millisecond},
+		{0.999, 999 * time.Millisecond},
+		{1.0, 1000 * time.Millisecond},
+	}
+	for _, c := range cases {
+		if got := percentile(sorted, c.q); got != c.want {
+			t.Fatalf("percentile(%g) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Fatalf("percentile(empty) = %v", got)
+	}
+	if got := percentile(sorted[:1], 0.001); got != time.Millisecond {
+		t.Fatalf("percentile(single, low q) = %v", got)
+	}
+}
+
+// TestClosedLoop: a closed run issues from all workers, counts errors,
+// and reports coherent order statistics.
+func TestClosedLoop(t *testing.T) {
+	var calls atomic.Int64
+	rep := Run(context.Background(), Options{
+		Mode:        Closed,
+		Concurrency: 4,
+		Duration:    100 * time.Millisecond,
+	}, func(ctx context.Context, seq int) error {
+		n := calls.Add(1)
+		time.Sleep(time.Millisecond)
+		if n%10 == 0 {
+			return errors.New("synthetic")
+		}
+		return nil
+	})
+	if rep.Requests < 20 {
+		t.Fatalf("requests = %d, want a busy run", rep.Requests)
+	}
+	if rep.Errors == 0 {
+		t.Fatal("synthetic errors not counted")
+	}
+	if rep.Throughput <= 0 {
+		t.Fatalf("throughput = %v", rep.Throughput)
+	}
+	if rep.P50 <= 0 || rep.P99 < rep.P50 || rep.Max < rep.P999 || rep.P999 < rep.P99 {
+		t.Fatalf("incoherent percentiles: p50=%v p99=%v p999=%v max=%v", rep.P50, rep.P99, rep.P999, rep.Max)
+	}
+	if rep.Mode != Closed || rep.Concurrency != 4 {
+		t.Fatalf("report echo wrong: %+v", rep)
+	}
+}
+
+// TestOpenLoop: an open run paces arrivals near the target rate and
+// drops arrivals beyond the in-flight cap instead of blocking.
+func TestOpenLoop(t *testing.T) {
+	rep := Run(context.Background(), Options{
+		Mode:        Open,
+		Concurrency: 2,
+		Rate:        200,
+		Duration:    300 * time.Millisecond,
+	}, func(ctx context.Context, seq int) error {
+		time.Sleep(2 * time.Millisecond)
+		return nil
+	})
+	if rep.Requests == 0 {
+		t.Fatal("no requests issued")
+	}
+	// 200/s over 300ms ≈ 60 arrivals; allow wide slack for CI jitter
+	// but catch a driver that free-runs (closed-loop behavior would
+	// push far beyond the offered rate).
+	if rep.Requests+rep.Dropped > 120 {
+		t.Fatalf("open loop issued %d requests (+%d dropped) at rate 200 over 300ms: not paced", rep.Requests, rep.Dropped)
+	}
+}
+
+// TestOpenLoopDrops: a slow service under a fast arrival rate must
+// shed arrivals, not queue them into a coordinated-omission stall.
+func TestOpenLoopDrops(t *testing.T) {
+	rep := Run(context.Background(), Options{
+		Mode:        Open,
+		Concurrency: 1,
+		Rate:        500,
+		Duration:    200 * time.Millisecond,
+	}, func(ctx context.Context, seq int) error {
+		select {
+		case <-time.After(50 * time.Millisecond):
+		case <-ctx.Done():
+		}
+		return nil
+	})
+	if rep.Dropped == 0 {
+		t.Fatalf("no drops at 500/s against a 50ms service with 1 slot: %+v", rep)
+	}
+}
+
+// TestWarmupNotMeasured: warmup traffic reaches the service but not
+// the report.
+func TestWarmupNotMeasured(t *testing.T) {
+	var calls atomic.Int64
+	rep := Run(context.Background(), Options{
+		Mode:        Closed,
+		Concurrency: 1,
+		Duration:    50 * time.Millisecond,
+		Warmup:      50 * time.Millisecond,
+	}, func(ctx context.Context, seq int) error {
+		calls.Add(1)
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if int64(rep.Requests) >= calls.Load() {
+		t.Fatalf("report has %d requests of %d total calls: warmup measured", rep.Requests, calls.Load())
+	}
+}
+
+// TestSeqDistinct: the request sequence number is globally unique
+// across workers (workloads key request variation on it).
+func TestSeqDistinct(t *testing.T) {
+	var seen [1 << 16]atomic.Bool
+	rep := Run(context.Background(), Options{
+		Mode:        Closed,
+		Concurrency: 4,
+		Duration:    50 * time.Millisecond,
+	}, func(ctx context.Context, seq int) error {
+		if seq < len(seen) && seen[seq].Swap(true) {
+			t.Errorf("seq %d issued twice", seq)
+		}
+		return nil
+	})
+	if rep.Errors != 0 {
+		t.Fatalf("errors = %d", rep.Errors)
+	}
+}
+
+// TestCancelEarly: canceling the context ends the run promptly and
+// still reports what was measured.
+func TestCancelEarly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	rep := Run(ctx, Options{
+		Mode:        Closed,
+		Concurrency: 2,
+		Duration:    10 * time.Second,
+	}, func(ctx context.Context, seq int) error {
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("run survived cancel for %v", elapsed)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("nothing measured before cancel")
+	}
+}
